@@ -1,0 +1,161 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (run with no arguments for everything, or
+   `-- --only fig13,fig20` for a subset; `--list` shows the ids), then —
+   unless `--no-bechamel` — runs a small Bechamel suite timing the host
+   performance of the substrate itself (page-table ops, PTE codecs,
+   allocators, the model checker), which is this repository's equivalent
+   of reporting the simulator's own speed. *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let isa = Mm_hal.Isa.x86_64 in
+  let pte_roundtrip =
+    Test.make ~name:"hal: x86-64 PTE encode+decode"
+      (Staged.stage (fun () ->
+           let pte = Mm_hal.Pte.leaf ~pfn:0x1234 ~perm:Mm_hal.Perm.rw () in
+           ignore
+             (Mm_hal.Isa.decode isa ~level:1
+                (Mm_hal.Isa.encode isa ~level:1 pte))))
+  in
+  let buddy_cycle =
+    Test.make ~name:"phys: buddy alloc+free"
+      (Staged.stage
+         (let b = Mm_phys.Buddy.create ~nframes:(1 lsl 24) in
+          fun () ->
+            let pfn = Mm_phys.Buddy.alloc b ~order:0 in
+            Mm_phys.Buddy.free b ~pfn ~order:0))
+  in
+  let pt_map_unmap =
+    Test.make ~name:"pt: walk_create+set+clear"
+      (Staged.stage
+         (let phys = Mm_phys.Phys.create () in
+          let pt = Mm_pt.Pt.create phys isa in
+          let vaddr = ref 0x1000_0000 in
+          fun () ->
+            let node = Mm_pt.Pt.walk_create pt ~to_level:1 !vaddr in
+            let idx = Mm_pt.Pt.index pt ~level:1 ~vaddr:!vaddr in
+            Mm_pt.Pt.set pt node idx
+              (Mm_hal.Pte.leaf ~pfn:1 ~perm:Mm_hal.Perm.rw ());
+            Mm_pt.Pt.set pt node idx Mm_hal.Pte.Absent;
+            vaddr := !vaddr + 4096))
+  in
+  let vma_find =
+    Test.make ~name:"linux: vma tree find"
+      (Staged.stage
+         (let phys = Mm_phys.Phys.create () in
+          let t = Mm_linux.Vma.create phys in
+          for i = 0 to 99 do
+            ignore
+              (Mm_linux.Vma.insert t
+                 ~start:(0x1000_0000 + (i * 0x10000))
+                 ~end_:(0x1000_0000 + (i * 0x10000) + 0x8000)
+                 ~perm:Mm_hal.Perm.rw)
+          done;
+          fun () -> ignore (Mm_linux.Vma.find t 0x1000_4000)))
+  in
+  let checker_run =
+    Test.make ~name:"verif: rw model check (2 cores)"
+      (Staged.stage (fun () ->
+           let tree = Mm_verif.Tree.create ~arity:2 ~depth:3 in
+           ignore (Mm_verif.Rw_model.check ~tree ~targets:[| 1; 3 |] ())))
+  in
+  let sim_microop =
+    Test.make ~name:"sim: one simulated mmap+touch+munmap"
+      (Staged.stage (fun () ->
+           let w = Mm_sim.Engine.create ~ncpus:1 in
+           Mm_sim.Engine.spawn w ~cpu:0 (fun () ->
+               let kernel = Cortenmm.Kernel.create ~ncpus:1 () in
+               let asp =
+                 Cortenmm.Addr_space.create kernel Cortenmm.Config.adv
+               in
+               let a =
+                 Cortenmm.Mm.mmap asp ~len:16384 ~perm:Mm_hal.Perm.rw ()
+               in
+               Cortenmm.Mm.touch_range asp ~addr:a ~len:16384 ~write:true;
+               Cortenmm.Mm.munmap asp ~addr:a ~len:16384);
+           Mm_sim.Engine.run w))
+  in
+  let maple_ops =
+    Test.make ~name:"linux: maple tree insert+find+remove"
+      (Staged.stage
+         (let phys = Mm_phys.Phys.create () in
+          let t = Mm_linux.Vma.create phys in
+          let next = ref 0x1000_0000 in
+          fun () ->
+            let s = !next in
+            next := s + 0x10000;
+            let _ = Mm_linux.Vma.insert t ~start:s ~end_:(s + 0x8000)
+                      ~perm:Mm_hal.Perm.rw in
+            ignore (Mm_linux.Vma.find t (s + 0x4000));
+            Mm_linux.Vma.remove_node t s))
+  in
+  let slab_cycle =
+    Test.make ~name:"phys: slab alloc+free"
+      (Staged.stage
+         (let phys = Mm_phys.Phys.create () in
+          let c = Mm_phys.Slab.create phys ~name:"bench" ~obj_size:200 in
+          fun () ->
+            let h = Mm_phys.Slab.alloc c in
+            Mm_phys.Slab.free c h))
+  in
+  let tests =
+    [
+      pte_roundtrip; buddy_cycle; slab_cycle; pt_map_unmap; vma_find;
+      maple_ops; checker_run; sim_microop;
+    ]
+  in
+  Printf.printf "## Bechamel — host-level timings of the substrate\n\n%!";
+  List.iter
+    (fun test ->
+      let instances = Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-45s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    tests;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Mm_experiments.Registry.id
+          e.Mm_experiments.Registry.title)
+      Mm_experiments.Registry.all
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    (match only with
+    | None -> Mm_experiments.Registry.run_all ()
+    | Some ids ->
+      List.iter
+        (fun id ->
+          match Mm_experiments.Registry.find id with
+          | Some e ->
+            Printf.printf "=== %s: %s ===\n\n%!" e.Mm_experiments.Registry.id
+              e.Mm_experiments.Registry.title;
+            e.Mm_experiments.Registry.run ();
+            print_newline ()
+          | None -> Printf.eprintf "unknown experiment id %S\n" id)
+        ids);
+    if (not (List.mem "--no-bechamel" args)) && only = None then
+      bechamel_suite ()
+  end

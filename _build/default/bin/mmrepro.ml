@@ -1,0 +1,291 @@
+(* mmrepro — command-line driver for the CortenMM reproduction.
+
+   Subcommands:
+     list            show every reproducible table/figure
+     run [IDS...]    run experiments (all when none given)
+     verify          run the full verification suite (protocol model
+                     checking, refinement, exhaustive functional
+                     correctness, linearizability)
+     sweep           one microbenchmark over a core sweep (quick look) *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Mm_experiments.Registry.id
+          e.Mm_experiments.Registry.title)
+      Mm_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id (all when none given)." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    match ids with
+    | [] -> Mm_experiments.Registry.run_all ()
+    | ids ->
+      List.iter
+        (fun id ->
+          match Mm_experiments.Registry.find id with
+          | Some e ->
+            Printf.printf "=== %s: %s ===\n\n%!" e.Mm_experiments.Registry.id
+              e.Mm_experiments.Registry.title;
+            e.Mm_experiments.Registry.run ();
+            print_newline ()
+          | None ->
+            Printf.eprintf
+              "unknown experiment %S (try `mmrepro list`)\n" id;
+            exit 1)
+        ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let verify_cmd =
+  let doc =
+    "Run the verification suite: exhaustive model checking of both locking \
+     protocols (P1), refinement to the Atomic Spec, exhaustive functional \
+     correctness of the cursor operations (P2), and linearizability of \
+     concurrent histories."
+  in
+  let run () =
+    let tree = Mm_verif.Tree.create ~arity:2 ~depth:3 in
+    let ok = ref true in
+    let report name r =
+      Printf.printf "  %-42s %s\n%!" name (Mm_verif.Checker.describe r);
+      if not (Mm_verif.Checker.is_verified r) then ok := false
+    in
+    Printf.printf "P1: CortenMM_rw locking protocol\n";
+    List.iter
+      (fun (name, targets) ->
+        report name (Mm_verif.Rw_model.check ~tree ~targets ()))
+      [
+        ("overlapping targets (1,3)", [| 1; 3 |]);
+        ("same target (4,4)", [| 4; 4 |]);
+        ("disjoint subtrees (1,2)", [| 1; 2 |]);
+        ("root vs leaf (0,6)", [| 0; 6 |]);
+        ("three cores (1,4,2)", [| 1; 4; 2 |]);
+      ];
+    Printf.printf "P1: CortenMM_rw, faithful Fig 5 variant (trade window)\n";
+    List.iter
+      (fun (name, targets) ->
+        report name
+          (Mm_verif.Rw_model.check ~trade_window:true ~stepwise_unlock:true
+             ~tree ~targets ()))
+      [
+        ("overlapping targets (1,3)", [| 1; 3 |]);
+        ("same target (4,4)", [| 4; 4 |]);
+        ("three cores (1,4,2)", [| 1; 4; 2 |]);
+      ];
+    Printf.printf "P1: refinement Atomic Tree Spec -> Atomic Spec\n";
+    List.iter
+      (fun targets ->
+        let r, errs = Mm_verif.Rw_model.check_refinement ~tree ~targets () in
+        Printf.printf "  targets %s: %s, %d refinement errors\n%!"
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int targets)))
+          (Mm_verif.Checker.describe r) (List.length errs);
+        if (not (Mm_verif.Checker.is_verified r)) || errs <> [] then ok := false)
+      [ [| 1; 3 |]; [| 1; 2 |]; [| 0; 6 |] ];
+    Printf.printf "P1: CortenMM_adv locking protocol (with RCU + stale)\n";
+    List.iter
+      (fun (name, targets, actions) ->
+        report name (Mm_verif.Adv_model.check ~tree ~targets ~actions ()))
+      [
+        ("disjoint ops", [| 1; 2 |], [| Mm_verif.Adv_model.Op; Mm_verif.Adv_model.Op |]);
+        ("overlapping ops", [| 1; 3 |], [| Mm_verif.Adv_model.Op; Mm_verif.Adv_model.Op |]);
+        ( "Fig 7 unmap race",
+          [| 1; 3 |],
+          [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op |] );
+        ( "double remove",
+          [| 1; 2 |],
+          [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Remove 5 |] );
+        ( "3 cores, remove + two lockers",
+          [| 1; 3; 2 |],
+          [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op;
+             Mm_verif.Adv_model.Op |] );
+      ];
+    Printf.printf "Seeded bugs (the checker must catch these)\n";
+    let expect_violation name r =
+      match r.Mm_verif.Checker.outcome with
+      | Mm_verif.Checker.Invariant_violation { message; _ } ->
+        Printf.printf "  %-42s caught: %s\n%!" name message
+      | _ ->
+        Printf.printf "  %-42s NOT CAUGHT\n%!" name;
+        ok := false
+    in
+    expect_violation "rw without path read locks"
+      (Mm_verif.Rw_model.check ~skip_read_locks:true ~tree ~targets:[| 1; 3 |] ());
+    expect_violation "adv without the stale check"
+      (Mm_verif.Adv_model.check ~no_stale_check:true ~tree ~targets:[| 1; 3 |]
+         ~actions:[| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op |] ());
+    expect_violation "adv without RCU grace periods"
+      (Mm_verif.Adv_model.check ~no_rcu:true ~tree ~targets:[| 1; 3 |]
+         ~actions:[| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op |] ());
+    Printf.printf "P2: functional correctness of the cursor operations\n";
+    List.iter
+      (fun (name, cfg) ->
+        let r = Mm_verif.Funcheck.exhaustive ~cfg ~depth:2 () in
+        Printf.printf
+          "  %-42s %d sequences, %d checks, %d failures\n%!" name
+          r.Mm_verif.Funcheck.sequences r.Mm_verif.Funcheck.checks
+          (List.length r.Mm_verif.Funcheck.failures);
+        if r.Mm_verif.Funcheck.failures <> [] then ok := false)
+      [ ("adv, all depth-2 sequences", Cortenmm.Config.adv);
+        ("rw, all depth-2 sequences", Cortenmm.Config.rw) ];
+    Printf.printf "Atomicity: linearizability of concurrent histories\n";
+    List.iter
+      (fun seed ->
+        let r =
+          Mm_verif.Funcheck.lin_check ~cfg:Cortenmm.Config.adv ~ncpus:4
+            ~ops_per_thread:15 ~seed
+        in
+        Printf.printf "  seed %-4d %d ops: %s\n%!" seed
+          r.Mm_verif.Funcheck.total_ops
+          (if r.Mm_verif.Funcheck.matched then "linearizes" else "MISMATCH");
+        if not r.Mm_verif.Funcheck.matched then ok := false)
+      [ 1; 42; 1234 ];
+    if !ok then Printf.printf "\nAll verification checks passed.\n"
+    else begin
+      Printf.printf "\nVERIFICATION FAILURES PRESENT.\n";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ const ())
+
+let sweep_cmd =
+  let doc = "Run one microbenchmark over a core sweep." in
+  let bench =
+    let bench_conv =
+      Arg.enum
+        (List.map
+           (fun b -> (Mm_workloads.Micro.bench_name b, b))
+           Mm_workloads.Micro.all_benches)
+    in
+    Arg.(
+      value
+      & opt bench_conv Mm_workloads.Micro.Pf
+      & info [ "bench" ] ~doc:"Benchmark.")
+  in
+  let high =
+    Arg.(value & flag & info [ "high" ] ~doc:"High-contention variant.")
+  in
+  let run bench high =
+    let contention =
+      if high then Mm_workloads.Micro.High else Mm_workloads.Micro.Low
+    in
+    let systems =
+      [
+        Mm_workloads.System.Linux;
+        Mm_workloads.System.Radixvm;
+        Mm_workloads.System.Nros;
+        Mm_workloads.System.Corten Cortenmm.Config.rw;
+        Mm_workloads.System.Corten Cortenmm.Config.adv;
+      ]
+    in
+    let header =
+      "cores" :: List.map Mm_workloads.System.kind_name systems
+    in
+    let rows =
+      List.map
+        (fun ncpus ->
+          string_of_int ncpus
+          :: List.map
+               (fun kind ->
+                 match
+                   Mm_workloads.Micro.run ~kind ~ncpus ~bench ~contention
+                     ~iters:50 ()
+                 with
+                 | Some r ->
+                   Mm_util.Tablefmt.fmt_si r.Mm_workloads.Runner.ops_per_sec
+                 | None -> "n/a")
+               systems)
+        [ 1; 2; 4; 8; 16; 32; 64 ]
+    in
+    Mm_util.Tablefmt.print ~header rows
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bench $ high)
+
+let trace_cmd =
+  let doc =
+    "Generate a synthetic MM operation trace, or replay one on any of the \
+     evaluated systems."
+  in
+  let mode =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("gen", `Gen); ("replay", `Replay) ])) None
+      & info [] ~docv:"gen|replay")
+  in
+  let path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("churn", Mm_workloads.Trace.Churn);
+               ("faults", Mm_workloads.Trace.Faults);
+               ("mixed", Mm_workloads.Trace.Mixed);
+             ])
+          Mm_workloads.Trace.Mixed
+      & info [ "profile" ] ~doc:"Workload profile for gen.")
+  in
+  let ncpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Virtual CPUs.")
+  in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Ops per CPU.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let system =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("cortenmm-adv", Mm_workloads.System.Corten Cortenmm.Config.adv);
+               ("cortenmm-rw", Mm_workloads.System.Corten Cortenmm.Config.rw);
+               ("linux", Mm_workloads.System.Linux);
+               ("radixvm", Mm_workloads.System.Radixvm);
+               ("nros", Mm_workloads.System.Nros);
+             ])
+          (Mm_workloads.System.Corten Cortenmm.Config.adv)
+      & info [ "system" ] ~doc:"System to replay on.")
+  in
+  let run mode path profile ncpus ops seed system =
+    match mode with
+    | `Gen ->
+      let t = Mm_workloads.Trace.generate ~profile ~ncpus ~ops_per_cpu:ops ~seed in
+      Mm_workloads.Trace.save t path;
+      Printf.printf "wrote %d operations (%d cpus, profile %s) to %s\n"
+        (Array.length t.Mm_workloads.Trace.entries)
+        t.Mm_workloads.Trace.ncpus
+        (Mm_workloads.Trace.profile_name profile)
+        path
+    | `Replay ->
+      let t = Mm_workloads.Trace.load path in
+      let s = Mm_workloads.Trace.replay ~kind:system t in
+      Printf.printf
+        "replayed %d ops on %s (%d cpus): %s ops/s\n\
+         mmaps %d, munmaps %d, touches %d, denied %d\n"
+        s.Mm_workloads.Trace.result.Mm_workloads.Runner.ops
+        (Mm_workloads.System.kind_name system)
+        t.Mm_workloads.Trace.ncpus
+        (Mm_util.Tablefmt.fmt_si
+           s.Mm_workloads.Trace.result.Mm_workloads.Runner.ops_per_sec)
+        s.Mm_workloads.Trace.mmaps s.Mm_workloads.Trace.munmaps
+        s.Mm_workloads.Trace.touches s.Mm_workloads.Trace.faults_denied
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ mode $ path $ profile $ ncpus $ ops $ seed $ system)
+
+let () =
+  let doc = "CortenMM reproduction driver" in
+  let info = Cmd.info "mmrepro" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/cow_fork.ml: Addr_space Config Cortenmm Kernel Mm Mm_hal Mm_phys Mm_sim Printf Status

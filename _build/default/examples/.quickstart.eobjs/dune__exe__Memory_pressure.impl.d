@@ -1,0 +1,1 @@
+examples/memory_pressure.ml: Addr_space Blockdev Config Cortenmm Kernel Mm Mm_hal Mm_phys Mm_pt Mm_sim Numa Printf Status Swapd

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr_space Config Cortenmm Kernel Mm Mm_hal Mm_pt Mm_sim Printf Status

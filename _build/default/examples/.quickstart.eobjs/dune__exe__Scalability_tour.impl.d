@@ -1,0 +1,1 @@
+examples/scalability_tour.ml: Cortenmm List Mm_util Mm_workloads Printf

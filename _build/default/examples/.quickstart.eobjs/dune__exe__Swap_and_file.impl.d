@@ -1,0 +1,1 @@
+examples/swap_and_file.ml: Addr_space Blockdev Config Cortenmm File Kernel List Mm Mm_hal Mm_phys Mm_sim Printf Status

@@ -1,0 +1,1 @@
+examples/swap_and_file.mli:

@@ -1,0 +1,1 @@
+lib/core/addr_space.ml: Array Blockdev Config File Geometry Isa Kernel List Mm_hal Mm_phys Mm_pt Mm_sim Mm_tlb Mm_util Numa Perm Printf Pte Status Va_alloc

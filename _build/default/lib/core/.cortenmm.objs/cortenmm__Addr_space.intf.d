@@ -1,0 +1,1 @@
+lib/core/addr_space.mli: Blockdev Config Kernel Mm_hal Mm_phys Mm_pt Mm_tlb Numa Perm Status Va_alloc

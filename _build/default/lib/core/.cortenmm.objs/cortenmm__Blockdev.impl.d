@@ -1,0 +1,1 @@
+lib/core/blockdev.ml: Hashtbl Mm_sim Queue

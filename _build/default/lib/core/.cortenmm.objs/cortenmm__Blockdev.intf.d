@@ -1,0 +1,1 @@
+lib/core/blockdev.mli:

@@ -1,0 +1,1 @@
+lib/core/file.ml: Blockdev Hashtbl List Mm_phys Mm_sim Printf

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Hashtbl List Mm_hal Mm_phys Mm_sim

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Hashtbl Mm_hal Mm_phys Mm_sim

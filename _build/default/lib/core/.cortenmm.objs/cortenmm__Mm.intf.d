@@ -1,0 +1,1 @@
+lib/core/mm.mli: Addr_space Blockdev File Mm_hal Numa

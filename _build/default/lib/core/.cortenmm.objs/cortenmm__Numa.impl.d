@@ -1,0 +1,1 @@
+lib/core/numa.ml: List Printf String

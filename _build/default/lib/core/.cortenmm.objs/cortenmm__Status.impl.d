@@ -1,0 +1,1 @@
+lib/core/status.ml: Blockdev File Format Mm_hal Numa Perm Printf

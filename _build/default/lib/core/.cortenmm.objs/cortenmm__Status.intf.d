@@ -1,0 +1,1 @@
+lib/core/status.mli: Blockdev File Format Mm_hal Numa Perm

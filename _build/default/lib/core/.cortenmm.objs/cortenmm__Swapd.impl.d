@@ -1,0 +1,1 @@
+lib/core/swapd.ml: Addr_space Array Kernel List Mm Mm_hal Mm_pt Mm_sim Mm_tlb

@@ -1,0 +1,1 @@
+lib/core/swapd.mli: Addr_space Blockdev

@@ -1,0 +1,1 @@
+lib/core/va_alloc.ml: Array Hashtbl Mm_sim Mm_util Queue

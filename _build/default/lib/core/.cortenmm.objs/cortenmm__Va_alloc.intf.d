@@ -1,0 +1,1 @@
+lib/core/va_alloc.mli:

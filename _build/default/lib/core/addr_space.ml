@@ -1,0 +1,1206 @@
+(* The transactional interface to program the MMU — the paper's central
+   contribution (Fig 4), with both locking protocols:
+
+   - [lock asp ~lo ~hi] runs the locking protocol (CortenMM_rw, Fig 5, or
+     CortenMM_adv, Fig 6) and returns a cursor;
+   - the cursor supports [query], [map], [mark], [protect] and [unmap],
+     all applied atomically within the locked range;
+   - [commit] (the Drop impl) performs the batched TLB shootdown and
+     releases the locks in reverse acquisition order.
+
+   Metadata: each PT page owns an on-demand per-PTE metadata array storing
+   the state that cannot live in the MMU (Fig 3). An upper-level slot whose
+   PTE is absent can carry a mark covering its whole range; creating a
+   child under such a slot pushes the mark down. *)
+
+open Mm_hal
+module Pt = Mm_pt.Pt
+
+type meta = {
+  slots : Status.meta_entry array;
+  mutable live : int;
+  slab_handle : int; (* where this array lives in the metadata slab *)
+}
+type node = meta Pt.node
+
+type t = {
+  id : int;
+  kernel : Kernel.t;
+  cfg : Config.t;
+  pt : meta Pt.t;
+  tlb : Mm_tlb.Tlb.t;
+  va : Va_alloc.t;
+  cpu_mask : bool array; (* CPUs that have used this address space *)
+  meta_cache : Mm_phys.Slab.t; (* slab backing the per-PTE metadata arrays *)
+  mutable meta_arrays : int;
+  mutable meta_bytes : int;
+  mutable stale_retries : int; (* CortenMM_adv retry-loop executions *)
+}
+
+exception Bad_range of string
+
+(* User virtual address layout: skip the first 256 MiB (NULL guard, kernel
+   image analog), use the rest of the canonical range. *)
+let va_lo = 0x1000_0000
+
+let create ?va kernel (cfg : Config.t) =
+  let geo = kernel.Kernel.isa.Isa.geo in
+  let page_size = Geometry.page_size geo in
+  {
+    id = Kernel.fresh_asp_id kernel;
+    kernel;
+    cfg;
+    pt = Pt.create kernel.Kernel.phys kernel.Kernel.isa;
+    tlb =
+      Mm_tlb.Tlb.create ~ncpus:kernel.Kernel.ncpus
+        ~strategy:cfg.Config.tlb_strategy;
+    va =
+      (match va with
+      | Some v -> v
+      | None ->
+        Va_alloc.create ~ncpus:kernel.Kernel.ncpus
+          ~per_core:cfg.Config.per_core_va ~va_lo
+          ~va_hi:(Geometry.va_limit geo) ~page_size);
+    cpu_mask = Array.make kernel.Kernel.ncpus false;
+    meta_cache =
+      Mm_phys.Slab.create kernel.Kernel.phys ~name:"pte_metadata"
+        ~obj_size:
+          (Geometry.entries geo * Status.meta_entry_bytes);
+    meta_arrays = 0;
+    meta_bytes = 0;
+    stale_retries = 0;
+  }
+
+let id t = t.id
+let kernel t = t.kernel
+let config t = t.cfg
+let pt t = t.pt
+let tlb t = t.tlb
+let va_allocator t = t.va
+let page_size t = Kernel.page_size t.kernel
+let stale_retries t = t.stale_retries
+
+let note_cpu t =
+  if Mm_sim.Engine.in_fiber () then
+    t.cpu_mask.(Mm_sim.Engine.cpu_id ()) <- true
+
+let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
+
+(* -- Metadata arrays -- *)
+
+let entries_per_node t = Pt.entries_per_node t.pt
+
+let meta_of t (node : node) =
+  match node.Pt.meta with
+  | Some m -> m
+  | None ->
+    charge Mm_sim.Cost.meta_array_alloc;
+    let n = entries_per_node t in
+    let m =
+      {
+        slots = Array.make n Status.M_invalid;
+        live = 0;
+        slab_handle = Mm_phys.Slab.alloc t.meta_cache;
+      }
+    in
+    node.Pt.meta <- Some m;
+    t.meta_arrays <- t.meta_arrays + 1;
+    t.meta_bytes <- t.meta_bytes + (n * Status.meta_entry_bytes);
+    m
+
+let meta_get (node : node) idx =
+  match node.Pt.meta with
+  | None -> Status.M_invalid
+  | Some m -> m.slots.(idx)
+
+let meta_set t (node : node) idx v =
+  let m = meta_of t node in
+  charge Mm_sim.Cost.meta_write;
+  let old = m.slots.(idx) in
+  m.slots.(idx) <- v;
+  (match (old, v) with
+  | Status.M_invalid, Status.M_invalid -> ()
+  | Status.M_invalid, _ -> m.live <- m.live + 1
+  | _, Status.M_invalid -> m.live <- m.live - 1
+  | _, _ -> ())
+
+let meta_live (node : node) =
+  match node.Pt.meta with None -> 0 | Some m -> m.live
+
+let release_meta t (node : node) =
+  match node.Pt.meta with
+  | None -> ()
+  | Some m ->
+    let n = entries_per_node t in
+    node.Pt.meta <- None;
+    t.meta_arrays <- t.meta_arrays - 1;
+    t.meta_bytes <- t.meta_bytes - (n * Status.meta_entry_bytes);
+    Mm_phys.Slab.free t.meta_cache m.slab_handle
+
+(* -- Cursor -- *)
+
+type cursor = {
+  asp : t;
+  lo : int;
+  hi : int;
+  covering : node;
+  read_path : node list; (* rw: read-locked ancestors, root first *)
+  mutable locked : node list; (* locked nodes, most recent first *)
+  mutable tlb_pending : (int * int) list; (* (first vpn, page count) *)
+  mutable tlb_targets : int; (* CPUs that may cache the flushed entries *)
+  mutable committed : bool;
+}
+
+let cursor_range c = (c.lo, c.hi)
+let cursor_covering_level c = c.covering.Pt.level
+
+(* The unique child slot of [node] that entirely covers [lo, hi), if the
+   node is not a leaf-level page. *)
+let covering_slot t (node : node) ~lo ~hi =
+  if node.Pt.level <= 1 then None
+  else
+    let idx = Pt.index t.pt ~level:node.Pt.level ~vaddr:lo in
+    if Pt.entry_covers t.pt node idx ~lo ~hi then Some idx else None
+
+(* -- CortenMM_rw locking protocol (Fig 5) -- *)
+
+let rw_lock t ~lo ~hi =
+  let rec descend (cur : node) path =
+    match covering_slot t cur ~lo ~hi with
+    | Some idx -> (
+      Mm_sim.Rwlock_s.read_lock cur.Pt.frame.Mm_phys.Frame.rwlock;
+      match
+        match Pt.get t.pt cur idx with
+        | Pte.Table { pfn } -> Pt.node_of_pfn t.pt pfn
+        | Pte.Absent | Pte.Leaf _ -> None
+      with
+      | Some child -> descend child (cur :: path)
+      | None ->
+        (* [cur] is the lowest existing covering page: trade the reader
+           lock for the writer lock (Fig 5 L7-8). *)
+        Mm_sim.Rwlock_s.read_unlock cur.Pt.frame.Mm_phys.Frame.rwlock;
+        Mm_sim.Rwlock_s.write_lock cur.Pt.frame.Mm_phys.Frame.rwlock;
+        (cur, List.rev path))
+    | None ->
+      Mm_sim.Rwlock_s.write_lock cur.Pt.frame.Mm_phys.Frame.rwlock;
+      (cur, List.rev path)
+  in
+  let covering, read_path = descend (Pt.root t.pt) [] in
+  {
+    asp = t;
+    lo;
+    hi;
+    covering;
+    read_path;
+    locked = [ covering ];
+    tlb_pending = [];
+    tlb_targets = 0;
+    committed = false;
+  }
+
+(* -- CortenMM_adv locking protocol (Fig 6) -- *)
+
+let adv_lock t ~lo ~hi =
+  let rcu = t.kernel.Kernel.rcu in
+  let rec retry () =
+    Mm_sim.Rcu_s.read_lock rcu;
+    (* Traversal phase: lock-free descent to the covering PT page. *)
+    let rec descend (cur : node) =
+      match covering_slot t cur ~lo ~hi with
+      | Some idx -> (
+        match
+          match Pt.get_atomic t.pt cur idx with
+          | Pte.Table { pfn } -> Pt.node_of_pfn t.pt pfn
+          | Pte.Absent | Pte.Leaf _ -> None
+        with
+        | Some child -> descend child
+        | None -> cur)
+      | None -> cur
+    in
+    let cover = descend (Pt.root t.pt) in
+    Mm_sim.Mutex_s.lock cover.Pt.frame.Mm_phys.Frame.lock;
+    if cover.Pt.frame.Mm_phys.Frame.stale then begin
+      (* Race with a concurrent unmap that removed this PT page: retry
+         (Fig 6 L10-13). *)
+      Mm_sim.Mutex_s.unlock cover.Pt.frame.Mm_phys.Frame.lock;
+      Mm_sim.Rcu_s.read_unlock rcu;
+      t.stale_retries <- t.stale_retries + 1;
+      retry ()
+    end
+    else begin
+      Mm_sim.Rcu_s.read_unlock rcu;
+      (* Locking phase: preorder DFS over all descendants (Fig 6 L17).
+         Finding the children is a streaming scan of each PT page. *)
+      let locked = ref [ cover ] in
+      let rec dfs (node : node) =
+        if node.Pt.level > 1 then begin
+          Pt.charge_node_scan t.pt;
+          for idx = 0 to entries_per_node t - 1 do
+            match Pt.get_uncharged t.pt node idx with
+            | Pte.Table { pfn } -> (
+              match Pt.node_of_pfn t.pt pfn with
+              | Some child ->
+                Mm_sim.Mutex_s.lock child.Pt.frame.Mm_phys.Frame.lock;
+                locked := child :: !locked;
+                dfs child
+              | None -> failwith "adv_lock: dangling table entry")
+            | Pte.Absent | Pte.Leaf _ -> ()
+          done
+        end
+      in
+      dfs cover;
+      {
+        asp = t;
+        lo;
+        hi;
+        covering = cover;
+        read_path = [];
+        locked = !locked;
+        tlb_pending = [];
+        tlb_targets = 0;
+        committed = false;
+      }
+    end
+  in
+  retry ()
+
+let check_range t ~lo ~hi =
+  let ps = page_size t in
+  if hi <= lo then raise (Bad_range "empty range");
+  if not (Mm_util.Align.is_aligned lo ps && Mm_util.Align.is_aligned hi ps)
+  then raise (Bad_range "range not page aligned");
+  if lo < 0 || hi > Geometry.va_limit t.kernel.Kernel.isa.Isa.geo then
+    raise (Bad_range "range outside the virtual address space")
+
+let lock t ~lo ~hi =
+  check_range t ~lo ~hi;
+  note_cpu t;
+  match t.cfg.Config.protocol with
+  | Config.Rw -> rw_lock t ~lo ~hi
+  | Config.Adv -> adv_lock t ~lo ~hi
+
+(* -- Commit (RCursor Drop, Fig 4 L23) -- *)
+
+let full_flush_threshold = 64
+
+let commit c =
+  if c.committed then invalid_arg "Addr_space.commit: cursor already dropped";
+  c.committed <- true;
+  let t = c.asp in
+  (* Batched TLB shootdown for everything this transaction invalidated. *)
+  (match c.tlb_pending with
+  | [] -> ()
+  | pending when Mm_sim.Engine.in_fiber () ->
+    let total = List.fold_left (fun a (_, n) -> a + n) 0 pending in
+    let vpns =
+      if total > full_flush_threshold then
+        (* Beyond the threshold a real kernel flushes the whole TLB; we
+           enumerate a bounded set for the table model and charge the
+           full-flush cost through the list length cap. *)
+        List.concat_map
+          (fun (v0, n) -> List.init (min n full_flush_threshold) (fun i -> v0 + i))
+          pending
+      else List.concat_map (fun (v0, n) -> List.init n (fun i -> v0 + i)) pending
+    in
+    (* Shoot down only the CPUs recorded as having installed translations
+       under the affected PT pages ("CPUs that may require the TLB
+       shootdown", paper §4.5), not the whole address-space mask. *)
+    let targets =
+      Array.init (Array.length t.cpu_mask) (fun i ->
+          c.tlb_targets land (1 lsl i) <> 0)
+    in
+    Mm_tlb.Tlb.shootdown t.tlb ~targets ~vpns
+  | _ -> ());
+  (* Release locks in reverse acquisition order. *)
+  match t.cfg.Config.protocol with
+  | Config.Adv ->
+    List.iter
+      (fun (n : node) -> Mm_sim.Mutex_s.unlock n.Pt.frame.Mm_phys.Frame.lock)
+      c.locked
+  | Config.Rw ->
+    List.iter
+      (fun (n : node) ->
+        Mm_sim.Rwlock_s.write_unlock n.Pt.frame.Mm_phys.Frame.rwlock)
+      c.locked;
+    List.iter
+      (fun (n : node) ->
+        Mm_sim.Rwlock_s.read_unlock n.Pt.frame.Mm_phys.Frame.rwlock)
+      (List.rev c.read_path)
+
+let with_lock t ~lo ~hi f =
+  let c = lock t ~lo ~hi in
+  match f c with
+  | v ->
+    commit c;
+    v
+  | exception e ->
+    commit c;
+    raise e
+
+(* -- Internal navigation helpers (operate under the cursor's locks) -- *)
+
+let in_range c ~lo ~hi =
+  if lo < c.lo || hi > c.hi then
+    raise
+      (Bad_range
+         (Printf.sprintf "[%#x,%#x) outside cursor range [%#x,%#x)" lo hi c.lo
+            c.hi))
+
+(* Advance a file/shm origin by a byte offset (anonymous origins are
+   position-independent). *)
+let origin_advance origin ~by =
+  match origin with
+  | Status.O_anon -> Status.O_anon
+  | Status.O_file (f, off) -> Status.O_file (f, off + by)
+  | Status.O_shm (f, off) -> Status.O_shm (f, off + by)
+
+(* Push a parent-level mark down into a freshly created child: each child
+   slot receives the mark with its file offset advanced to its position. *)
+let push_down_mark t (parent : node) idx (child : node) =
+  match meta_get parent idx with
+  | Status.M_invalid -> ()
+  | Status.M_alloc { origin; perm; policy } ->
+    (* Bulk fill: one streaming pass over the child's array, not 512
+       individually-charged stores. *)
+    let child_cov = Pt.entry_coverage t.pt child in
+    let m = meta_of t child in
+    charge Mm_sim.Cost.meta_bulk_fill;
+    let n = entries_per_node t in
+    for i = 0 to n - 1 do
+      let old = m.slots.(i) in
+      m.slots.(i) <-
+        Status.M_alloc
+          { origin = origin_advance origin ~by:(i * child_cov); perm; policy };
+      if old = Status.M_invalid then m.live <- m.live + 1
+    done;
+    meta_set t parent idx Status.M_invalid
+  | Status.M_resident _ | Status.M_swapped _ ->
+    failwith "push_down_mark: non-mark metadata on a table slot"
+
+(* Create (or fetch) the child under [idx], locking it when the protocol
+   requires (new PT pages are born locked so a concurrent lock-free
+   traversal cannot slip under our transaction). *)
+let ensure_child c (parent : node) idx =
+  let t = c.asp in
+  match Pt.child t.pt parent idx with
+  | Some child -> child
+  | None ->
+    let child = Pt.ensure_child t.pt parent idx in
+    (match t.cfg.Config.protocol with
+    | Config.Adv ->
+      Mm_sim.Mutex_s.lock child.Pt.frame.Mm_phys.Frame.lock;
+      c.locked <- child :: c.locked
+    | Config.Rw ->
+      (* Reachable only through the write-locked covering page. *)
+      ());
+    push_down_mark t parent idx child;
+    child
+
+let rec node_for c (cur : node) vaddr ~to_level =
+  if cur.Pt.level = to_level then cur
+  else
+    let idx = Pt.index c.asp.pt ~level:cur.Pt.level ~vaddr in
+    node_for c (ensure_child c cur idx) vaddr ~to_level
+
+(* -- Freeing empty PT pages -- *)
+
+let subtree_nodes t (node : node) =
+  let acc = ref [] in
+  Pt.iter_subtree t.pt node (fun n -> acc := n :: !acc);
+  !acc (* children before parents: reverse preorder *)
+
+(* Remove the child under [parent].[idx]; the subtree must already be
+   empty of mappings and marks. *)
+let free_child c (parent : node) idx (child : node) =
+  let t = c.asp in
+  let detached = Pt.detach_child t.pt parent idx in
+  assert (detached == child);
+  let nodes = subtree_nodes t child in
+  (match t.cfg.Config.protocol with
+  | Config.Adv ->
+    (* Fig 6 L29-35: mark stale and unlock bottom-up, then hand the pages
+       to the RCU monitor. *)
+    List.iter
+      (fun (n : node) ->
+        n.Pt.frame.Mm_phys.Frame.stale <- true;
+        Mm_sim.Mutex_s.unlock n.Pt.frame.Mm_phys.Frame.lock;
+        c.locked <- List.filter (fun x -> not (x == n)) c.locked)
+      nodes;
+    Mm_sim.Rcu_s.defer t.kernel.Kernel.rcu (fun () ->
+        List.iter
+          (fun (n : node) ->
+            release_meta t n;
+            n.Pt.parent <- None;
+            Pt.free_node t.pt n)
+          nodes)
+  | Config.Rw ->
+    (* The write-locked covering page makes the subtree exclusively ours:
+       free directly. *)
+    List.iter
+      (fun (n : node) ->
+        release_meta t n;
+        n.Pt.parent <- None;
+        Pt.free_node t.pt n)
+      nodes)
+
+let node_is_empty (node : node) = node.Pt.present = 0 && meta_live node = 0
+
+(* -- Leaf plumbing -- *)
+
+let origin_of_status = function
+  | Status.Private_anon _ -> Status.O_anon
+  | Status.Private_file { file; offset; _ } -> Status.O_file (file, offset)
+  | Status.Shared_anon { shm; offset; _ } -> Status.O_shm (shm, offset)
+  | Status.Invalid | Status.Mapped _ | Status.Swapped _ ->
+    invalid_arg "origin_of_status: not a virtually-allocated status"
+
+let status_of_mark ~origin ~perm =
+  match origin with
+  | Status.O_anon -> Status.Private_anon perm
+  | Status.O_file (file, offset) -> Status.Private_file { file; offset; perm }
+  | Status.O_shm (shm, offset) -> Status.Shared_anon { shm; offset; perm }
+
+let vpn_of t vaddr = vaddr / page_size t
+
+(* Rewrite a live leaf in place, honouring ARM's break-before-make: the
+   entry is first invalidated and the TLB entry flushed before the new
+   translation is written (paper §4.5). *)
+let rewrite_live_leaf t (node : node) idx pte =
+  if Isa.needs_break_before_make t.kernel.Kernel.isa then begin
+    Pt.set t.pt node idx Pte.Absent;
+    charge Mm_sim.Cost.tlb_flush_page
+  end;
+  Pt.set t.pt node idx pte
+
+let note_tlb c ~vaddr ~pages =
+  c.tlb_pending <- (vpn_of c.asp vaddr, pages) :: c.tlb_pending
+
+(* Drop one present leaf: clear the PTE and release the physical page(s).
+   [idx] addresses the slot in [node]; the leaf may be huge. *)
+let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
+  let t = c.asp in
+  let geo = t.kernel.Kernel.isa.Isa.geo in
+  let pages = Geometry.pages_per_entry geo ~level:node.Pt.level in
+  let vaddr = Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node) in
+  ignore perm;
+  let origin = meta_get node idx in
+  Pt.set t.pt node idx Pte.Absent;
+  meta_set t node idx Status.M_invalid;
+  note_tlb c ~vaddr ~pages;
+  c.tlb_targets <- c.tlb_targets lor node.Pt.touched;
+  let frame = Mm_phys.Phys.frame t.kernel.Kernel.phys pfn in
+  if Mm_sim.Engine.in_fiber () then
+    Mm_sim.Engine.Line.rmw frame.Mm_phys.Frame.line;
+  frame.Mm_phys.Frame.map_count <- frame.Mm_phys.Frame.map_count - 1;
+  (match origin with
+  | Status.M_resident Status.O_anon ->
+    Kernel.rmap_remove t.kernel ~pfn ~asp_id:t.id ~vaddr;
+    if
+      frame.Mm_phys.Frame.map_count = 0
+      && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
+    then begin
+      charge Mm_sim.Cost.page_free;
+      Mm_phys.Phys.free t.kernel.Kernel.phys frame
+    end
+  | Status.M_resident (Status.O_file (file, _))
+  | Status.M_resident (Status.O_shm (file, _)) ->
+    (* Page-cache pages stay resident in the file object. *)
+    File.remove_mapper file ~asp_id:t.id ~map_vaddr:vaddr
+  | Status.M_invalid ->
+    (* A raw map without recorded origin (test scaffolding). *)
+    if
+      frame.Mm_phys.Frame.map_count = 0
+      && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
+    then begin
+      charge Mm_sim.Cost.page_free;
+      Mm_phys.Phys.free t.kernel.Kernel.phys frame
+    end
+  | Status.M_alloc _ | Status.M_swapped _ ->
+    failwith "unmap_leaf: inconsistent metadata under a present PTE")
+
+(* Split a huge leaf at [node].[idx] into a child PT page of 4 KiB (or
+   2 MiB) leaves so a partial-range operation can proceed. The physical
+   block is contiguous, so child leaves address consecutive sub-blocks. *)
+let split_huge c (node : node) idx (l : Pte.t) =
+  let t = c.asp in
+  match l with
+  | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
+    let origin = meta_get node idx in
+    let n = entries_per_node t in
+    let geo = t.kernel.Kernel.isa.Isa.geo in
+    let sub_pages = Geometry.pages_per_entry geo ~level:(node.Pt.level - 1) in
+    (* Detach the leaf first, then build the child and link it. *)
+    Pt.set t.pt node idx Pte.Absent;
+    meta_set t node idx Status.M_invalid;
+    let child = Pt.alloc_node t.pt ~level:(node.Pt.level - 1) in
+    (match t.cfg.Config.protocol with
+    | Config.Adv ->
+      Mm_sim.Mutex_s.lock child.Pt.frame.Mm_phys.Frame.lock;
+      c.locked <- child :: c.locked
+    | Config.Rw -> ());
+    let sub_bytes = Geometry.coverage geo ~level:(node.Pt.level - 1) in
+    for i = 0 to n - 1 do
+      Pt.set t.pt child i
+        (Pte.Leaf { pfn = pfn + (i * sub_pages); perm; accessed; dirty; global });
+      (match origin with
+      | Status.M_invalid -> ()
+      | Status.M_resident o ->
+        meta_set t child i
+          (Status.M_resident (origin_advance o ~by:(i * sub_bytes)))
+      | Status.M_alloc _ | Status.M_swapped _ ->
+        failwith "split_huge: non-resident metadata under a present leaf");
+      (* Each sub-block head now carries its own map count. *)
+      let f = Mm_phys.Phys.frame t.kernel.Kernel.phys (pfn + (i * sub_pages)) in
+      f.Mm_phys.Frame.map_count <- f.Mm_phys.Frame.map_count + 1
+    done;
+    (* The huge frame head loses its single mapping. *)
+    let head = Mm_phys.Phys.frame t.kernel.Kernel.phys pfn in
+    head.Mm_phys.Frame.map_count <- head.Mm_phys.Frame.map_count - 1;
+    child.Pt.parent <- Some (node, idx);
+    Pt.set t.pt node idx (Pte.Table { pfn = child.Pt.frame.Mm_phys.Frame.pfn });
+    child
+  | Pte.Absent | Pte.Table _ -> invalid_arg "split_huge: not a leaf"
+
+(* -- The four basic operations (Fig 4) -- *)
+
+let query c vaddr : Status.t =
+  in_range c ~lo:vaddr ~hi:(vaddr + page_size c.asp);
+  let t = c.asp in
+  let rec go (cur : node) =
+    let idx = Pt.index t.pt ~level:cur.Pt.level ~vaddr in
+    match Pt.get t.pt cur idx with
+    | Pte.Leaf { pfn; perm; _ } ->
+      let geo = t.kernel.Kernel.isa.Isa.geo in
+      let off =
+        (vaddr mod Geometry.coverage geo ~level:cur.Pt.level) / page_size t
+      in
+      Status.Mapped { pfn = pfn + off; perm }
+    | Pte.Table { pfn } -> (
+      match Pt.node_of_pfn t.pt pfn with
+      | Some child -> go child
+      | None -> failwith "query: dangling table entry")
+    | Pte.Absent -> (
+      match meta_get cur idx with
+      | Status.M_invalid -> Status.Invalid
+      | Status.M_alloc { origin; perm; _ } -> status_of_mark ~origin ~perm
+      | Status.M_swapped { dev; block; perm } ->
+        Status.Swapped { dev; block; perm }
+      | Status.M_resident _ ->
+        failwith "query: resident metadata under an absent PTE")
+  in
+  go c.covering
+
+(* Map one physical page (or huge block) at [vaddr]. *)
+let map c ~vaddr ~(frame : Mm_phys.Frame.t) ~perm ?(level = 1)
+    ?(origin = Status.O_anon) () =
+  let t = c.asp in
+  let geo = t.kernel.Kernel.isa.Isa.geo in
+  let bytes = Geometry.coverage geo ~level in
+  in_range c ~lo:vaddr ~hi:(vaddr + bytes);
+  if not (Mm_util.Align.is_aligned vaddr bytes) then
+    raise (Bad_range "map: vaddr not aligned for the mapping level");
+  let node = node_for c c.covering vaddr ~to_level:level in
+  let idx = Pt.index t.pt ~level ~vaddr in
+  (match Pt.get t.pt node idx with
+  | Pte.Leaf { pfn; perm; _ } -> unmap_leaf c node idx (pfn, perm)
+  | Pte.Table _ -> invalid_arg "map: range contains a finer-grained subtree"
+  | Pte.Absent -> ());
+  Pt.set t.pt node idx
+    (Pte.leaf ~accessed:true ~pfn:frame.Mm_phys.Frame.pfn ~perm ());
+  meta_set t node idx (Status.M_resident origin);
+  if Mm_sim.Engine.in_fiber () then
+    node.Pt.touched <- node.Pt.touched lor (1 lsl Mm_sim.Engine.cpu_id ());
+  if Mm_sim.Engine.in_fiber () then
+    Mm_sim.Engine.Line.rmw frame.Mm_phys.Frame.line;
+  frame.Mm_phys.Frame.map_count <- frame.Mm_phys.Frame.map_count + 1;
+  (match origin with
+  | Status.O_anon ->
+    Kernel.rmap_add t.kernel ~pfn:frame.Mm_phys.Frame.pfn ~asp_id:t.id ~vaddr
+  | Status.O_file (file, offset) | Status.O_shm (file, offset) ->
+    File.add_mapper file
+      { File.asp_id = t.id; map_vaddr = vaddr; file_offset = offset;
+        len = bytes });
+  (* Install the translation in the faulting CPU's TLB. *)
+  if Mm_sim.Engine.in_fiber () then
+    Mm_tlb.Tlb.install t.tlb ~cpu:(Mm_sim.Engine.cpu_id ())
+      ~vpn:(vpn_of t vaddr) ~pfn:frame.Mm_phys.Frame.pfn
+      ~writable:(perm.Perm.write && not perm.Perm.cow)
+      ~key:perm.Perm.mpk_key ()
+
+(* Fast path for clearing an entire node: one streaming scan frees the
+   present leaves and child subtrees and drops the metadata array
+   wholesale, instead of per-slot charged operations — how a real kernel
+   tears down a fully-covered subtree. *)
+let rec clear_whole_node c (node : node) =
+  let t = c.asp in
+  Pt.charge_node_scan t.pt;
+  for idx = 0 to entries_per_node t - 1 do
+    match Pt.get_uncharged t.pt node idx with
+    | Pte.Leaf { pfn; perm; _ } -> unmap_leaf c node idx (pfn, perm)
+    | Pte.Table { pfn } -> (
+      match Pt.node_of_pfn t.pt pfn with
+      | Some child ->
+        clear_whole_node c child;
+        free_child c node idx child
+      | None -> failwith "clear_whole_node: dangling table entry")
+    | Pte.Absent -> (
+      match meta_get node idx with
+      | Status.M_swapped { dev; block; _ } -> Blockdev.free_block dev ~block
+      | Status.M_invalid | Status.M_alloc _ -> ()
+      | Status.M_resident _ ->
+        failwith "clear_whole_node: resident metadata under an absent PTE")
+  done;
+  (* Drop the remaining marks wholesale. *)
+  match node.Pt.meta with
+  | None -> ()
+  | Some m ->
+    Array.fill m.slots 0 (Array.length m.slots) Status.M_invalid;
+    m.live <- 0
+
+(* Recursive range clear: unmap leaves, drop marks, free empty PT pages. *)
+let rec clear_range c (node : node) ~lo ~hi =
+  let t = c.asp in
+  let base = Pt.node_base t.pt node in
+  if lo <= base && base + Pt.node_coverage t.pt node <= hi then
+    clear_whole_node c node
+  else
+  Pt.iter_range t.pt node ~lo ~hi (fun idx sub_lo sub_hi ->
+      let e_lo = Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node) in
+      let e_hi = e_lo + Pt.entry_coverage t.pt node in
+      let full = sub_lo = e_lo && sub_hi = e_hi in
+      match Pt.get t.pt node idx with
+      | Pte.Leaf { pfn; perm; _ } ->
+        if full then unmap_leaf c node idx (pfn, perm)
+        else
+          let child = split_huge c node idx (Pt.get t.pt node idx) in
+          clear_range c child ~lo:sub_lo ~hi:sub_hi
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn t.pt pfn with
+        | Some child ->
+          clear_range c child ~lo:sub_lo ~hi:sub_hi;
+          if node_is_empty child then free_child c node idx child
+        | None -> failwith "clear_range: dangling table entry")
+      | Pte.Absent -> (
+        match meta_get node idx with
+        | Status.M_invalid -> ()
+        | Status.M_alloc _ when full -> meta_set t node idx Status.M_invalid
+        | Status.M_alloc _ ->
+          (* Partial clear of a large mark: push down, then recurse. *)
+          let child = ensure_child c node idx in
+          clear_range c child ~lo:sub_lo ~hi:sub_hi
+        | Status.M_swapped { dev; block; _ } ->
+          (* Swap slots are page-granular (level 1 only). *)
+          Blockdev.free_block dev ~block;
+          meta_set t node idx Status.M_invalid
+        | Status.M_resident _ ->
+          failwith "clear_range: resident metadata under an absent PTE"))
+
+let unmap c ~lo ~hi =
+  in_range c ~lo ~hi;
+  clear_range c c.covering ~lo ~hi
+
+(* Set the status of a range (Fig 4 `mark`). Existing contents of the
+   range are cleared first, as POSIX mmap over an existing mapping does.
+   [base] is the vaddr to which the status's file offset corresponds, so
+   that each slot stores the offset of its own position. *)
+let rec mark_range c (node : node) ~lo ~hi ~base ~origin ~perm ~policy =
+  let t = c.asp in
+  Pt.iter_range t.pt node ~lo ~hi (fun idx sub_lo sub_hi ->
+      let e_lo = Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node) in
+      let e_hi = e_lo + Pt.entry_coverage t.pt node in
+      let full = sub_lo = e_lo && sub_hi = e_hi in
+      if full then begin
+        (* Clear whatever was there, then store the mark at this level —
+           one metadata entry can stand for the entire slot coverage. *)
+        (match Pt.get t.pt node idx with
+        | Pte.Leaf { pfn; perm; _ } -> unmap_leaf c node idx (pfn, perm)
+        | Pte.Table { pfn } -> (
+          match Pt.node_of_pfn t.pt pfn with
+          | Some child ->
+            clear_range c child ~lo:sub_lo ~hi:sub_hi;
+            if node_is_empty child then free_child c node idx child
+            else
+              failwith "mark: child not empty after full-range clear"
+          | None -> failwith "mark: dangling table entry")
+        | Pte.Absent -> (
+          match meta_get node idx with
+          | Status.M_swapped { dev; block; _ } ->
+            Blockdev.free_block dev ~block
+          | _ -> ()));
+        meta_set t node idx
+          (Status.M_alloc
+             { origin = origin_advance origin ~by:(e_lo - base); perm; policy })
+      end
+      else
+        match Pt.get t.pt node idx with
+        | Pte.Leaf _ as l ->
+          let child = split_huge c node idx l in
+          mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy
+        | Pte.Table { pfn } -> (
+          match Pt.node_of_pfn t.pt pfn with
+          | Some child ->
+            mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy
+          | None -> failwith "mark: dangling table entry")
+        | Pte.Absent ->
+          let child = ensure_child c node idx in
+          mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy)
+
+let mark ?(policy = Numa.Default) c ~lo ~hi status =
+  in_range c ~lo ~hi;
+  let origin = origin_of_status status in
+  let perm =
+    match Status.perm status with
+    | Some p -> p
+    | None -> invalid_arg "mark: status without permissions"
+  in
+  mark_range c c.covering ~lo ~hi ~base:lo ~origin ~perm ~policy
+
+(* Rewrite the NUMA policy of existing marks over a range (mbind). Only
+   virtually-allocated slots carry a policy; resident pages are left
+   where they are (no migration), as Linux's default mbind does. *)
+let rec set_policy_range c (node : node) ~lo ~hi policy =
+  let t = c.asp in
+  Pt.iter_range t.pt node ~lo ~hi (fun idx sub_lo sub_hi ->
+      let e_lo = Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node) in
+      let e_hi = e_lo + Pt.entry_coverage t.pt node in
+      let full = sub_lo = e_lo && sub_hi = e_hi in
+      match Pt.get t.pt node idx with
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn t.pt pfn with
+        | Some child -> set_policy_range c child ~lo:sub_lo ~hi:sub_hi policy
+        | None -> failwith "set_policy: dangling table entry")
+      | Pte.Leaf _ -> () (* already resident: no migration *)
+      | Pte.Absent -> (
+        match meta_get node idx with
+        | Status.M_alloc { origin; perm; _ } when full ->
+          meta_set t node idx (Status.M_alloc { origin; perm; policy })
+        | Status.M_alloc _ ->
+          let child = ensure_child c node idx in
+          set_policy_range c child ~lo:sub_lo ~hi:sub_hi policy
+        | Status.M_invalid | Status.M_swapped _ -> ()
+        | Status.M_resident _ ->
+          failwith "set_policy: resident metadata under an absent PTE"))
+
+let set_policy c ~lo ~hi policy =
+  in_range c ~lo ~hi;
+  set_policy_range c c.covering ~lo ~hi policy
+
+(* The policy recorded for an (unmapped) page, for the fault path. *)
+let policy_at c vaddr =
+  let t = c.asp in
+  let rec go (cur : node) =
+    let idx = Pt.index t.pt ~level:cur.Pt.level ~vaddr in
+    match Pt.get_uncharged t.pt cur idx with
+    | Pte.Table { pfn } -> (
+      match Pt.node_of_pfn t.pt pfn with
+      | Some child -> go child
+      | None -> Numa.Default)
+    | Pte.Leaf _ -> Numa.Default
+    | Pte.Absent -> (
+      match meta_get cur idx with
+      | Status.M_alloc { policy; _ } -> policy
+      | _ -> Numa.Default)
+  in
+  go c.covering
+
+(* Change permissions over a range, preserving mappings and marks. *)
+let rec protect_range c (node : node) ~lo ~hi perm =
+  let t = c.asp in
+  Pt.iter_range t.pt node ~lo ~hi (fun idx sub_lo sub_hi ->
+      let e_lo = Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node) in
+      let e_hi = e_lo + Pt.entry_coverage t.pt node in
+      let full = sub_lo = e_lo && sub_hi = e_hi in
+      match Pt.get t.pt node idx with
+      | Pte.Leaf ({ pfn = _; _ } as l) ->
+        if full then begin
+          rewrite_live_leaf t node idx
+            (Pte.Leaf { l with perm = { perm with Perm.cow = l.perm.Perm.cow } });
+          let geo = t.kernel.Kernel.isa.Isa.geo in
+          note_tlb c ~vaddr:e_lo
+            ~pages:(Geometry.pages_per_entry geo ~level:node.Pt.level);
+          c.tlb_targets <- c.tlb_targets lor node.Pt.touched
+        end
+        else
+          let child = split_huge c node idx (Pt.get t.pt node idx) in
+          protect_range c child ~lo:sub_lo ~hi:sub_hi perm
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn t.pt pfn with
+        | Some child -> protect_range c child ~lo:sub_lo ~hi:sub_hi perm
+        | None -> failwith "protect: dangling table entry")
+      | Pte.Absent -> (
+        match meta_get node idx with
+        | Status.M_invalid -> ()
+        | Status.M_alloc { origin; policy; _ } when full ->
+          meta_set t node idx (Status.M_alloc { origin; perm; policy })
+        | Status.M_alloc _ ->
+          let child = ensure_child c node idx in
+          protect_range c child ~lo:sub_lo ~hi:sub_hi perm
+        | Status.M_swapped s ->
+          meta_set t node idx (Status.M_swapped { s with perm })
+        | Status.M_resident _ ->
+          failwith "protect: resident metadata under an absent PTE"))
+
+let protect c ~lo ~hi perm =
+  in_range c ~lo ~hi;
+  protect_range c c.covering ~lo ~hi perm
+
+(* Record the calling CPU as a toucher of the PT page holding [vaddr]'s
+   leaf, so later unmaps/protects shoot its TLB down. Used when a
+   translation is (re)installed outside [map] — e.g. the spurious-fault
+   path. *)
+let record_toucher c ~vaddr =
+  if Mm_sim.Engine.in_fiber () then begin
+    let t = c.asp in
+    let mask = 1 lsl Mm_sim.Engine.cpu_id () in
+    let rec go (cur : node) =
+      let idx = Pt.index t.pt ~level:cur.Pt.level ~vaddr in
+      match Pt.get t.pt cur idx with
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn t.pt pfn with
+        | Some child -> go child
+        | None -> ())
+      | Pte.Leaf _ -> cur.Pt.touched <- cur.Pt.touched lor mask
+      | Pte.Absent -> ()
+    in
+    go c.covering
+  end
+
+(* Record a swapped-out page in the metadata (the PTE slot must be absent:
+   the caller unmapped the page after writing it to the device). *)
+let set_swapped c ~vaddr ~dev ~block ~perm =
+  let t = c.asp in
+  in_range c ~lo:vaddr ~hi:(vaddr + page_size t);
+  let node = node_for c c.covering vaddr ~to_level:1 in
+  let idx = Pt.index t.pt ~level:1 ~vaddr in
+  match Pt.get t.pt node idx with
+  | Pte.Absent -> meta_set t node idx (Status.M_swapped { dev; block; perm })
+  | Pte.Leaf _ | Pte.Table _ ->
+    invalid_arg "set_swapped: slot still holds a mapping"
+
+(* Raw PTE rewrite of a single present page — used by COW break and by
+   fork's write-protect pass, where [protect] semantics (which preserve the
+   cow bit) do not fit. *)
+let remap_pte c ~vaddr ~pfn ~perm =
+  let t = c.asp in
+  in_range c ~lo:vaddr ~hi:(vaddr + page_size t);
+  let node = node_for c c.covering vaddr ~to_level:1 in
+  let idx = Pt.index t.pt ~level:1 ~vaddr in
+  match Pt.get t.pt node idx with
+  | Pte.Leaf _ ->
+    rewrite_live_leaf t node idx (Pte.leaf ~pfn ~perm ());
+    note_tlb c ~vaddr ~pages:1;
+    c.tlb_targets <- c.tlb_targets lor node.Pt.touched
+  | Pte.Absent | Pte.Table _ -> invalid_arg "remap_pte: page not mapped"
+
+(* -- Enumeration (fork, verification, accounting) --
+
+   Walks the subtree under the cursor and reports every non-invalid slot as
+   [(vaddr, bytes, status)], with marks reported at their stored level. *)
+let iter_slots c ~lo ~hi f =
+  in_range c ~lo ~hi;
+  let t = c.asp in
+  let rec go (node : node) ~lo ~hi =
+    (* Enumeration streams over whole PT pages: charge per node, not per
+       entry. *)
+    Pt.charge_node_scan t.pt;
+    Pt.iter_range t.pt node ~lo ~hi (fun idx sub_lo sub_hi ->
+        let e_lo =
+          Pt.node_base t.pt node + (idx * Pt.entry_coverage t.pt node)
+        in
+        match Pt.get_uncharged t.pt node idx with
+        | Pte.Leaf { pfn; perm; _ } ->
+          f e_lo (Pt.entry_coverage t.pt node)
+            (Status.Mapped { pfn; perm })
+        | Pte.Table { pfn } -> (
+          match Pt.node_of_pfn t.pt pfn with
+          | Some child -> go child ~lo:sub_lo ~hi:sub_hi
+          | None -> failwith "iter_slots: dangling table entry")
+        | Pte.Absent -> (
+          match meta_get node idx with
+          | Status.M_invalid -> ()
+          | Status.M_alloc { origin; perm; _ } ->
+            f e_lo (Pt.entry_coverage t.pt node)
+              (status_of_mark ~origin ~perm)
+          | Status.M_swapped { dev; block; perm } ->
+            f e_lo (Pt.entry_coverage t.pt node)
+              (Status.Swapped { dev; block; perm })
+          | Status.M_resident _ ->
+            failwith "iter_slots: resident metadata under an absent PTE"))
+  in
+  go c.covering ~lo ~hi
+
+(* Relocate every page of [old_lo, old_hi) to the equal-sized range at
+   [new_lo] (mremap's move): present leaves are re-linked (frames keep
+   their map counts; the reverse map follows), marks and swap slots are
+   copied, and the old slots are cleared. The cursor must cover both
+   ranges (callers lock their hull). Huge leaves are split first by the
+   caller via [unmap]-free paths; this loop is page-granular, as Linux's
+   move_page_tables is in the unaligned case. *)
+let move_range c ~old_lo ~old_hi ~new_lo =
+  let t = c.asp in
+  let ps = page_size t in
+  in_range c ~lo:old_lo ~hi:old_hi;
+  in_range c ~lo:new_lo ~hi:(new_lo + (old_hi - old_lo));
+  let npages = (old_hi - old_lo) / ps in
+  for i = 0 to npages - 1 do
+    let ov = old_lo + (i * ps) in
+    let nv = new_lo + (i * ps) in
+    let onode = node_for c c.covering ov ~to_level:1 in
+    let oidx = Pt.index t.pt ~level:1 ~vaddr:ov in
+    match Pt.get t.pt onode oidx with
+    | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
+      let origin = meta_get onode oidx in
+      (* Clear the old slot without releasing the frame... *)
+      Pt.set t.pt onode oidx Pte.Absent;
+      meta_set t onode oidx Status.M_invalid;
+      note_tlb c ~vaddr:ov ~pages:1;
+      c.tlb_targets <- c.tlb_targets lor onode.Pt.touched;
+      (* ...and re-link it at the new address. *)
+      let nnode = node_for c c.covering nv ~to_level:1 in
+      let nidx = Pt.index t.pt ~level:1 ~vaddr:nv in
+      Pt.set t.pt nnode nidx (Pte.Leaf { pfn; perm; accessed; dirty; global });
+      (match origin with
+      | Status.M_resident Status.O_anon ->
+        Kernel.rmap_remove t.kernel ~pfn ~asp_id:t.id ~vaddr:ov;
+        Kernel.rmap_add t.kernel ~pfn ~asp_id:t.id ~vaddr:nv;
+        meta_set t nnode nidx origin
+      | Status.M_resident (Status.O_file (f, _) as o)
+      | Status.M_resident (Status.O_shm (f, _) as o) ->
+        File.remove_mapper f ~asp_id:t.id ~map_vaddr:ov;
+        File.add_mapper f
+          { File.asp_id = t.id; map_vaddr = nv;
+            file_offset = (match o with
+              | Status.O_file (_, off) | Status.O_shm (_, off) -> off
+              | Status.O_anon -> 0);
+            len = ps };
+        meta_set t nnode nidx origin
+      | m -> meta_set t nnode nidx m)
+    | Pte.Table _ -> failwith "move_range: table entry at leaf level"
+    | Pte.Absent -> (
+      match meta_get onode oidx with
+      | Status.M_invalid -> ()
+      | (Status.M_alloc _ | Status.M_swapped _) as m ->
+        meta_set t onode oidx Status.M_invalid;
+        let nnode = node_for c c.covering nv ~to_level:1 in
+        let nidx = Pt.index t.pt ~level:1 ~vaddr:nv in
+        meta_set t nnode nidx m
+      | Status.M_resident _ ->
+        failwith "move_range: resident metadata under an absent PTE")
+  done
+
+(* Bulk address-space clone for fork: mirror the parent's page-table
+   subtree into the empty child, one streaming copy per PT page (PTE array
+   + metadata array), write-protecting private mappings on both sides
+   (COW). This is how a real kernel forks — per-page-table memcpy plus
+   per-present-leaf fixups — rather than replaying per-slot operations. *)
+let clone_for_fork pc cc =
+  let t = pc.asp and ct = cc.asp in
+  let phys = t.kernel.Kernel.phys in
+  let geo = t.kernel.Kernel.isa.Isa.geo in
+  let rec clone (pn : node) (cn : node) =
+    Pt.charge_node_scan t.pt;
+    charge Mm_sim.Cost.page_copy;
+    (* Copy the metadata array wholesale (swap slots get fresh blocks so
+       each space owns its copy). *)
+    (match pn.Pt.meta with
+    | None -> ()
+    | Some pm ->
+      let cm = meta_of ct cn in
+      charge Mm_sim.Cost.meta_bulk_fill;
+      Array.iteri
+        (fun i slot ->
+          let copied =
+            match slot with
+            | Status.M_swapped { dev; block; perm } ->
+              let contents = Blockdev.read_page dev ~block in
+              let nb = Blockdev.alloc_block dev in
+              Blockdev.write_page dev ~block:nb ~contents;
+              Status.M_swapped { dev; block = nb; perm }
+            | s -> s
+          in
+          if cm.slots.(i) = Status.M_invalid && copied <> Status.M_invalid
+          then cm.live <- cm.live + 1;
+          cm.slots.(i) <- copied)
+        pm.slots);
+    for idx = 0 to entries_per_node t - 1 do
+      match Pt.get_uncharged t.pt pn idx with
+      | Pte.Absent -> ()
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn t.pt pfn with
+        | Some pchild ->
+          let cchild = Pt.alloc_node ct.pt ~level:(cn.Pt.level - 1) in
+          (match ct.cfg.Config.protocol with
+          | Config.Adv ->
+            Mm_sim.Mutex_s.lock cchild.Pt.frame.Mm_phys.Frame.lock;
+            cc.locked <- cchild :: cc.locked
+          | Config.Rw -> ());
+          cchild.Pt.parent <- Some (cn, idx);
+          Pt.set ct.pt cn idx
+            (Pte.Table { pfn = cchild.Pt.frame.Mm_phys.Frame.pfn });
+          clone pchild cchild
+        | None -> failwith "clone_for_fork: dangling table entry")
+      | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
+        let vaddr = Pt.node_base t.pt pn + (idx * Pt.entry_coverage t.pt pn) in
+        let frame = Mm_phys.Phys.frame phys pfn in
+        let origin = meta_get pn idx in
+        let shared =
+          match origin with
+          | Status.M_resident (Status.O_shm _) -> true
+          | _ -> false
+        in
+        let p =
+          if (not shared) && (perm.Perm.write || perm.Perm.cow) then begin
+            (* Write-protect both sides and set the COW bit (Fig 8). *)
+            let p = Perm.with_cow (Perm.with_write perm false) true in
+            Pt.set t.pt pn idx (Pte.Leaf { pfn; perm = p; accessed; dirty; global });
+            note_tlb pc ~vaddr
+              ~pages:(Geometry.pages_per_entry geo ~level:pn.Pt.level);
+            pc.tlb_targets <- pc.tlb_targets lor pn.Pt.touched;
+            p
+          end
+          else perm
+        in
+        Pt.set ct.pt cn idx (Pte.Leaf { pfn; perm = p; accessed; dirty; global });
+        frame.Mm_phys.Frame.map_count <- frame.Mm_phys.Frame.map_count + 1;
+        (match origin with
+        | Status.M_resident Status.O_anon | Status.M_invalid ->
+          Kernel.rmap_add t.kernel ~pfn ~asp_id:ct.id ~vaddr
+        | Status.M_resident (Status.O_file (file, offset))
+        | Status.M_resident (Status.O_shm (file, offset)) ->
+          File.add_mapper file
+            { File.asp_id = ct.id; map_vaddr = vaddr; file_offset = offset;
+              len = Pt.entry_coverage t.pt pn }
+        | Status.M_alloc _ | Status.M_swapped _ ->
+          failwith "clone_for_fork: inconsistent metadata under a leaf")
+    done
+  in
+  (* Both cursors must cover the whole space (covering = root). *)
+  if pc.covering.Pt.parent <> None || cc.covering.Pt.parent <> None then
+    invalid_arg "clone_for_fork: cursors must cover the full address space";
+  clone pc.covering cc.covering
+
+(* Promote a fully-populated level-1 PT page of uniform anonymous 4 KiB
+   mappings into one 2 MiB huge leaf (khugepaged-style). The cursor's
+   covering page must be at level >= 2 so the parent slot is locked (lock
+   a range spanning two level-2 slots to arrange that). Returns false if
+   the region does not qualify. *)
+let promote_huge c ~vaddr =
+  let t = c.asp in
+  let geo = t.kernel.Kernel.isa.Isa.geo in
+  let huge = Geometry.coverage geo ~level:2 in
+  if not (Mm_util.Align.is_aligned vaddr huge) then
+    invalid_arg "promote_huge: vaddr not 2 MiB aligned";
+  in_range c ~lo:vaddr ~hi:(vaddr + huge);
+  if c.covering.Pt.level < 2 then
+    invalid_arg "promote_huge: covering page must be above the leaf level";
+  let parent = node_for c c.covering vaddr ~to_level:2 in
+  let pidx = Pt.index t.pt ~level:2 ~vaddr in
+  match Pt.get t.pt parent pidx with
+  | Pte.Absent | Pte.Leaf _ -> false (* nothing to promote / already huge *)
+  | Pte.Table { pfn } ->
+    let child =
+      match Pt.node_of_pfn t.pt pfn with
+      | Some n -> n
+      | None -> failwith "promote_huge: dangling table entry"
+    in
+    let n = entries_per_node t in
+    if child.Pt.present <> n then false
+    else begin
+      (* All slots must be singly-mapped anonymous pages with one shared
+         permission and no pending COW. *)
+      Pt.charge_node_scan t.pt;
+      let uniform = ref None in
+      let ok = ref true in
+      for idx = 0 to n - 1 do
+        match Pt.get_uncharged t.pt child idx with
+        | Pte.Leaf { pfn; perm; _ } ->
+          let frame = Mm_phys.Phys.frame t.kernel.Kernel.phys pfn in
+          if
+            perm.Perm.cow
+            || frame.Mm_phys.Frame.map_count <> 1
+            || frame.Mm_phys.Frame.kind <> Mm_phys.Frame.Anon
+            || meta_get child idx <> Status.M_resident Status.O_anon
+          then ok := false
+          else begin
+            match !uniform with
+            | None -> uniform := Some perm
+            | Some p -> if not (Perm.equal p perm) then ok := false
+          end
+        | Pte.Absent | Pte.Table _ -> ok := false
+      done;
+      match (!ok, !uniform) with
+      | false, _ | _, None -> false
+      | true, Some perm ->
+        (* Copy into a fresh 2 MiB block, retire the small pages, install
+           the huge leaf. *)
+        charge Mm_sim.Cost.page_alloc;
+        let block =
+          Mm_phys.Phys.alloc t.kernel.Kernel.phys ~kind:Mm_phys.Frame.Anon
+            ~order:(Mm_util.Align.log2 n) ()
+        in
+        charge (n * Mm_sim.Cost.page_copy);
+        for idx = 0 to n - 1 do
+          match Pt.get_uncharged t.pt child idx with
+          | Pte.Leaf { pfn; _ } ->
+            (Mm_phys.Phys.frame t.kernel.Kernel.phys
+               (block.Mm_phys.Frame.pfn + idx))
+              .Mm_phys.Frame.contents <-
+              (Mm_phys.Phys.frame t.kernel.Kernel.phys pfn)
+                .Mm_phys.Frame.contents
+          | Pte.Absent | Pte.Table _ -> ()
+        done;
+        clear_whole_node c child;
+        free_child c parent pidx child;
+        Pt.set t.pt parent pidx
+          (Pte.leaf ~accessed:true ~pfn:block.Mm_phys.Frame.pfn ~perm ());
+        meta_set t parent pidx (Status.M_resident Status.O_anon);
+        block.Mm_phys.Frame.map_count <- 1;
+        Kernel.rmap_add t.kernel ~pfn:block.Mm_phys.Frame.pfn ~asp_id:t.id
+          ~vaddr;
+        note_tlb c ~vaddr ~pages:n;
+        c.tlb_targets <- c.tlb_targets lor parent.Pt.touched;
+        true
+    end
+
+(* Is the level-1 PT page holding [vaddr] fully populated? (The auto-THP
+   trigger; a lock-free peek.) *)
+let l1_full t vaddr =
+  let node = Pt.walk_opt t.pt ~to_level:1 vaddr in
+  node.Pt.level = 1 && node.Pt.present = entries_per_node t
+
+let origin_at c vaddr =
+  let t = c.asp in
+  let rec go (cur : node) =
+    let idx = Pt.index t.pt ~level:cur.Pt.level ~vaddr in
+    match Pt.get t.pt cur idx with
+    | Pte.Table { pfn } -> (
+      match Pt.node_of_pfn t.pt pfn with
+      | Some child -> go child
+      | None -> failwith "origin_at: dangling table entry")
+    | Pte.Leaf _ | Pte.Absent -> meta_get cur idx
+  in
+  go c.covering
+
+(* -- Accounting -- *)
+
+type mem_stats = {
+  pt_pages : int;
+  pt_bytes : int;
+  meta_arrays : int;
+  meta_bytes : int;
+}
+
+let mem_stats t =
+  {
+    pt_pages = Pt.pt_page_count t.pt;
+    pt_bytes = Pt.pt_page_count t.pt * page_size t;
+    meta_arrays = t.meta_arrays;
+    meta_bytes = t.meta_bytes;
+  }
+
+(* Upper bound of the metadata overhead (Fig 22): every PT page with a
+   fully populated metadata array. *)
+let meta_bytes_upper_bound t =
+  Pt.pt_page_count t.pt * entries_per_node t * Status.meta_entry_bytes
+
+let check_well_formed t = Pt.check_well_formed t.pt

@@ -1,0 +1,157 @@
+(** The transactional interface to program the MMU — the paper's central
+    contribution (Fig 4).
+
+    [lock] runs the configured locking protocol (CortenMM_rw, Fig 5, or
+    CortenMM_adv, Fig 6) over the page-table hierarchy and returns a
+    cursor; the cursor's operations apply atomically within the locked
+    range; [commit] performs the batched TLB shootdown and releases the
+    locks in reverse acquisition order. Concurrent transactions serialize
+    only when their ranges overlap. *)
+
+open Mm_hal
+module Pt = Mm_pt.Pt
+
+(** The per-PTE metadata array attached to each PT page (Fig 3): the
+    state that cannot live in the MMU. *)
+type meta = {
+  slots : Status.meta_entry array;
+  mutable live : int;
+  slab_handle : int;
+}
+
+type node = meta Pt.node
+
+type t
+
+exception Bad_range of string
+
+val va_lo : int
+(** Lowest user virtual address handed out by the VA allocator. *)
+
+val create : ?va:Va_alloc.t -> Kernel.t -> Config.t -> t
+val id : t -> int
+val kernel : t -> Kernel.t
+val config : t -> Config.t
+val pt : t -> meta Pt.t
+val tlb : t -> Mm_tlb.Tlb.t
+val va_allocator : t -> Va_alloc.t
+val page_size : t -> int
+
+val stale_retries : t -> int
+(** How many times the adv protocol's retry loop fired (Fig 6 L10-13). *)
+
+(** {2 Transactions} *)
+
+type cursor
+
+val lock : t -> lo:int -> hi:int -> cursor
+(** Run the locking protocol for [lo, hi) (page-aligned, non-empty).
+    Raises {!Bad_range} otherwise. *)
+
+val commit : cursor -> unit
+(** The RCursor Drop (Fig 4 L23): batched TLB shootdown targeting exactly
+    the CPUs recorded as touchers of the affected PT pages, then release
+    all locks in reverse order. A cursor must be committed exactly once. *)
+
+val with_lock : t -> lo:int -> hi:int -> (cursor -> 'a) -> 'a
+(** [lock], run the function, [commit] (also on exception). *)
+
+val cursor_range : cursor -> int * int
+val cursor_covering_level : cursor -> int
+
+(** {2 The basic operations (Fig 4)} *)
+
+val query : cursor -> int -> Status.t
+(** Status of the virtual page at an address within the cursor's range. *)
+
+val map :
+  cursor ->
+  vaddr:int ->
+  frame:Mm_phys.Frame.t ->
+  perm:Perm.t ->
+  ?level:int ->
+  ?origin:Status.origin ->
+  unit ->
+  unit
+(** Map a physical frame (or, with [level] > 1, a huge block) at [vaddr],
+    replacing any existing leaf; records the reverse mapping and installs
+    the caller's TLB entry. *)
+
+val mark : ?policy:Numa.policy -> cursor -> lo:int -> hi:int -> Status.t -> unit
+(** Set the status of a range (virtually allocate it), clearing whatever
+    was there — one upper-level metadata entry can stand for a whole
+    aligned slot. The status must be a virtually-allocated one; the NUMA
+    policy is stored alongside it in the metadata (paper §4.5). *)
+
+val set_policy : cursor -> lo:int -> hi:int -> Numa.policy -> unit
+(** Rewrite the NUMA policy of the virtually-allocated slots in the range
+    (mbind semantics: resident pages are not migrated). *)
+
+val policy_at : cursor -> int -> Numa.policy
+(** The policy recorded for an unmapped page (the fault path's input). *)
+
+val unmap : cursor -> lo:int -> hi:int -> unit
+(** Clear the range: present leaves are unmapped (releasing sole-owner
+    anonymous frames), marks and swap slots are dropped, and PT pages
+    that become empty are removed — RCU-deferred under the adv protocol
+    (Fig 6 L29-35), direct under rw. *)
+
+val protect : cursor -> lo:int -> hi:int -> Perm.t -> unit
+(** Change permissions over the range, preserving mappings and marks
+    (mprotect); the COW bit of present leaves is preserved. *)
+
+val remap_pte : cursor -> vaddr:int -> pfn:int -> perm:Perm.t -> unit
+(** Raw PTE rewrite of one present page — COW breaks and fork's
+    write-protect pass, where [protect]'s COW-preservation does not fit. *)
+
+val set_swapped :
+  cursor -> vaddr:int -> dev:Blockdev.t -> block:int -> perm:Perm.t -> unit
+(** Record a swapped-out page (the slot must be absent). *)
+
+val record_toucher : cursor -> vaddr:int -> unit
+(** Note the calling CPU as a TLB holder of the page's PT node. *)
+
+val iter_slots : cursor -> lo:int -> hi:int -> (int -> int -> Status.t -> unit) -> unit
+(** Enumerate non-invalid slots as [(vaddr, bytes, status)] — address-
+    space enumeration by page-table walk (the paper's §6.2 worst case). *)
+
+val move_range : cursor -> old_lo:int -> old_hi:int -> new_lo:int -> unit
+(** Relocate the pages of the old range to [new_lo] (mremap's move):
+    frames keep their identity and map counts, marks and swap slots are
+    copied, old TLB entries are flushed at commit. The cursor must cover
+    both ranges. *)
+
+val clone_for_fork : cursor -> cursor -> unit
+(** Fork: stream-copy the parent's page-table subtree (PTE and metadata
+    arrays) into the empty child, write-protecting private mappings on
+    both sides (COW) and duplicating swap slots. Both cursors must cover
+    the full address space. *)
+
+val promote_huge : cursor -> vaddr:int -> bool
+(** Promote a fully-populated level-1 PT page of uniform, singly-mapped
+    anonymous pages into one 2 MiB huge leaf (khugepaged-style; copies
+    into a fresh physically-contiguous block). The cursor must cover the
+    parent (lock a range spanning two level-2 slots). *)
+
+val l1_full : t -> int -> bool
+(** Lock-free peek: is the leaf PT page of [vaddr] fully populated? *)
+
+val origin_at : cursor -> int -> Status.meta_entry
+
+(** {2 Accounting and invariants} *)
+
+type mem_stats = {
+  pt_pages : int;
+  pt_bytes : int;
+  meta_arrays : int;
+  meta_bytes : int;
+}
+
+val mem_stats : t -> mem_stats
+
+val meta_bytes_upper_bound : t -> int
+(** Fig 22's upper bound: every PT page with a fully populated array. *)
+
+val check_well_formed : t -> unit
+(** The Fig 12 page-table well-formedness invariant; raises
+    {!Mm_pt.Pt.Ill_formed} on violation. *)

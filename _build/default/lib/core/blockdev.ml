@@ -1,0 +1,67 @@
+(* A simulated block device used as swap space.
+
+   Pages are stored as their integer "contents" token so swap-out/swap-in
+   round-trips are verifiable. I/O costs model a fast NVMe device. *)
+
+let write_cost = 9_000 (* cycles to submit + complete a 4 KiB write *)
+let read_cost = 7_000
+
+type t = {
+  id : int;
+  name : string;
+  nblocks : int;
+  blocks : (int, int) Hashtbl.t; (* block -> stored contents *)
+  mutable next_block : int;
+  free_blocks : int Queue.t;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+let next_id = ref 0
+
+let create ?(nblocks = 1 lsl 20) ~name () =
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    nblocks;
+    blocks = Hashtbl.create 64;
+    next_block = 0;
+    free_blocks = Queue.create ();
+    writes = 0;
+    reads = 0;
+  }
+
+let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
+
+exception Device_full
+
+let alloc_block t =
+  match Queue.take_opt t.free_blocks with
+  | Some b -> b
+  | None ->
+    if t.next_block >= t.nblocks then raise Device_full;
+    let b = t.next_block in
+    t.next_block <- t.next_block + 1;
+    b
+
+let write_page t ~block ~contents =
+  charge write_cost;
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.blocks block contents
+
+let read_page t ~block =
+  charge read_cost;
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.blocks block with
+  | Some c -> c
+  | None -> invalid_arg "Blockdev.read_page: block never written"
+
+let free_block t ~block =
+  Hashtbl.remove t.blocks block;
+  Queue.push block t.free_blocks
+
+let used_blocks t = Hashtbl.length t.blocks
+let writes t = t.writes
+let reads t = t.reads
+let name t = t.name

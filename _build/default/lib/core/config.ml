@@ -1,0 +1,44 @@
+(* CortenMM configuration: locking protocol and the two optimizations the
+   paper ablates in Fig 16/17 (per-core virtual address allocator and
+   advanced TLB shootdown). *)
+
+type protocol = Rw | Adv
+
+let protocol_to_string = function Rw -> "rw" | Adv -> "adv"
+
+type t = {
+  protocol : protocol;
+  per_core_va : bool;
+  tlb_strategy : Mm_tlb.Tlb.strategy;
+  thp : bool; (* transparent huge pages: auto-promote full leaf PT pages *)
+}
+
+(* The full configurations evaluated in the paper. *)
+
+let adv =
+  { protocol = Adv; per_core_va = true; tlb_strategy = Mm_tlb.Tlb.Latr;
+    thp = false }
+
+let rw =
+  { protocol = Rw; per_core_va = true; tlb_strategy = Mm_tlb.Tlb.Latr;
+    thp = false }
+
+(* Ablations (Fig 16/17): [adv_base] disables both optimizations,
+   [adv_vpa] enables only the per-core VA allocator. *)
+let adv_base =
+  { protocol = Adv; per_core_va = false; tlb_strategy = Mm_tlb.Tlb.Sync;
+    thp = false }
+
+let adv_vpa =
+  { protocol = Adv; per_core_va = true; tlb_strategy = Mm_tlb.Tlb.Sync;
+    thp = false }
+
+let with_thp t = { t with thp = true }
+
+let name t =
+  match (t.protocol, t.per_core_va, t.tlb_strategy) with
+  | Adv, true, Mm_tlb.Tlb.Latr -> "cortenmm-adv"
+  | Rw, true, Mm_tlb.Tlb.Latr -> "cortenmm-rw"
+  | Adv, false, _ -> "cortenmm-adv_base"
+  | Adv, true, _ -> "cortenmm-adv_+vpa"
+  | Rw, _, _ -> "cortenmm-rw-variant"

@@ -1,0 +1,31 @@
+(** CortenMM configuration: locking protocol plus the two §4.5
+    optimizations the paper ablates (per-core VA allocator, advanced TLB
+    shootdown). *)
+
+type protocol = Rw | Adv
+
+val protocol_to_string : protocol -> string
+
+type t = {
+  protocol : protocol;
+  per_core_va : bool;
+  tlb_strategy : Mm_tlb.Tlb.strategy;
+  thp : bool;
+}
+
+val adv : t
+(** CortenMM_adv with both optimizations (the paper's headline config). *)
+
+val rw : t
+(** CortenMM_rw with both optimizations. *)
+
+val adv_base : t
+(** Ablation: adv without either optimization (Fig 16/17 "adv_base"). *)
+
+val adv_vpa : t
+(** Ablation: adv with only the per-core VA allocator ("adv_+vpa"). *)
+
+val with_thp : t -> t
+(** Enable transparent huge pages (auto-promotion of full leaf PT pages). *)
+
+val name : t -> string

@@ -1,0 +1,96 @@
+(* Simulated file objects with a page cache, backing mmaped files and
+   shared anonymous memory.
+
+   The paper (§4.5, reverse mapping): "The file object contains a tree of
+   all AddrSpaces that map the file, enabling reverse mapping. Reverse
+   mappings of shared anonymous mappings are supported by naming the pages
+   within the kernel" — i.e. shared anonymous memory is a kernel-internal
+   file. [kind] distinguishes the two.
+
+   Page contents are integer tokens derived from (file id, page index) so
+   tests can verify that a faulted-in mapping observes the right data. *)
+
+type kind = Regular of string | Shm
+
+type mapper = { asp_id : int; map_vaddr : int; file_offset : int; len : int }
+
+type t = {
+  id : int;
+  kind : kind;
+  mutable size : int;
+  pages : (int, Mm_phys.Frame.t) Hashtbl.t; (* page index -> cache frame *)
+  lock : Mm_sim.Mutex_s.t;
+  mutable mappers : mapper list; (* the AddrSpace tree, as a list *)
+  mutable dirty : (int, unit) Hashtbl.t; (* dirty page indexes *)
+  mutable writebacks : int;
+}
+
+let next_id = ref 0
+
+let io_read_cost = 8_000 (* first touch of a cache page: read from disk *)
+
+let create ~kind ~size =
+  incr next_id;
+  {
+    id = !next_id;
+    kind;
+    size;
+    pages = Hashtbl.create 16;
+    lock = Mm_sim.Mutex_s.make ();
+    mappers = [];
+    dirty = Hashtbl.create 16;
+    writebacks = 0;
+  }
+
+let regular ~name ~size = create ~kind:(Regular name) ~size
+let shm ~size = create ~kind:Shm ~size
+
+let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
+
+let page_token t ~page_index = (t.id * 1_000_003) + page_index
+
+(* Fetch the cache frame for a page, faulting it in from "disk" on first
+   use. Shared-memory pages start zeroed instead of read. *)
+let get_page t phys ~page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | Some f -> f
+  | None ->
+    let f = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.File_page () in
+    (match t.kind with
+    | Regular _ ->
+      charge io_read_cost;
+      f.Mm_phys.Frame.contents <- page_token t ~page_index
+    | Shm ->
+      charge Mm_sim.Cost.page_zero;
+      f.Mm_phys.Frame.contents <- 0);
+    Hashtbl.replace t.pages page_index f;
+    f
+
+let lookup_page t ~page_index = Hashtbl.find_opt t.pages page_index
+
+let mark_dirty t ~page_index = Hashtbl.replace t.dirty page_index ()
+
+let writeback t =
+  let n = Hashtbl.length t.dirty in
+  if n > 0 then begin
+    charge (Blockdev.write_cost * n);
+    t.writebacks <- t.writebacks + n;
+    Hashtbl.reset t.dirty
+  end;
+  n
+
+let add_mapper t m = t.mappers <- m :: t.mappers
+
+let remove_mapper t ~asp_id ~map_vaddr =
+  t.mappers <-
+    List.filter
+      (fun m -> not (m.asp_id = asp_id && m.map_vaddr = map_vaddr))
+      t.mappers
+
+let mappers t = t.mappers
+let cached_pages t = Hashtbl.length t.pages
+let id t = t.id
+let size t = t.size
+
+let name t =
+  match t.kind with Regular n -> n | Shm -> Printf.sprintf "shm:%d" t.id

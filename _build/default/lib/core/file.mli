@@ -1,0 +1,39 @@
+(** Simulated file objects with a page cache, backing mmaped files and
+    shared anonymous memory (shm is a kernel-internal file, §4.5). *)
+
+type kind = Regular of string | Shm
+
+type mapper = { asp_id : int; map_vaddr : int; file_offset : int; len : int }
+
+type t
+
+val io_read_cost : int
+
+val create : kind:kind -> size:int -> t
+val regular : name:string -> size:int -> t
+val shm : size:int -> t
+
+val page_token : t -> page_index:int -> int
+(** The deterministic content token of a file page (for verification). *)
+
+val get_page : t -> Mm_phys.Phys.t -> page_index:int -> Mm_phys.Frame.t
+(** Page-cache frame for the index; first use reads it from "disk"
+    (regular files) or zeroes it (shm). *)
+
+val lookup_page : t -> page_index:int -> Mm_phys.Frame.t option
+val mark_dirty : t -> page_index:int -> unit
+
+val writeback : t -> int
+(** Write all dirty pages back; returns how many. *)
+
+val add_mapper : t -> mapper -> unit
+val remove_mapper : t -> asp_id:int -> map_vaddr:int -> unit
+
+val mappers : t -> mapper list
+(** The file-side reverse mapping ("the file object contains a tree of
+    all AddrSpaces that map the file", §4.5). *)
+
+val cached_pages : t -> int
+val id : t -> int
+val size : t -> int
+val name : t -> string

@@ -1,0 +1,95 @@
+(** Memory-management operations over the transactional interface (paper
+    Fig 8): each operation is one locked transaction. *)
+
+type backing =
+  | Anon
+  | File_private of File.t * int (** file, byte offset *)
+  | Shared of File.t * int (** shared file or shm object *)
+
+exception Enomem
+
+type fault_outcome = Handled | Sigsegv
+
+exception Fault of int
+(** Raised by {!touch} on SIGSEGV, carrying the faulting address. *)
+
+val mmap :
+  Addr_space.t ->
+  ?addr:int ->
+  ?backing:backing ->
+  ?policy:Numa.policy ->
+  len:int ->
+  perm:Mm_hal.Perm.t ->
+  unit ->
+  int
+(** Virtually allocate [len] bytes (page-rounded); on-demand paging backs
+    them at fault time. Explicit [addr] replaces existing mappings
+    (POSIX fixed semantics). Returns the start address. *)
+
+val munmap : Addr_space.t -> addr:int -> len:int -> unit
+val mprotect : Addr_space.t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit
+
+exception Mremap_failed of string
+
+val mremap : Addr_space.t -> addr:int -> old_len:int -> new_len:int -> int
+(** Resize a mapping: shrink in place, or grow by relocating to a fresh
+    range (MAYMOVE semantics — frames keep their identity, data moves
+    with them). Returns the (possibly new) address. Huge leaves in the
+    old range are unsupported. *)
+
+val madvise_dontneed : Addr_space.t -> addr:int -> len:int -> unit
+(** Drop the range's resident anonymous pages without unmapping: the
+    virtual allocation stays and refaults observe zero-filled pages. *)
+
+val page_fault : Addr_space.t -> vaddr:int -> write:bool -> fault_outcome
+(** The Fig 8 page-fault handler: demand paging, COW breaks, swap-in,
+    file faults, spurious-fault reinstalls. *)
+
+val touch : Addr_space.t -> vaddr:int -> write:bool -> unit
+(** One user access: TLB lookup, hardware page walk on miss, page fault
+    as needed. Raises {!Fault} if the fault resolves to SIGSEGV. *)
+
+val touch_range : Addr_space.t -> addr:int -> len:int -> write:bool -> unit
+
+val fork : Addr_space.t -> Addr_space.t
+(** Copy-on-write duplication: enumerates the parent by walking its page
+    table (the §6.2 worst case), write-protecting private mappings on
+    both sides. *)
+
+val destroy : Addr_space.t -> unit
+(** Unmap the whole user range (exec/exit teardown). *)
+
+val msync : Addr_space.t -> file:File.t -> int
+(** Write back the file's dirty pages; returns how many. *)
+
+val swap_out : Addr_space.t -> vaddr:int -> dev:Blockdev.t -> bool
+(** Swap one resident, singly-mapped anonymous page out to the device;
+    [false] when the page does not qualify (shared / COW / not anon). *)
+
+val promote_huge : Addr_space.t -> vaddr:int -> bool
+(** Promote the 2 MiB region of [vaddr] to a huge page if it qualifies
+    (fully populated with uniform, singly-mapped anonymous pages). *)
+
+val khugepaged : Addr_space.t -> int
+(** Scan the whole space and promote every qualifying region; returns the
+    number promoted. *)
+
+val pkey_mprotect :
+  Addr_space.t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> key:int -> unit
+(** Tag a range with an Intel MPK protection key; accesses are then
+    gated by the per-CPU PKRU register ({!Kernel.wrpkru}). x86-64 only. *)
+
+val mbind : Addr_space.t -> addr:int -> len:int -> policy:Numa.policy -> unit
+(** Set the NUMA policy of a range; stored in the per-PTE metadata and
+    consulted by subsequent anonymous faults (no migration of resident
+    pages). *)
+
+val timer_tick : Addr_space.t -> unit
+(** Simulated timer interrupt: drains the CPU's lazy (LATR) TLB buffer. *)
+
+val user_range : Addr_space.t -> int * int
+
+val write_value : Addr_space.t -> vaddr:int -> value:int -> unit
+(** Simulated user store of a verification token (drives COW/swap tests). *)
+
+val read_value : Addr_space.t -> vaddr:int -> int

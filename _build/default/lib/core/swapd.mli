@@ -1,0 +1,21 @@
+(** kswapd-style swap daemon: second-chance (clock) reclaim of resident
+    anonymous pages over the hardware accessed bits, swapping through the
+    transactional interface. *)
+
+type stats = {
+  mutable scanned : int;
+  mutable second_chances : int;
+  mutable swapped : int;
+}
+
+val fresh_stats : unit -> stats
+
+val run_once :
+  ?stats:stats -> Addr_space.t -> dev:Blockdev.t -> target:int -> int
+(** One clock pass: strip accessed bits from hot pages, swap out up to
+    [target] cold ones. Returns how many were reclaimed. *)
+
+val reclaim :
+  ?stats:stats -> Addr_space.t -> dev:Blockdev.t -> target:int -> int
+(** Repeat passes until [target] is reclaimed or two passes make no
+    progress. *)

@@ -1,0 +1,18 @@
+(** Virtual address allocator: per-core shares (the paper's §4.5
+    optimization) or one lock-protected global share (the ablation). *)
+
+type t
+
+exception Va_exhausted
+
+val create :
+  ncpus:int -> per_core:bool -> va_lo:int -> va_hi:int -> page_size:int -> t
+
+val clone : t -> t
+(** Fork: the child considers the parent's allocations in use. *)
+
+val alloc : t -> cpu:int -> ?align:int -> len:int -> unit -> int
+(** Allocate [len] bytes (a positive page multiple) from the CPU's share;
+    freed ranges of the same length are reused. *)
+
+val free : t -> cpu:int -> addr:int -> len:int -> unit

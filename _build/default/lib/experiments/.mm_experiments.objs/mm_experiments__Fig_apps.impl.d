@@ -1,0 +1,1 @@
+lib/experiments/fig_apps.ml: Cortenmm List Mm_util Mm_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig_ext.ml: Addr_space Blockdev Config Cortenmm Kernel List Mm Mm_hal Mm_pt Mm_sim Mm_tlb Mm_util Mm_workloads Numa Printf Status Swapd

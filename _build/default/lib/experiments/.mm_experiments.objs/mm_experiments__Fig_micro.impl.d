@@ -1,0 +1,1 @@
+lib/experiments/fig_micro.ml: Cortenmm Float List Mm_hal Mm_util Mm_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig_misc.ml: Cortenmm List Mm_util Mm_verif Mm_workloads Printf String

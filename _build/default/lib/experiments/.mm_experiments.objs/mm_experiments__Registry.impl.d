@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Fig_apps Fig_ext Fig_micro Fig_misc List Printf

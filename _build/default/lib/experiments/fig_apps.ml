@@ -1,0 +1,200 @@
+(* Application experiments: Fig 15 (single-thread apps), Fig 16 (JVM
+   thread creation + metis, with the two ablations), Fig 17 (dedup +
+   psearchy under ptmalloc/tcmalloc), Fig 18 (allocator memory usage),
+   Fig 21 (8-thread other-PARSEC). *)
+
+module Tablefmt = Mm_util.Tablefmt
+module System = Mm_workloads.System
+module Apps = Mm_workloads.Apps
+module Alloc_model = Mm_workloads.Alloc_model
+
+let corten_adv = System.Corten Cortenmm.Config.adv
+let corten_rw = System.Corten Cortenmm.Config.rw
+let adv_base = System.Corten Cortenmm.Config.adv_base
+let adv_vpa = System.Corten Cortenmm.Config.adv_vpa
+
+let core_sweep = [ 1; 4; 16; 64 ]
+
+(* -- Fig 16 left: JVM thread creation (lower is better) -- *)
+
+let fig16_jvm () =
+  Printf.printf
+    "## Fig 16 (left) — JVM thread creation latency (cycles; lower is \
+     better)\n\
+     N threads each map a stack, guard it and first-touch its hot pages\n\
+     (the Android app-startup pattern).\n\n";
+  let systems =
+    [ System.Linux; corten_rw; adv_base; adv_vpa; corten_adv ]
+  in
+  let header = "threads" :: List.map System.kind_name systems in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun kind ->
+               Tablefmt.fmt_si
+                 (float_of_int (Apps.jvm_thread_creation ~kind ~nthreads:n ())))
+             systems)
+      core_sweep
+  in
+  Tablefmt.print ~header rows;
+  Printf.printf
+    "\nPaper: CortenMM (both) 32%% faster than Linux at 384 cores; Linux is\n\
+     bottlenecked in the fault path on thread stacks.\n\n"
+
+(* -- Fig 16 right: metis (higher is better) -- *)
+
+let fig16_metis () =
+  Printf.printf
+    "## Fig 16 (right) — metis map-reduce throughput (chunk ops/second)\n\
+     Workers scan a shared input and allocate 8 MiB chunks, never freed\n\
+     (the RadixVM paper's setup), plus the adv_base / adv_+vpa ablations.\n\n";
+  let systems =
+    [
+      System.Linux; System.Radixvm; corten_rw; adv_base; adv_vpa; corten_adv;
+    ]
+  in
+  let header = "cores" :: List.map System.kind_name systems in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun kind ->
+               let r, _sys = Apps.metis ~kind ~ncpus:n () in
+               Tablefmt.fmt_si r.Mm_workloads.Runner.ops_per_sec)
+             systems)
+      core_sweep
+  in
+  Tablefmt.print ~header rows;
+  Printf.printf
+    "\nPaper: adv 26x over Linux at 384 cores (rw 15x); ablations close to\n\
+     adv since metis rarely mmaps; adv 1.24x over RadixVM at 128 cores.\n\n"
+
+(* -- Fig 17: dedup and psearchy with both allocators -- *)
+
+let fig17_one ~name run =
+  Printf.printf "### %s\n" name;
+  let systems = [ System.Linux; corten_rw; corten_adv ] in
+  let header =
+    "cores"
+    :: List.concat_map
+         (fun alloc ->
+           List.map
+             (fun k ->
+               Printf.sprintf "%s/%s" (System.kind_name k)
+                 (Alloc_model.kind_name alloc))
+             systems)
+         [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.concat_map
+             (fun alloc ->
+               List.map
+                 (fun kind ->
+                   let r, _ = run ~kind ~alloc_kind:alloc ~ncpus:n in
+                   Tablefmt.fmt_si r.Mm_workloads.Runner.ops_per_sec)
+                 systems)
+             [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ])
+      core_sweep
+  in
+  Tablefmt.print ~header rows;
+  print_newline ()
+
+let fig17 () =
+  Printf.printf
+    "## Fig 17 — dedup and psearchy throughput with ptmalloc vs tcmalloc\n\n";
+  fig17_one ~name:"dedup" (fun ~kind ~alloc_kind ~ncpus ->
+      Apps.dedup ~kind ~alloc_kind ~ncpus ());
+  fig17_one ~name:"psearchy" (fun ~kind ~alloc_kind ~ncpus ->
+      Apps.psearchy ~kind ~alloc_kind ~ncpus ());
+  Printf.printf
+    "Paper: with ptmalloc Linux stops scaling at ~16 threads (dedup) —\n\
+     frequent munmap contends on mmap_lock — while adv reaches 2.69x Linux;\n\
+     tcmalloc hides the kernel bottleneck for both; psearchy ~2x at 64.\n\n"
+
+(* -- Fig 18: allocator memory usage -- *)
+
+let fig18 () =
+  Printf.printf
+    "## Fig 18 — resident memory: tcmalloc vs the default allocator\n\
+     Bytes held after the dedup / psearchy runs (16 cores, CortenMM_adv).\n\n";
+  let rows =
+    List.concat_map
+      (fun (name, run) ->
+        List.map
+          (fun alloc ->
+            let (_ : Mm_workloads.Runner.result), (sys : System.t) =
+              run ~alloc_kind:alloc
+            in
+            let m = sys.System.mem_stats () in
+            [
+              name;
+              Alloc_model.kind_name alloc;
+              Tablefmt.fmt_bytes m.System.resident_bytes;
+              Tablefmt.fmt_bytes m.System.peak_resident_bytes;
+              Tablefmt.fmt_bytes m.System.pt_bytes;
+            ])
+          [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ])
+      [
+        ( "dedup",
+          fun ~alloc_kind -> Apps.dedup ~kind:corten_adv ~alloc_kind ~ncpus:16 () );
+        ( "psearchy",
+          fun ~alloc_kind ->
+            Apps.psearchy ~kind:corten_adv ~alloc_kind ~ncpus:16 () );
+      ]
+  in
+  Tablefmt.print
+    ~header:[ "app"; "allocator"; "resident after run"; "peak"; "page tables" ]
+    rows;
+  Printf.printf
+    "\nPaper: tcmalloc's speed costs ~2x resident memory — it rarely returns\n\
+     freed pages to the OS, so its resident set stays at the high-water\n\
+     mark while ptmalloc's drops back after every free.\n\n"
+
+(* -- Fig 15 / Fig 21: PARSEC-class compute workloads -- *)
+
+let parsec_table ~ncpus =
+  let systems = [ corten_rw; corten_adv ] in
+  let header =
+    "benchmark" :: "linux (ops/s)"
+    :: List.map (fun k -> System.kind_name k ^ " (norm.)") systems
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let linux = Apps.run_parsec ~kind:System.Linux ~ncpus p in
+        p.Apps.p_name
+        :: Tablefmt.fmt_si linux.Mm_workloads.Runner.ops_per_sec
+        :: List.map
+             (fun kind ->
+               let r = Apps.run_parsec ~kind ~ncpus p in
+               Printf.sprintf "%.3f"
+                 (r.Mm_workloads.Runner.ops_per_sec
+                 /. linux.Mm_workloads.Runner.ops_per_sec))
+             systems)
+      Apps.parsec_others
+  in
+  Tablefmt.print ~header rows
+
+let fig15 () =
+  Printf.printf
+    "## Fig 15 — single-threaded real-world applications (normalized to \
+     Linux)\n\
+     Compute-dominated PARSEC workloads; MM is not on their critical path.\n\n";
+  parsec_table ~ncpus:1;
+  Printf.printf
+    "\nPaper: CortenMM within noise of Linux on every non-MM-bound PARSEC\n\
+     benchmark (no regression).\n\n"
+
+let fig21 () =
+  Printf.printf
+    "## Fig 21 — 8-threaded other-PARSEC workloads (normalized to Linux)\n\n";
+  parsec_table ~ncpus:8;
+  Printf.printf
+    "\nPaper: parity with Linux (CortenMM adds no overhead when MM is not\n\
+     the bottleneck).\n\n"

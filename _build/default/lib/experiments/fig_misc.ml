@@ -1,0 +1,301 @@
+(* Remaining experiments: Fig 20 (LMbench), Fig 22 (memory overhead),
+   Table 2 (features), Table 4 (verification effort), Table 5
+   (portability). *)
+
+module Tablefmt = Mm_util.Tablefmt
+module System = Mm_workloads.System
+module Apps = Mm_workloads.Apps
+module Lmbench = Mm_workloads.Lmbench
+
+let corten_adv = System.Corten Cortenmm.Config.adv
+
+(* -- Table 2: feature matrix -- *)
+
+let tab2 () =
+  Printf.printf
+    "## Table 2 — supported memory-management features\n\
+     The paper's feature claims per system, and what this reproduction\n\
+     actually implements (reproduction rows marked *).\n\n";
+  let mark b = if b then "yes" else "-" in
+  let rows =
+    List.concat_map
+      (fun (name, feats) ->
+        let impl = List.assoc name System.implemented_features in
+        [
+          name :: List.map mark feats;
+          (name ^ "*") :: List.map mark impl;
+        ])
+      System.table2_features
+  in
+  Tablefmt.print ~header:("system" :: System.table2_headers) rows;
+  print_newline ()
+
+(* -- Fig 20: LMbench process benchmarks -- *)
+
+let fig20 () =
+  Printf.printf
+    "## Fig 20 — LMbench fork / fork+exec / shell (cycles per iteration; \
+     lower is better)\n\
+     These enumerate the address space: CortenMM walks page tables, Linux\n\
+     walks its VMA list — the paper's worst case for CortenMM.\n\n";
+  let kinds = [ ("linux", `Linux); ("cortenmm-adv", `Corten Cortenmm.Config.adv) ] in
+  let header = "bench" :: List.map fst kinds @ [ "adv vs linux" ] in
+  let rows =
+    List.map
+      (fun bench ->
+        let vals =
+          List.map (fun (_, kind) -> Lmbench.run ~kind ~bench ()) kinds
+        in
+        let linux = float_of_int (List.nth vals 0) in
+        let adv = float_of_int (List.nth vals 1) in
+        Lmbench.bench_name bench
+        :: List.map (fun v -> Tablefmt.fmt_si (float_of_int v)) vals
+        @ [ Printf.sprintf "%+.1f%%" ((adv /. linux -. 1.0) *. 100.0) ])
+      [ Lmbench.Fork; Lmbench.Fork_exec; Lmbench.Shell ]
+  in
+  Tablefmt.print ~header rows;
+  Printf.printf
+    "\nPaper: fork 17.7%% slower than Linux (PT walk beats VMA walk for\n\
+     enumeration), fork+exec 23%% faster (faster faults dominate), shell\n\
+     about equal.\n\n"
+
+(* -- Fig 22: memory overhead under metis -- *)
+
+let fig22 () =
+  Printf.printf
+    "## Fig 22 — memory overhead: page tables (filled) + other metadata \
+     (empty)\n\
+     After a 16-core metis run. CortenMM-ub is the paper's upper bound:\n\
+     every PT page with a fully populated per-PTE metadata array.\n\n";
+  let systems =
+    [ System.Linux; System.Radixvm; System.Nros; corten_adv ]
+  in
+  let rows =
+    List.concat_map
+      (fun kind ->
+        let (_ : Mm_workloads.Runner.result), (sys : System.t) =
+          Apps.metis ~kind ~ncpus:16 ()
+        in
+        let m = sys.System.mem_stats () in
+        let resident = float_of_int (max 1 m.System.resident_bytes) in
+        let base =
+          [
+            sys.System.name;
+            Tablefmt.fmt_bytes m.System.pt_bytes;
+            Tablefmt.fmt_bytes m.System.kernel_bytes;
+            Tablefmt.fmt_bytes m.System.resident_bytes;
+            Printf.sprintf "%.2f%%"
+              (float_of_int (m.System.pt_bytes + m.System.kernel_bytes)
+              /. resident *. 100.0);
+          ]
+        in
+        match sys.System.kind with
+        | System.Corten _ ->
+          (* Also print the fully-populated-metadata upper bound. *)
+          let ub = 2 * m.System.pt_bytes in
+          [
+            base;
+            [
+              sys.System.name ^ "-ub";
+              Tablefmt.fmt_bytes m.System.pt_bytes;
+              Tablefmt.fmt_bytes (ub - m.System.pt_bytes);
+              Tablefmt.fmt_bytes m.System.resident_bytes;
+              Printf.sprintf "%.2f%%" (float_of_int ub /. resident *. 100.0);
+            ];
+          ]
+        | _ -> [ base ])
+      systems
+  in
+  Tablefmt.print
+    ~header:[ "system"; "page tables"; "other metadata"; "resident"; "overhead" ]
+    rows;
+  Printf.printf
+    "\nPaper: CortenMM ~ Linux; the fully-populated metadata upper bound\n\
+     doubles CortenMM's overhead but stays within 2%% of resident memory;\n\
+     RadixVM pays for replicated page tables.\n\n"
+
+(* -- Table 4: verification effort / checker statistics -- *)
+
+let count_lines path =
+  try
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some !n
+  with Sys_error _ -> None
+
+let loc_cell path =
+  match count_lines path with Some n -> string_of_int n | None -> "n/a"
+
+let tab4 () =
+  Printf.printf
+    "## Table 4 — verification effort (model-checking substitution for \
+     Verus)\n\
+     States/transitions are summed over all checked scenarios; LoC counts\n\
+     the corresponding spec/checker/implementation sources.\n\n";
+  let tree = Mm_verif.Tree.create ~arity:2 ~depth:3 in
+  (* Locking model: all rw scenarios + all adv scenarios. *)
+  let rw_scenarios =
+    [ [| 1; 3 |]; [| 4; 4 |]; [| 1; 2 |]; [| 0; 6 |]; [| 1; 4; 2 |] ]
+  in
+  let rw_states, rw_trans =
+    List.fold_left
+      (fun (s, t) targets ->
+        (* Both the compact and the faithful (trade window + stepwise
+           unlock) variants of every scenario. *)
+        let r1 = Mm_verif.Rw_model.check ~tree ~targets () in
+        let r2 =
+          Mm_verif.Rw_model.check ~trade_window:true ~stepwise_unlock:true
+            ~tree ~targets ()
+        in
+        assert (Mm_verif.Checker.is_verified r1);
+        assert (Mm_verif.Checker.is_verified r2);
+        ( s + r1.Mm_verif.Checker.states + r2.Mm_verif.Checker.states,
+          t + r1.Mm_verif.Checker.transitions
+          + r2.Mm_verif.Checker.transitions ))
+      (0, 0)
+      (rw_scenarios @ [ [| 3; 4; 1 |]; [| 5; 6; 2 |] ])
+  in
+  let adv_scenarios =
+    [
+      ([| 1; 2 |], [| Mm_verif.Adv_model.Op; Mm_verif.Adv_model.Op |]);
+      ([| 1; 3 |], [| Mm_verif.Adv_model.Op; Mm_verif.Adv_model.Op |]);
+      ([| 1; 3 |], [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op |]);
+      ( [| 1; 2 |],
+        [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Remove 5 |] );
+      ( [| 1; 3; 2 |],
+        [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op;
+           Mm_verif.Adv_model.Op |] );
+      ( [| 1; 3; 4 |],
+        [| Mm_verif.Adv_model.Remove 3; Mm_verif.Adv_model.Op;
+           Mm_verif.Adv_model.Op |] );
+    ]
+  in
+  let adv_states, adv_trans =
+    List.fold_left
+      (fun (s, t) (targets, actions) ->
+        let r = Mm_verif.Adv_model.check ~tree ~targets ~actions () in
+        assert (Mm_verif.Checker.is_verified r);
+        (s + r.Mm_verif.Checker.states, t + r.Mm_verif.Checker.transitions))
+      (0, 0) adv_scenarios
+  in
+  let refinement_ok =
+    List.for_all
+      (fun targets ->
+        let r, errs = Mm_verif.Rw_model.check_refinement ~tree ~targets () in
+        Mm_verif.Checker.is_verified r && errs = [])
+      rw_scenarios
+  in
+  let fc = Mm_verif.Funcheck.exhaustive ~cfg:Cortenmm.Config.adv ~depth:2 () in
+  let lin =
+    Mm_verif.Funcheck.lin_check ~cfg:Cortenmm.Config.adv ~ncpus:4
+      ~ops_per_thread:15 ~seed:42
+  in
+  Tablefmt.print
+    ~header:[ "component"; "states"; "transitions"; "spec+checker LoC"; "impl LoC" ]
+    [
+      [
+        "Locking model (rw)";
+        string_of_int rw_states;
+        string_of_int rw_trans;
+        loc_cell "lib/verif/rw_model.ml";
+        loc_cell "lib/core/addr_space.ml";
+      ];
+      [
+        "Locking model (adv)";
+        string_of_int adv_states;
+        string_of_int adv_trans;
+        loc_cell "lib/verif/adv_model.ml";
+        "(shared)";
+      ];
+      [
+        "Refinement to Atomic Spec";
+        (if refinement_ok then "holds" else "FAILS");
+        "-";
+        "(in rw_model)";
+        "-";
+      ];
+      [
+        "RCursor ops (exhaustive)";
+        string_of_int fc.Mm_verif.Funcheck.sequences ^ " seqs";
+        string_of_int fc.Mm_verif.Funcheck.checks ^ " checks";
+        loc_cell "lib/verif/funcheck.ml";
+        "(shared)";
+      ];
+      [
+        "Linearizability";
+        (if lin.Mm_verif.Funcheck.matched then "holds" else "FAILS");
+        string_of_int lin.Mm_verif.Funcheck.total_ops ^ " ops";
+        "(in funcheck)";
+        "-";
+      ];
+      [
+        "Checker core";
+        "-";
+        "-";
+        loc_cell "lib/verif/checker.ml";
+        "-";
+      ];
+    ];
+  Printf.printf
+    "\nFailures in RCursor exhaustive check: %d (must be 0).\n\
+     Paper: 4868 spec + 4279 proof LoC over 1769 impl LoC, proof/code 5.2:1,\n\
+     ~8 person-months, Verus verifies in <20 s. Our checker explores the\n\
+     full interleaving space of both protocols in seconds instead.\n\n"
+    (List.length fc.Mm_verif.Funcheck.failures)
+
+(* -- Table 5: portability -- *)
+
+let count_matching path pattern =
+  try
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         let lower = String.lowercase_ascii line in
+         let rec contains i =
+           i + String.length pattern <= String.length lower
+           && (String.sub lower i (String.length pattern) = pattern
+              || contains (i + 1))
+         in
+         if contains 0 then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  with Sys_error _ -> 0
+
+let tab5 () =
+  Printf.printf
+    "## Table 5 — lines of code to port to another ISA / MMU feature\n\
+     Ours: the complete per-ISA format module (everything RISC-V- or\n\
+     ARM-specific lives there, as in the paper's Fig 9 design); MPK: the\n\
+     protection-key lines across the HAL. Paper's Linux numbers shown for\n\
+     comparison.\n\n";
+  let riscv = match count_lines "lib/hal/riscv_sv48.ml" with Some n -> n | None -> 0 in
+  let arm = match count_lines "lib/hal/arm64.ml" with Some n -> n | None -> 0 in
+  let mpk =
+    count_matching "lib/hal/x86_64.ml" "pku"
+    + count_matching "lib/hal/x86_64.ml" "mpk"
+    + count_matching "lib/hal/perm.ml" "mpk"
+    + count_matching "lib/hal/pte_format.ml" "mpk"
+  in
+  Tablefmt.print
+    ~header:[ "feature"; "ours (LoC)"; "paper CortenMM"; "paper Linux" ]
+    [
+      [ "RISC-V"; string_of_int riscv; "252"; "699" ];
+      [ "ARMv8"; string_of_int arm; "(in progress)"; "-" ];
+      [ "Intel MPK"; string_of_int mpk; "82"; "273" ];
+      [ "Intel TDX"; "not modelled"; "368"; "471" ];
+    ];
+  Printf.printf
+    "\nPaper: CortenMM needs fewer porting lines than Linux because only the\n\
+     hardware level must change — there is no software-level abstraction to\n\
+     adapt.\n\n"

@@ -1,0 +1,41 @@
+(* The experiment registry: every table and figure of the paper's
+   evaluation, by id, with the driver that regenerates it. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+let all =
+  [
+    { id = "fig1"; title = "motivation: multicore mmap-PF and munmap"; run = Fig_micro.fig1 };
+    { id = "tab2"; title = "feature matrix"; run = Fig_misc.tab2 };
+    { id = "fig13"; title = "single-thread microbenchmarks"; run = (fun () -> Fig_micro.fig13 ()) };
+    { id = "fig14"; title = "multithread microbenchmark sweeps"; run = (fun () -> Fig_micro.fig14 ()) };
+    { id = "fig15"; title = "single-thread real-world apps"; run = Fig_apps.fig15 };
+    { id = "fig16"; title = "JVM thread creation + metis (with ablations)"; run = (fun () -> Fig_apps.fig16_jvm (); Fig_apps.fig16_metis ()) };
+    { id = "fig17"; title = "dedup + psearchy under ptmalloc/tcmalloc"; run = Fig_apps.fig17 };
+    { id = "fig18"; title = "allocator memory usage"; run = Fig_apps.fig18 };
+    { id = "fig19"; title = "RISC-V port microbenchmarks"; run = Fig_micro.fig19 };
+    { id = "fig20"; title = "LMbench fork / fork+exec / shell"; run = Fig_misc.fig20 };
+    { id = "fig21"; title = "8-thread other-PARSEC"; run = Fig_apps.fig21 };
+    { id = "fig22"; title = "memory overhead"; run = Fig_misc.fig22 };
+    { id = "tab4"; title = "verification effort / checker statistics"; run = Fig_misc.tab4 };
+    { id = "tab5"; title = "portability LoC"; run = Fig_misc.tab5 };
+    (* Extensions beyond the paper's evaluation (its §4.5 future work). *)
+    { id = "ext-numa"; title = "extension: NUMA policies in the metadata"; run = Fig_ext.ext_numa };
+    { id = "ext-thp"; title = "extension: transparent huge pages"; run = Fig_ext.ext_thp };
+    { id = "ext-swapd"; title = "extension: second-chance swap daemon"; run = Fig_ext.ext_swapd };
+    { id = "ext-trace"; title = "extension: trace replay across systems"; run = Fig_ext.ext_trace };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all () =
+  List.iter
+    (fun e ->
+      Printf.printf "=== %s: %s ===\n\n%!" e.id e.title;
+      e.run ();
+      print_newline ())
+    all

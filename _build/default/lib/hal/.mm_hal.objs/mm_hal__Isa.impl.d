@@ -1,0 +1,1 @@
+lib/hal/isa.ml: Arm64 Geometry List Printf Pte_format Riscv_sv48 String X86_64

@@ -1,0 +1,1 @@
+lib/hal/isa.mli: Geometry Pte Pte_format

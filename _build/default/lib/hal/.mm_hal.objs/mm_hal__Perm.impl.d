@@ -1,0 +1,1 @@
+lib/hal/perm.ml: Format Printf

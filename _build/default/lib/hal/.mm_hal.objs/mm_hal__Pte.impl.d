@@ -1,0 +1,1 @@
+lib/hal/pte.ml: Format Perm Printf

@@ -1,0 +1,1 @@
+lib/hal/pte.mli: Format Perm

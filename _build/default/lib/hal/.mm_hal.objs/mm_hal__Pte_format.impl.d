@@ -1,0 +1,1 @@
+lib/hal/pte_format.ml: Int64 Pte

@@ -1,0 +1,1 @@
+lib/hal/riscv_sv48.ml: Mm_util Perm Pte Pte_format

@@ -1,0 +1,1 @@
+lib/hal/x86_64.ml: Mm_util Perm Pte Pte_format

@@ -1,0 +1,57 @@
+(* Page-table geometry for a multi-level radix-tree MMU.
+
+   The paper's key observation is that x86-64, ARMv8 and RISC-V all share
+   this geometry: 4 KiB pages, 512-entry page-table pages, 4 (or 5) levels.
+   Levels are numbered from the leaf: level 1 holds PTEs that map 4 KiB
+   pages, level [levels] is the root. An entry at level L covers
+   [page_size * entries^(L-1)] bytes, which is how huge pages (2 MiB at
+   level 2, 1 GiB at level 3) and CortenMM's upper-level "mark" entries
+   arise. *)
+
+type t = {
+  name : string;
+  levels : int;
+  index_bits : int;
+  page_shift : int;
+  va_bits : int;
+}
+
+let x86_64 =
+  { name = "x86-64 4-level"; levels = 4; index_bits = 9; page_shift = 12; va_bits = 48 }
+
+let riscv_sv48 =
+  { name = "RISC-V Sv48"; levels = 4; index_bits = 9; page_shift = 12; va_bits = 48 }
+
+let arm64_4k =
+  { name = "ARMv8 4K granule"; levels = 4; index_bits = 9; page_shift = 12; va_bits = 48 }
+
+let page_size t = 1 lsl t.page_shift
+let entries t = 1 lsl t.index_bits
+
+let level_shift t ~level =
+  if level < 1 || level > t.levels then invalid_arg "Geometry.level_shift";
+  t.page_shift + (t.index_bits * (level - 1))
+
+let coverage t ~level = 1 lsl level_shift t ~level
+
+let index t ~level ~vaddr =
+  (vaddr lsr level_shift t ~level) land (entries t - 1)
+
+let va_limit t = 1 lsl t.va_bits
+
+let check_vaddr t vaddr =
+  if vaddr < 0 || vaddr >= va_limit t then
+    invalid_arg (Printf.sprintf "vaddr 0x%x out of range for %s" vaddr t.name)
+
+(* The level whose single entry exactly covers [size] bytes, if any; used by
+   the huge-page mapper. *)
+let level_for_size t ~size =
+  let rec go level =
+    if level > t.levels then None
+    else if coverage t ~level = size then Some level
+    else go (level + 1)
+  in
+  go 1
+
+(* Number of 4 KiB pages covered by one entry at [level]. *)
+let pages_per_entry t ~level = 1 lsl (t.index_bits * (level - 1))

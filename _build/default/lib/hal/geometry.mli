@@ -1,0 +1,35 @@
+(** Multi-level radix page-table geometry. Levels count from the leaf:
+    level 1 maps 4 KiB pages, level [levels] is the root. *)
+
+type t = {
+  name : string;
+  levels : int;
+  index_bits : int;
+  page_shift : int;
+  va_bits : int;
+}
+
+val x86_64 : t
+val riscv_sv48 : t
+val arm64_4k : t
+
+val page_size : t -> int
+val entries : t -> int
+
+val level_shift : t -> level:int -> int
+(** Bit position of the index field for [level] within a virtual address. *)
+
+val coverage : t -> level:int -> int
+(** Bytes covered by a single entry at [level]. *)
+
+val index : t -> level:int -> vaddr:int -> int
+(** Page-table index of [vaddr] at [level]. *)
+
+val va_limit : t -> int
+val check_vaddr : t -> int -> unit
+
+val level_for_size : t -> size:int -> int option
+(** Level whose entry coverage is exactly [size], for huge-page mapping. *)
+
+val pages_per_entry : t -> level:int -> int
+(** Number of base (4 KiB) pages covered by one entry at [level]. *)

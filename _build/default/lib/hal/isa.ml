@@ -1,0 +1,45 @@
+(* A complete ISA description: geometry plus PTE format.
+
+   This is the only value the rest of the system needs to be portable
+   across x86-64, RISC-V and ARM — the paper's claim that "language
+   features" (here, first-class modules) suffice in place of a software-
+   level abstraction. *)
+
+type t = {
+  name : string;
+  geo : Geometry.t;
+  fmt : (module Pte_format.S);
+}
+
+let x86_64 = { name = "x86-64"; geo = Geometry.x86_64; fmt = (module X86_64) }
+
+let riscv_sv48 =
+  { name = "riscv-sv48"; geo = Geometry.riscv_sv48; fmt = (module Riscv_sv48) }
+
+let arm64 = { name = "arm64"; geo = Geometry.arm64_4k; fmt = (module Arm64) }
+
+let all = [ x86_64; riscv_sv48; arm64 ]
+
+let find name =
+  match List.find_opt (fun t -> String.equal t.name name) all with
+  | Some t -> t
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Isa.find: unknown ISA %S (known: %s)" name
+         (String.concat ", " (List.map (fun t -> t.name) all)))
+
+let encode t ~level pte =
+  let (module F : Pte_format.S) = t.fmt in
+  F.encode ~level pte
+
+let decode t ~level raw =
+  let (module F : Pte_format.S) = t.fmt in
+  F.decode ~level raw
+
+let supports_mpk t =
+  let (module F : Pte_format.S) = t.fmt in
+  F.supports_mpk
+
+let needs_break_before_make t =
+  let (module F : Pte_format.S) = t.fmt in
+  F.needs_break_before_make

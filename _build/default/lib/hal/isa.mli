@@ -1,0 +1,18 @@
+(** A complete ISA description: page-table geometry plus PTE format. *)
+
+type t = {
+  name : string;
+  geo : Geometry.t;
+  fmt : (module Pte_format.S);
+}
+
+val x86_64 : t
+val riscv_sv48 : t
+val arm64 : t
+val all : t list
+val find : string -> t
+
+val encode : t -> level:int -> Pte.t -> int64
+val decode : t -> level:int -> int64 -> Pte.t
+val supports_mpk : t -> bool
+val needs_break_before_make : t -> bool

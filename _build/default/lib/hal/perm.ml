@@ -1,0 +1,49 @@
+(* Access permissions attached to a virtual page.
+
+   [cow] is the software-only copy-on-write marker from the paper (Fig 8:
+   "Use the first unused bit as copy-on-write"); it lives in a
+   software-available PTE bit on every supported ISA. [mpk_key] models the
+   Intel MPK protection-key tag (Table 5 evaluates adding MPK support). *)
+
+type t = {
+  read : bool;
+  write : bool;
+  execute : bool;
+  user : bool;
+  cow : bool;
+  mpk_key : int; (* 0..15; 0 means "no key" on ISAs without MPK *)
+}
+
+let make ?(read = true) ?(write = false) ?(execute = false) ?(user = true)
+    ?(cow = false) ?(mpk_key = 0) () =
+  if mpk_key < 0 || mpk_key > 15 then invalid_arg "Perm.make: mpk_key";
+  { read; write; execute; user; cow; mpk_key }
+
+let none = make ~read:false ()
+let r = make ()
+let rw = make ~write:true ()
+let rx = make ~execute:true ()
+let rwx = make ~write:true ~execute:true ()
+
+let equal a b =
+  a.read = b.read && a.write = b.write && a.execute = b.execute
+  && a.user = b.user && a.cow = b.cow && a.mpk_key = b.mpk_key
+
+let with_write t write = { t with write }
+let with_cow t cow = { t with cow }
+let with_mpk t mpk_key =
+  if mpk_key < 0 || mpk_key > 15 then invalid_arg "Perm.with_mpk";
+  { t with mpk_key }
+
+let allows t ~write = t.read && ((not write) || t.write)
+
+let to_string t =
+  Printf.sprintf "%c%c%c%c%s%s"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.execute then 'x' else '-')
+    (if t.user then 'u' else 'k')
+    (if t.cow then "+cow" else "")
+    (if t.mpk_key <> 0 then Printf.sprintf "+pk%d" t.mpk_key else "")
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

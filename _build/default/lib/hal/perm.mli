@@ -1,0 +1,38 @@
+(** Access permissions of a virtual page, including the software
+    copy-on-write marker and the Intel MPK protection-key tag. *)
+
+type t = {
+  read : bool;
+  write : bool;
+  execute : bool;
+  user : bool;
+  cow : bool;
+  mpk_key : int;
+}
+
+val make :
+  ?read:bool ->
+  ?write:bool ->
+  ?execute:bool ->
+  ?user:bool ->
+  ?cow:bool ->
+  ?mpk_key:int ->
+  unit ->
+  t
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+val equal : t -> t -> bool
+val with_write : t -> bool -> t
+val with_cow : t -> bool -> t
+val with_mpk : t -> int -> t
+
+val allows : t -> write:bool -> bool
+(** [allows t ~write] tells whether an access (read, or write when [write])
+    is permitted. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

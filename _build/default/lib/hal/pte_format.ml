@@ -1,0 +1,55 @@
+(* The portability layer of CortenMM (paper §4.4, Fig 9).
+
+   CortenMM hides the minor per-ISA differences of the hardware PTE layout
+   behind a Rust trait; the OCaml analog is a module signature implemented
+   once per ISA. Besides the raw layout the implementation records which
+   optional MMU features (MPK protection keys) the format can express —
+   Table 5 measures the cost of adding such a feature.
+
+   The paper's assumptions on the format (§4.4) are captured here: the
+   software-visible bits must be able to (1) identify validity, (2) tell
+   leaves from tables, (3) enforce access permissions, and (4) report
+   accessed/dirty state. *)
+
+module type S = sig
+  val name : string
+
+  val supports_mpk : bool
+  (** Whether the format has protection-key bits (x86-64 PKU only). *)
+
+  val needs_break_before_make : bool
+  (** ARM's FEAT_BBM discipline: changing a live translation requires
+      writing an invalid entry and invalidating the TLB before the new
+      entry is written (paper §4.5). *)
+
+  val encode : level:int -> Pte.t -> int64
+  (** Encode a decoded entry into the raw hardware word. Raises
+      [Invalid_argument] for entries the format cannot express (e.g. a huge
+      leaf at a level the ISA does not support, or an MPK key on an ISA
+      without protection keys). *)
+
+  val decode : level:int -> int64 -> Pte.t
+  (** Decode a raw word. Total: any word decodes to some entry (unknown bit
+      patterns with the valid bit clear are [Absent]). *)
+end
+
+(* Shared bit-twiddling helpers for the per-ISA implementations. *)
+
+let bit n = Int64.shift_left 1L n
+
+let get_bit w n = Int64.logand w (bit n) <> 0L
+
+let set_bit w n v = if v then Int64.logor w (bit n) else w
+
+let field w ~lo ~width =
+  Int64.to_int
+    (Int64.logand (Int64.shift_right_logical w lo)
+       (Int64.sub (Int64.shift_left 1L width) 1L))
+
+let set_field w ~lo ~width v =
+  if v < 0 || (width < 63 && v >= 1 lsl width) then
+    invalid_arg "Pte_format.set_field: value out of range";
+  let mask = Int64.shift_left (Int64.sub (Int64.shift_left 1L width) 1L) lo in
+  Int64.logor
+    (Int64.logand w (Int64.lognot mask))
+    (Int64.shift_left (Int64.of_int v) lo)

@@ -1,0 +1,1 @@
+lib/linux_mm/linux_mm.ml: Array Cortenmm Geometry Isa List Mm_hal Mm_phys Mm_pt Mm_sim Mm_tlb Mm_util Perm Pte Vma

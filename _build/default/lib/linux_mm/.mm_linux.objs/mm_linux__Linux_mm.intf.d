@@ -1,0 +1,1 @@
+lib/linux_mm/linux_mm.mli: Mm_hal Mm_phys

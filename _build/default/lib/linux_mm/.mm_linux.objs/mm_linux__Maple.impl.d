@@ -1,0 +1,1 @@
+lib/linux_mm/maple.ml: Array List Mm_sim

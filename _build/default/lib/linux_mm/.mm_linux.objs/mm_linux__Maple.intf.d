@@ -1,0 +1,1 @@
+lib/linux_mm/maple.mli:

@@ -1,0 +1,1 @@
+lib/linux_mm/vma.ml: List Maple Mm_hal Mm_phys Mm_sim

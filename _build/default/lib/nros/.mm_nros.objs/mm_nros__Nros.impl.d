@@ -1,0 +1,1 @@
+lib/nros/nros.ml: Array Cortenmm Geometry Isa List Mm_hal Mm_phys Mm_pt Mm_sim Mm_tlb Mm_util Perm Pte

@@ -1,0 +1,1 @@
+lib/nros/nros.mli: Mm_hal Mm_phys

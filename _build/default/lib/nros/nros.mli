@@ -1,0 +1,27 @@
+(** NrOS baseline (Bhardwaj et al., OSDI'21): node replication — every
+    mutating MM operation is appended to a shared log (a global
+    serialization point) and applied to NUMA-local replicas under coarse
+    per-replica locks. No demand paging: mmap backs regions eagerly. *)
+
+type t
+
+type fault_outcome = Handled | Sigsegv
+
+exception Fault of int
+
+val create : ?isa:Mm_hal.Isa.t -> ?nreplicas:int -> ncpus:int -> unit -> t
+val page_size : t -> int
+val phys : t -> Mm_phys.Phys.t
+
+val mmap : t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
+(** Eager: allocates and maps every page through the log. *)
+
+val munmap : t -> addr:int -> len:int -> unit
+
+val touch : t -> vaddr:int -> write:bool -> unit
+(** Consults the local replica (replaying the log if behind); raises
+    {!Fault} for unmapped addresses — there is no demand paging. *)
+
+val touch_range : t -> addr:int -> len:int -> write:bool -> unit
+val replicated_pt_bytes : t -> int
+val log_length : t -> int

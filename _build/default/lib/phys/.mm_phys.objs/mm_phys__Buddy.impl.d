@@ -1,0 +1,1 @@
+lib/phys/buddy.ml: Array Hashtbl Mm_util

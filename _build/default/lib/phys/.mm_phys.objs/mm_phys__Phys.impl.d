@@ -1,0 +1,1 @@
+lib/phys/phys.ml: Array Buddy Frame Hashtbl

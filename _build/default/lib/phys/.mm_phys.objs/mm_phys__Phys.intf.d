@@ -1,0 +1,1 @@
+lib/phys/phys.mli: Buddy Frame

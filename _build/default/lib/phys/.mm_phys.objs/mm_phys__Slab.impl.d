@@ -1,0 +1,1 @@
+lib/phys/slab.ml: Array Frame Hashtbl List Mm_sim Phys

@@ -1,0 +1,179 @@
+(* Buddy allocator over physical frame numbers.
+
+   Follows the Linux design the paper cites for CortenMM's physical memory
+   management (§4.5): power-of-two blocks, split on allocation, merge with
+   the buddy on free. Frames are identified by pfn only; descriptors are
+   materialized lazily by {!Phys}. The allocator itself is a plain data
+   structure — callers charge simulation costs.
+
+   Blocks that have never been allocated live beyond a bump frontier, so
+   the allocator handles address spaces far larger than the set of frames
+   actually touched. *)
+
+let max_order = 10
+
+type t = {
+  nframes : int;
+  mutable frontier : int; (* every pfn >= frontier is virgin memory *)
+  free_lists : (int, unit) Hashtbl.t array; (* per order: set of block pfns *)
+  mutable allocated_frames : int;
+  mutable splits : int;
+  mutable merges : int;
+}
+
+let create ~nframes =
+  if nframes <= 0 then invalid_arg "Buddy.create: nframes";
+  {
+    nframes;
+    frontier = 0;
+    free_lists = Array.init (max_order + 1) (fun _ -> Hashtbl.create 16);
+    allocated_frames = 0;
+    splits = 0;
+    merges = 0;
+  }
+
+let block_size order = 1 lsl order
+
+let is_free_block t ~pfn ~order = Hashtbl.mem t.free_lists.(order) pfn
+
+let remove_free t ~pfn ~order = Hashtbl.remove t.free_lists.(order) pfn
+
+let add_free t ~pfn ~order = Hashtbl.replace t.free_lists.(order) pfn ()
+
+let buddy_of ~pfn ~order = pfn lxor block_size order
+
+(* Take any block from a free list (deterministic: smallest pfn). *)
+let pop_free t ~order =
+  let best = ref None in
+  Hashtbl.iter
+    (fun pfn () ->
+      match !best with
+      | Some b when b <= pfn -> ()
+      | _ -> best := Some pfn)
+    t.free_lists.(order);
+  match !best with
+  | None -> None
+  | Some pfn ->
+    remove_free t ~pfn ~order;
+    Some pfn
+
+exception Out_of_memory
+
+let rec alloc_block t ~order =
+  if order > max_order then raise Out_of_memory;
+  match pop_free t ~order with
+  | Some pfn -> pfn
+  | None ->
+    if not (any_free_above t ~order) then begin
+      (* Carve from the virgin frontier, aligned to the block size. *)
+      let pfn = Mm_util.Align.up t.frontier (block_size order) in
+      if pfn + block_size order > t.nframes then raise Out_of_memory;
+      (* Return the alignment gap to the free lists. *)
+      release_range t ~lo:t.frontier ~hi:pfn;
+      t.frontier <- pfn + block_size order;
+      pfn
+    end
+    else begin
+      (* Split a larger block. *)
+      let big = alloc_block t ~order:(order + 1) in
+      t.splits <- t.splits + 1;
+      add_free t ~pfn:(big + block_size order) ~order;
+      big
+    end
+
+and any_free_above t ~order =
+  let rec go o =
+    o <= max_order
+    && (Hashtbl.length t.free_lists.(o) > 0 || go (o + 1))
+  in
+  go (order + 1)
+
+and release_range t ~lo ~hi =
+  (* Free the frames in [lo, hi) created by frontier alignment, as maximal
+     aligned power-of-two blocks, merging with existing free buddies. *)
+  let lo = ref lo in
+  while !lo < hi do
+    let max_align =
+      let rec go o =
+        if
+          o < max_order
+          && Mm_util.Align.is_aligned !lo (block_size (o + 1))
+          && !lo + block_size (o + 1) <= hi
+        then go (o + 1)
+        else o
+      in
+      go 0
+    in
+    insert_and_merge t ~pfn:!lo ~order:max_align ~limit:hi;
+    lo := !lo + block_size max_align
+  done
+
+(* Insert a free block, merging upward while its buddy is also free.
+   [limit] bounds how far a merge may look (the frontier for ordinary
+   frees; the carve point during [release_range], whose blocks must not
+   merge with anything beyond what exists yet). *)
+and insert_and_merge t ~pfn ~order ~limit =
+  let rec merge pfn order =
+    let b = buddy_of ~pfn ~order in
+    if order < max_order && b + block_size order <= limit
+       && is_free_block t ~pfn:b ~order
+    then begin
+      remove_free t ~pfn:b ~order;
+      t.merges <- t.merges + 1;
+      merge (min pfn b) (order + 1)
+    end
+    else add_free t ~pfn ~order
+  in
+  merge pfn order
+
+let alloc t ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.alloc: order";
+  let pfn = alloc_block t ~order in
+  t.allocated_frames <- t.allocated_frames + block_size order;
+  pfn
+
+let free t ~pfn ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.free: order";
+  if not (Mm_util.Align.is_aligned pfn (block_size order)) then
+    invalid_arg "Buddy.free: misaligned block";
+  if is_free_block t ~pfn ~order then invalid_arg "Buddy.free: double free";
+  t.allocated_frames <- t.allocated_frames - block_size order;
+  insert_and_merge t ~pfn ~order ~limit:t.frontier
+
+let allocated_frames t = t.allocated_frames
+let splits t = t.splits
+let merges t = t.merges
+
+let free_frames t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun order fl -> acc := !acc + (Hashtbl.length fl * block_size order))
+    t.free_lists;
+  !acc + (t.nframes - t.frontier)
+
+(* Internal consistency: no block appears on two lists, all blocks aligned,
+   free + allocated accounts for the frontier. Used by property tests. *)
+let check_invariants t =
+  Array.iteri
+    (fun order fl ->
+      Hashtbl.iter
+        (fun pfn () ->
+          if not (Mm_util.Align.is_aligned pfn (block_size order)) then
+            failwith "buddy invariant: misaligned free block";
+          if pfn + block_size order > t.frontier then
+            failwith "buddy invariant: free block beyond frontier";
+          (* A free block must not coexist with its free buddy (they should
+             have merged), except at max order. *)
+          if order < max_order then begin
+            let b = buddy_of ~pfn ~order in
+            if is_free_block t ~pfn:b ~order then
+              failwith "buddy invariant: unmerged buddies"
+          end)
+        fl)
+    t.free_lists;
+  let freed = ref 0 in
+  Array.iteri
+    (fun order fl -> freed := !freed + (Hashtbl.length fl * block_size order))
+    t.free_lists;
+  if !freed + t.allocated_frames <> t.frontier then
+    failwith "buddy invariant: frame accounting mismatch"

@@ -1,0 +1,26 @@
+(** Buddy allocator over physical frame numbers (Linux-style, as CortenMM's
+    physical memory manager). Pure data structure: callers charge
+    simulation costs. *)
+
+type t
+
+exception Out_of_memory
+
+val max_order : int
+val create : nframes:int -> t
+
+val alloc : t -> order:int -> int
+(** Allocate a block of [2^order] frames; returns its first pfn (aligned to
+    the block size). Raises {!Out_of_memory} when the range is exhausted. *)
+
+val free : t -> pfn:int -> order:int -> unit
+(** Free a block previously allocated with the same order. Detects double
+    frees and misaligned blocks. *)
+
+val allocated_frames : t -> int
+val free_frames : t -> int
+val splits : t -> int
+val merges : t -> int
+
+val check_invariants : t -> unit
+(** Raises [Failure] if internal invariants are broken (for tests). *)

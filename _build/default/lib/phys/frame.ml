@@ -1,0 +1,57 @@
+(* Physical page frames and their page descriptors.
+
+   CortenMM borrows Linux's design of one descriptor per physical frame
+   (paper §4.5, "struct page"). The descriptor carries:
+   - the lock protecting the frame when it is a page-table page (the
+     per-PT-page lock both protocols acquire),
+   - the stale flag CortenMM_adv sets on unmapped PT pages (Fig 6/7),
+   - the map count used by COW ("no need to COW if parent/child has left",
+     Fig 8 L29),
+   - a cache-line handle so concurrent access to the frame's contents can
+     be charged for coherence traffic,
+   - an integer "contents" token standing in for the page's data, used by
+     tests to verify copy-on-write and swap round-trips. *)
+
+type kind =
+  | Free
+  | Pt_page (* a page-table page *)
+  | Anon (* anonymous user data *)
+  | File_page (* page-cache page of a simulated file *)
+  | Kernel (* metadata arrays, VMA structs, etc. *)
+
+let kind_to_string = function
+  | Free -> "free"
+  | Pt_page -> "pt"
+  | Anon -> "anon"
+  | File_page -> "file"
+  | Kernel -> "kernel"
+
+type t = {
+  pfn : int;
+  mutable kind : kind;
+  mutable order : int; (* buddy order this frame was allocated with *)
+  lock : Mm_sim.Mutex_s.t; (* CortenMM_adv's per-PT-page spin lock *)
+  rwlock : Mm_sim.Rwlock_s.t; (* CortenMM_rw's per-PT-page BRAVO-pfqlock *)
+  line : Mm_sim.Engine.Line.t;
+  mutable stale : bool;
+  mutable map_count : int;
+  mutable contents : int;
+}
+
+let make ~pfn =
+  {
+    pfn;
+    kind = Free;
+    order = 0;
+    lock = Mm_sim.Mutex_s.make ();
+    rwlock = Mm_sim.Rwlock_s.make ();
+    line = Mm_sim.Engine.Line.make ();
+    stale = false;
+    map_count = 0;
+    contents = 0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "frame %#x (%s, maps=%d%s)" t.pfn
+    (kind_to_string t.kind) t.map_count
+    (if t.stale then ", stale" else "")

@@ -1,0 +1,24 @@
+(** Slab allocator for fixed-size kernel objects (Linux-style, §4.5):
+    objects carved from buddy-allocated slabs with embedded free lists;
+    empty slabs return to the buddy (one kept in reserve). Object handles
+    are synthetic kernel addresses. *)
+
+type t
+
+val create : Phys.t -> name:string -> obj_size:int -> t
+
+val alloc : t -> int
+(** Allocate one object; returns its handle. *)
+
+val free : t -> int -> unit
+(** Free by handle. Detects double frees, foreign and misaligned
+    handles (raises [Invalid_argument]). *)
+
+val allocated : t -> int
+val slab_count : t -> int
+
+val bytes_reserved : t -> int
+(** Frame bytes currently held by the cache (shows up in {!Phys.usage}
+    as kernel frames). *)
+
+val objs_per_slab : t -> int

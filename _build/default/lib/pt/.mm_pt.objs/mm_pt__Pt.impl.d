@@ -1,0 +1,1 @@
+lib/pt/pt.ml: Array Geometry Hashtbl Isa Mm_hal Mm_phys Mm_sim Mm_util Printf Pte

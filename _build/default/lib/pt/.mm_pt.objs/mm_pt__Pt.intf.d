@@ -1,0 +1,1 @@
+lib/pt/pt.mli: Geometry Isa Mm_hal Mm_phys Pte

@@ -1,0 +1,1 @@
+lib/radixvm/radixvm.ml: Array Cortenmm Geometry Isa Mm_hal Mm_phys Mm_pt Mm_sim Mm_tlb Mm_util Perm Pte

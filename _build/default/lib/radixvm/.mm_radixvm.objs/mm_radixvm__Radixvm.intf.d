@@ -1,0 +1,1 @@
+lib/radixvm/radixvm.mli: Mm_hal Mm_phys

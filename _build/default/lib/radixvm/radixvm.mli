@@ -1,0 +1,26 @@
+(** RadixVM baseline (Clements et al., EuroSys'13): radix-tree address
+    space with per-page metadata, per-core private page tables (no
+    coherence traffic on PTE installs), and precise per-core TLB
+    shootdown tracking. *)
+
+type t
+
+type fault_outcome = Handled | Sigsegv
+
+exception Fault of int
+
+val create : ?isa:Mm_hal.Isa.t -> ncpus:int -> unit -> t
+val page_size : t -> int
+val phys : t -> Mm_phys.Phys.t
+
+val mmap : t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
+val munmap : t -> addr:int -> len:int -> unit
+val page_fault : t -> vaddr:int -> write:bool -> fault_outcome
+val touch : t -> vaddr:int -> write:bool -> unit
+val touch_range : t -> addr:int -> len:int -> write:bool -> unit
+
+val replicated_pt_bytes : t -> int
+(** Total page-table bytes across all per-core replicas — RadixVM's
+    memory cost (Fig 22). *)
+
+val radix_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/sim/mutex_s.ml: Cost Engine Queue

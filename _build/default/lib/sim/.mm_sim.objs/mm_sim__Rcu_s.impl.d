@@ -1,0 +1,1 @@
+lib/sim/rcu_s.ml: Array Cost Engine List

@@ -1,0 +1,1 @@
+lib/sim/rcu_s.mli:

@@ -1,0 +1,1 @@
+lib/sim/rwlock_s.ml: Cost Engine Queue

@@ -1,0 +1,249 @@
+(* Deterministic discrete-event multicore simulator.
+
+   Each virtual CPU runs a *fiber*: an ordinary OCaml computation that is
+   suspended with an effect handler whenever it interacts with simulated
+   shared state. The scheduler replays suspended fibers in virtual-time
+   order (ties broken by a sequence number, so runs are bit-reproducible).
+
+   Time model:
+   - Local computation advances only the fiber's own clock ([tick]).
+   - Shared-memory interactions are ordered globally: before inspecting or
+     mutating shared simulator state a fiber calls [serialize], which
+     re-enqueues it so the scheduler resumes fibers in virtual-time order.
+   - Cache-line contention is modelled by {!Line}: an atomic RMW on a line
+     must wait until the line's previous exclusive use completes and pays a
+     transfer cost when the line was last owned by another CPU. This single
+     mechanism is what makes a global lock word a scalability bottleneck
+     and lock-free traversal scalable, reproducing the paper's multicore
+     shapes.
+
+   The simulation is cooperative and single-(host-)threaded: exactly one
+   fiber executes at a time, so plain OCaml mutation inside simulated
+   critical sections is safe. *)
+
+type fiber = {
+  f_id : int;
+  f_cpu : int;
+  mutable f_time : int;
+  mutable f_done : bool;
+}
+
+type parked = {
+  pk_fiber : fiber;
+  pk_k : (unit, unit) Effect.Deep.continuation;
+  mutable pk_live : bool;
+}
+
+type _ Effect.t += Park : (parked -> unit) -> unit Effect.t
+
+type stats = {
+  mutable events : int;
+  mutable parks : int;
+  mutable rmws : int;
+  mutable line_stalls : int; (* RMWs that had to wait for the line *)
+}
+
+type world = {
+  ncpus : int;
+  mutable seq : int;
+  mutable next_fiber_id : int;
+  queue : (unit -> unit) Pqueue.t;
+  mutable current : fiber option;
+  mutable live : int; (* fibers spawned and not finished *)
+  mutable runnable : int; (* fibers currently in the event queue *)
+  cpu_time : int array;
+  stats : stats;
+}
+
+exception Deadlock of string
+
+let cur_world : world option ref = ref None
+
+let create ~ncpus =
+  if ncpus <= 0 then invalid_arg "Engine.create: ncpus";
+  {
+    ncpus;
+    seq = 0;
+    next_fiber_id = 0;
+    queue = Pqueue.create ();
+    current = None;
+    live = 0;
+    runnable = 0;
+    cpu_time = Array.make ncpus 0;
+    stats = { events = 0; parks = 0; rmws = 0; line_stalls = 0 };
+  }
+
+let world () =
+  match !cur_world with
+  | Some w -> w
+  | None -> failwith "Engine: no simulation running"
+
+let fiber () =
+  match (world ()).current with
+  | Some f -> f
+  | None -> failwith "Engine: not inside a fiber"
+
+let now () = (fiber ()).f_time
+let cpu_id () = (fiber ()).f_cpu
+let ncpus () = (world ()).ncpus
+
+let in_fiber () =
+  match !cur_world with Some w -> w.current <> None | None -> false
+
+let tick c =
+  if c < 0 then invalid_arg "Engine.tick: negative cost";
+  let f = fiber () in
+  f.f_time <- f.f_time + c
+
+let advance_to t =
+  let f = fiber () in
+  if t > f.f_time then f.f_time <- t
+
+let push_event w ~time run =
+  w.seq <- w.seq + 1;
+  Pqueue.push w.queue ~time ~seq:w.seq run
+
+let park register = Effect.perform (Park register)
+
+let unpark p ~at =
+  if not p.pk_live then failwith "Engine.unpark: fiber already unparked";
+  p.pk_live <- false;
+  let w = world () in
+  w.runnable <- w.runnable + 1;
+  push_event w ~time:at (fun () ->
+      let f = p.pk_fiber in
+      if at > f.f_time then f.f_time <- at;
+      w.current <- Some f;
+      w.runnable <- w.runnable - 1;
+      Effect.Deep.continue p.pk_k ())
+
+let parked_time p = p.pk_fiber.f_time
+let parked_cpu p = p.pk_fiber.f_cpu
+
+(* Re-enter the event queue at the current virtual time so that shared-state
+   operations apply in global time order. *)
+let serialize () = park (fun p -> unpark p ~at:(parked_time p))
+
+let handler (w : world) (f : fiber) =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        f.f_done <- true;
+        w.live <- w.live - 1;
+        if f.f_time > w.cpu_time.(f.f_cpu) then
+          w.cpu_time.(f.f_cpu) <- f.f_time);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Park register ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              w.stats.parks <- w.stats.parks + 1;
+              register { pk_fiber = f; pk_k = k; pk_live = true })
+        | _ -> None);
+  }
+
+let spawn w ~cpu prog =
+  if cpu < 0 || cpu >= w.ncpus then invalid_arg "Engine.spawn: bad cpu";
+  let f =
+    { f_id = w.next_fiber_id; f_cpu = cpu; f_time = 0; f_done = false }
+  in
+  w.next_fiber_id <- w.next_fiber_id + 1;
+  w.live <- w.live + 1;
+  w.runnable <- w.runnable + 1;
+  push_event w ~time:0 (fun () ->
+      w.current <- Some f;
+      w.runnable <- w.runnable - 1;
+      Effect.Deep.match_with prog () (handler w f))
+
+let run w =
+  (match !cur_world with
+  | Some _ -> failwith "Engine.run: nested simulations are not supported"
+  | None -> ());
+  cur_world := Some w;
+  let finish () = cur_world := None in
+  (try
+     let rec loop () =
+       match Pqueue.pop w.queue with
+       | None ->
+         if w.live > 0 then
+           raise
+             (Deadlock
+                (Printf.sprintf
+                   "simulation stuck: %d fiber(s) parked with no wake-up"
+                   w.live))
+       | Some (_, run_event) ->
+         w.stats.events <- w.stats.events + 1;
+         run_event ();
+         w.current <- None;
+         loop ()
+     in
+     loop ()
+   with e ->
+     finish ();
+     raise e);
+  finish ()
+
+let cpu_time w cpu = w.cpu_time.(cpu)
+let max_time w = Array.fold_left max 0 w.cpu_time
+let stats w = w.stats
+
+(* -- Cache-line contention model -- *)
+
+module Line = struct
+  type t = {
+    mutable avail : int; (* virtual time at which the line is next free *)
+    mutable owner : int; (* cpu holding it exclusive; -1 none; -2 shared *)
+  }
+
+  let make () = { avail = 0; owner = -1 }
+
+  (* Atomic read-modify-write: serializes through the line. *)
+  let rmw t =
+    serialize ();
+    let w = world () in
+    let f = fiber () in
+    w.stats.rmws <- w.stats.rmws + 1;
+    let start =
+      if t.avail > f.f_time then begin
+        w.stats.line_stalls <- w.stats.line_stalls + 1;
+        t.avail
+      end
+      else f.f_time
+    in
+    let cost = if t.owner = f.f_cpu then Cost.atomic_local else Cost.line_transfer in
+    let fin = start + cost in
+    t.avail <- fin;
+    t.owner <- f.f_cpu;
+    f.f_time <- fin
+
+  (* Plain shared read: pays a miss when the line is exclusive elsewhere
+     but does not take ownership, so concurrent readers do not serialize —
+     and once the line is in shared state, further reads hit. This
+     asymmetry is exactly why RCU-style lock-free traversal scales and
+     reader-counter rwlocks do not. *)
+  let read t =
+    let f = fiber () in
+    let cost =
+      if t.owner >= 0 && t.owner <> f.f_cpu then begin
+        t.owner <- -2 (* downgrade M -> S *);
+        Cost.cache_shared
+      end
+      else Cost.cache_hit
+    in
+    let start = if t.avail > f.f_time then t.avail else f.f_time in
+    f.f_time <- start + cost
+
+  (* Plain (non-atomic) write by a single owner, e.g. a store inside a
+     critical section. Cheaper than an RMW but still invalidates sharers. *)
+  let write t =
+    serialize ();
+    let f = fiber () in
+    let start = if t.avail > f.f_time then t.avail else f.f_time in
+    let cost = if t.owner = f.f_cpu then Cost.cache_hit else Cost.line_transfer in
+    let fin = start + cost in
+    t.avail <- fin;
+    t.owner <- f.f_cpu;
+    f.f_time <- fin
+end

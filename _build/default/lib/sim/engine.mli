@@ -1,0 +1,91 @@
+(** Deterministic discrete-event multicore simulator.
+
+    Virtual CPUs run OCaml fibers (via effects). Local computation advances
+    a per-fiber clock; shared-state interactions are globally ordered by
+    virtual time; cache-line contention is modelled by {!Line}. See
+    DESIGN.md for why this reproduces the paper's multicore behaviour. *)
+
+type world
+type parked
+
+type fiber = {
+  f_id : int;
+  f_cpu : int;
+  mutable f_time : int;
+  mutable f_done : bool;
+}
+
+type stats = {
+  mutable events : int;
+  mutable parks : int;
+  mutable rmws : int;
+  mutable line_stalls : int;
+}
+
+exception Deadlock of string
+
+val create : ncpus:int -> world
+val spawn : world -> cpu:int -> (unit -> unit) -> unit
+
+val run : world -> unit
+(** Run all spawned fibers to completion. Raises {!Deadlock} if fibers
+    remain parked with no pending wake-up event. *)
+
+val cpu_time : world -> int -> int
+(** Final virtual time of a CPU (max over its finished fibers). *)
+
+val max_time : world -> int
+val stats : world -> stats
+
+(** The functions below may only be called from inside a running fiber. *)
+
+val world : unit -> world
+val now : unit -> int
+val cpu_id : unit -> int
+val ncpus : unit -> int
+
+val in_fiber : unit -> bool
+(** Whether the caller is executing inside a simulation fiber. Shared data
+    structures use this to charge costs only under simulation, so the same
+    code can run in plain unit tests. *)
+
+val tick : int -> unit
+(** Advance the current fiber's clock by a non-negative cost. *)
+
+val advance_to : int -> unit
+(** Advance the current fiber's clock to at least the given time. *)
+
+val park : (parked -> unit) -> unit
+(** Suspend the current fiber; the callback receives a handle that a later
+    [unpark] resumes. The callback runs before the fiber is suspended...
+    i.e. it must only register the handle, not resume it synchronously. *)
+
+val unpark : parked -> at:int -> unit
+(** Schedule a parked fiber to resume at the given virtual time (its clock
+    is advanced to [at] if behind). Each handle may be unparked once. *)
+
+val parked_time : parked -> int
+val parked_cpu : parked -> int
+
+val serialize : unit -> unit
+(** Re-enter the scheduler at the current time so that subsequent shared
+    state inspection happens in global virtual-time order. Every simulated
+    synchronization primitive calls this before touching its state. *)
+
+(** Cache-line contention model. *)
+module Line : sig
+  type t
+
+  val make : unit -> t
+
+  val rmw : t -> unit
+  (** Atomic read-modify-write: waits for the line, pays a transfer cost if
+      another CPU owned it, and takes exclusive ownership. Concurrent RMWs
+      on one line serialize — the root cause of lock-word bottlenecks. *)
+
+  val read : t -> unit
+  (** Plain shared read: pays a miss if remote but does not serialize. *)
+
+  val write : t -> unit
+  (** Plain store by one owner; invalidates sharers. *)
+end

@@ -1,0 +1,70 @@
+(* MCS-style queued spin-lock model.
+
+   An MCS lock's contention behaviour: acquisition swaps the tail pointer
+   (one RMW on the lock's cache line), waiters spin on their *own* node
+   (local, free), and release hands the lock to the successor with a single
+   line transfer. We model exactly that: one [Line.rmw] per acquire, FIFO
+   queue of parked fibers, and a [line_transfer] handoff latency.
+   CortenMM_adv uses this as the per-PT-page lock (paper §4.5). *)
+
+type t = {
+  line : Engine.Line.t;
+  mutable locked : bool;
+  mutable holder : int; (* cpu, or -1 *)
+  waiters : Engine.parked Queue.t;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let make () =
+  {
+    line = Engine.Line.make ();
+    locked = false;
+    holder = -1;
+    waiters = Queue.create ();
+    acquisitions = 0;
+    contended = 0;
+  }
+
+let lock t =
+  Engine.Line.rmw t.line;
+  t.acquisitions <- t.acquisitions + 1;
+  if not t.locked then begin
+    t.locked <- true;
+    t.holder <- Engine.cpu_id ()
+  end
+  else begin
+    t.contended <- t.contended + 1;
+    Engine.park (fun p -> Queue.push p t.waiters)
+    (* We resume as the holder: [unlock] set [holder] before unparking. *)
+  end
+
+let try_lock t =
+  Engine.Line.rmw t.line;
+  if t.locked then false
+  else begin
+    t.acquisitions <- t.acquisitions + 1;
+    t.locked <- true;
+    t.holder <- Engine.cpu_id ();
+    true
+  end
+
+let unlock t =
+  Engine.serialize ();
+  if not t.locked then failwith "Mutex_s.unlock: not locked";
+  if t.holder <> Engine.cpu_id () then
+    failwith "Mutex_s.unlock: unlocked by non-holder";
+  Engine.tick Cost.cache_hit;
+  match Queue.take_opt t.waiters with
+  | None ->
+    t.locked <- false;
+    t.holder <- -1
+  | Some p ->
+    t.holder <- Engine.parked_cpu p;
+    (* Handoff: the successor observes the release after a line transfer. *)
+    Engine.unpark p ~at:(Engine.now () + Cost.line_transfer)
+
+let holder t = if t.locked then Some t.holder else None
+let is_locked t = t.locked
+let acquisitions t = t.acquisitions
+let contended t = t.contended

@@ -1,0 +1,16 @@
+(** MCS-style queued spin-lock model: one line RMW per acquire, FIFO
+    handoff at a line-transfer latency, waiters spin locally (free). *)
+
+type t
+
+val make : unit -> t
+val lock : t -> unit
+val try_lock : t -> bool
+
+val unlock : t -> unit
+(** Raises if the lock is not held, or held by a different CPU. *)
+
+val holder : t -> int option
+val is_locked : t -> bool
+val acquisitions : t -> int
+val contended : t -> int

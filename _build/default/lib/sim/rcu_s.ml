@@ -1,0 +1,114 @@
+(* Preemption-based RCU model (paper §4.5: "a simple preemption-based RCU").
+
+   Read-side critical sections are nearly free: entering/leaving toggles a
+   per-CPU nesting counter (no shared-line traffic) — this is what makes
+   CortenMM_adv's lock-free traversal phase scale.
+
+   Deferred frees ("the RCU monitor", Fig 6 L35): when a PT page is retired
+   the monitor records which CPUs are currently inside a read-side critical
+   section; the free callback runs once all of them have exited (the grace
+   period). A CPU that retires an object while itself inside a read section
+   waits for its own exit too. *)
+
+type callback = {
+  waiting_on : bool array; (* per-CPU: still inside its read section *)
+  mutable remaining : int;
+  fn : unit -> unit;
+}
+
+type t = {
+  nesting : int array;
+  mutable pending : callback list;
+  mutable deferred : int;
+  mutable completed : int;
+  mutable immediate : int; (* frees that needed no grace period *)
+}
+
+let make ~ncpus =
+  {
+    nesting = Array.make ncpus 0;
+    pending = [];
+    deferred = 0;
+    completed = 0;
+    immediate = 0;
+  }
+
+let read_lock t =
+  Engine.serialize ();
+  Engine.tick Cost.rcu_toggle;
+  let c = Engine.cpu_id () in
+  t.nesting.(c) <- t.nesting.(c) + 1
+
+let in_read_section t ~cpu = t.nesting.(cpu) > 0
+
+let quiesce t cpu =
+  (* [cpu] left its read section: progress every pending grace period. *)
+  let ready, rest =
+    List.partition
+      (fun cb ->
+        if cb.waiting_on.(cpu) then begin
+          cb.waiting_on.(cpu) <- false;
+          cb.remaining <- cb.remaining - 1
+        end;
+        cb.remaining = 0)
+      t.pending
+  in
+  t.pending <- rest;
+  List.iter
+    (fun cb ->
+      t.completed <- t.completed + 1;
+      cb.fn ())
+    ready
+
+let read_unlock t =
+  Engine.serialize ();
+  Engine.tick Cost.rcu_toggle;
+  let c = Engine.cpu_id () in
+  if t.nesting.(c) <= 0 then failwith "Rcu_s.read_unlock: not in read section";
+  t.nesting.(c) <- t.nesting.(c) - 1;
+  if t.nesting.(c) = 0 then quiesce t c
+
+let snapshot_readers t =
+  let n = Array.length t.nesting in
+  let waiting = Array.make n false in
+  let remaining = ref 0 in
+  for c = 0 to n - 1 do
+    if t.nesting.(c) > 0 then begin
+      waiting.(c) <- true;
+      incr remaining
+    end
+  done;
+  (waiting, !remaining)
+
+let defer t fn =
+  Engine.serialize ();
+  Engine.tick Cost.cache_hit;
+  t.deferred <- t.deferred + 1;
+  let waiting, remaining = snapshot_readers t in
+  if remaining = 0 then begin
+    t.immediate <- t.immediate + 1;
+    t.completed <- t.completed + 1;
+    fn ()
+  end
+  else t.pending <- { waiting_on = waiting; remaining; fn } :: t.pending
+
+let synchronize t =
+  Engine.serialize ();
+  let _, remaining = snapshot_readers t in
+  if remaining > 0 then
+    Engine.park (fun p ->
+        let waiting, remaining = snapshot_readers t in
+        if remaining = 0 then Engine.unpark p ~at:(Engine.parked_time p)
+        else
+          t.pending <-
+            {
+              waiting_on = waiting;
+              remaining;
+              fn = (fun () -> Engine.unpark p ~at:(Engine.now ()));
+            }
+            :: t.pending)
+
+let pending_callbacks t = List.length t.pending
+let deferred t = t.deferred
+let completed t = t.completed
+let immediate t = t.immediate

@@ -1,0 +1,23 @@
+(** Preemption-based RCU model: near-free read-side sections (per-CPU
+    nesting counters, no shared-line traffic) and grace-period-deferred
+    frees, as used by CortenMM_adv's lock-free traversal phase. *)
+
+type t
+
+val make : ncpus:int -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val in_read_section : t -> cpu:int -> bool
+
+val defer : t -> (unit -> unit) -> unit
+(** Run the callback once every CPU currently inside a read-side critical
+    section has exited (immediately if none is). The callback executes in
+    the context of the last such CPU's [read_unlock]. *)
+
+val synchronize : t -> unit
+(** Block the calling fiber until a grace period elapses. *)
+
+val pending_callbacks : t -> int
+val deferred : t -> int
+val completed : t -> int
+val immediate : t -> int

@@ -1,0 +1,153 @@
+(* Phase-fair readers-writer lock model with optional BRAVO reader bias.
+
+   CortenMM_rw uses "BRAVO-pfqlock" (paper §4.5): a phase-fair queued
+   rwlock (Brandenburg & Anderson) whose readers are made cheap by BRAVO
+   (Dice & Kogan): while no writer is around, readers publish themselves in
+   a per-CPU visible-readers table (no shared-line RMW); a writer revokes
+   the bias by scanning the table (cost proportional to the CPU count),
+   after which readers fall back to RMWs on the lock word until the lock
+   has been writer-free for a while.
+
+   Phase-fairness: a pending writer blocks new readers; when a writer
+   releases, the entire waiting reader phase is admitted at once.
+
+   This captures the scalability difference the paper measures between
+   CortenMM_rw (reader RMWs or revocation scans on the root lock) and
+   CortenMM_adv (no reader-side shared writes at all). *)
+
+type t = {
+  line : Engine.Line.t;
+  bravo_capable : bool;
+  mutable bravo : bool;
+  mutable reads_since_writer : int;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable writer_cpu : int;
+  rwait : Engine.parked Queue.t;
+  wwait : Engine.parked Queue.t;
+  mutable read_acqs : int;
+  mutable write_acqs : int;
+  mutable revocations : int;
+}
+
+let bravo_reenable_threshold = 16
+
+let make ?(bravo = true) () =
+  {
+    line = Engine.Line.make ();
+    bravo_capable = bravo;
+    bravo;
+    reads_since_writer = 0;
+    readers = 0;
+    writer = false;
+    writer_cpu = -1;
+    rwait = Queue.create ();
+    wwait = Queue.create ();
+    read_acqs = 0;
+    write_acqs = 0;
+    revocations = 0;
+  }
+
+let reader_entry_cost t =
+  if t.bravo then Engine.tick Cost.bravo_read else Engine.Line.rmw t.line
+
+let maybe_reenable_bravo t =
+  if
+    t.bravo_capable && (not t.bravo) && (not t.writer)
+    && Queue.is_empty t.wwait
+    && t.reads_since_writer >= bravo_reenable_threshold
+  then t.bravo <- true
+
+let read_lock t =
+  Engine.serialize ();
+  if t.writer || not (Queue.is_empty t.wwait) then
+    (* Phase-fair: a pending writer blocks new readers. The waker updates
+       the lock state on our behalf before unparking us. *)
+    Engine.park (fun p -> Queue.push p t.rwait)
+  else begin
+    reader_entry_cost t;
+    t.readers <- t.readers + 1;
+    t.read_acqs <- t.read_acqs + 1;
+    t.reads_since_writer <- t.reads_since_writer + 1;
+    maybe_reenable_bravo t
+  end
+
+let wake_next_writer t =
+  match Queue.take_opt t.wwait with
+  | None -> ()
+  | Some p ->
+    t.writer <- true;
+    t.writer_cpu <- Engine.parked_cpu p;
+    t.write_acqs <- t.write_acqs + 1;
+    Engine.unpark p ~at:(Engine.now () + Cost.line_transfer)
+
+let read_unlock t =
+  Engine.serialize ();
+  if t.readers <= 0 then failwith "Rwlock_s.read_unlock: no readers";
+  reader_entry_cost t;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 && not t.writer then wake_next_writer t
+
+let write_lock t =
+  Engine.Line.rmw t.line;
+  t.reads_since_writer <- 0;
+  if t.bravo then begin
+    (* Revoke the reader bias: scan the visible-readers table. *)
+    t.bravo <- false;
+    t.revocations <- t.revocations + 1;
+    Engine.tick (Cost.bravo_revoke_per_cpu * Engine.ncpus ())
+  end;
+  if t.readers = 0 && (not t.writer) && Queue.is_empty t.wwait then begin
+    t.writer <- true;
+    t.writer_cpu <- Engine.cpu_id ();
+    t.write_acqs <- t.write_acqs + 1
+  end
+  else Engine.park (fun p -> Queue.push p t.wwait)
+
+let wake_reader_phase t =
+  let base = Engine.now () + Cost.line_transfer in
+  let i = ref 0 in
+  let admit p =
+    t.readers <- t.readers + 1;
+    t.read_acqs <- t.read_acqs + 1;
+    (* Waking readers still serialize lightly on the lock word. *)
+    Engine.unpark p ~at:(base + (!i * Cost.atomic_local));
+    incr i
+  in
+  Queue.iter admit t.rwait;
+  Queue.clear t.rwait
+
+let write_unlock t =
+  Engine.serialize ();
+  if not t.writer then failwith "Rwlock_s.write_unlock: no writer";
+  if t.writer_cpu <> Engine.cpu_id () then
+    failwith "Rwlock_s.write_unlock: wrong cpu";
+  Engine.tick Cost.cache_hit;
+  t.writer <- false;
+  t.writer_cpu <- -1;
+  if not (Queue.is_empty t.rwait) then wake_reader_phase t
+  else wake_next_writer t
+
+let downgrade t =
+  Engine.serialize ();
+  if not t.writer then failwith "Rwlock_s.downgrade: no writer";
+  if t.writer_cpu <> Engine.cpu_id () then
+    failwith "Rwlock_s.downgrade: wrong cpu";
+  Engine.tick Cost.cache_hit;
+  t.writer <- false;
+  t.writer_cpu <- -1;
+  t.readers <- t.readers + 1;
+  (* Phase-fair: the waiting reader phase joins us. *)
+  if not (Queue.is_empty t.rwait) then wake_reader_phase t
+
+(* Upgrade is modelled as release-then-acquire, as in the Linux page-fault
+   path (Fig 2 re-validates after upgrading). *)
+let upgrade t =
+  read_unlock t;
+  write_lock t
+
+let readers t = t.readers
+let writer_active t = t.writer
+let read_acqs t = t.read_acqs
+let write_acqs t = t.write_acqs
+let revocations t = t.revocations

@@ -1,0 +1,23 @@
+(** Phase-fair readers-writer lock model with optional BRAVO reader bias
+    (the paper's BRAVO-pfqlock, used by CortenMM_rw). *)
+
+type t
+
+val make : ?bravo:bool -> unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val downgrade : t -> unit
+(** Writer becomes a reader without releasing (used by Linux munmap). *)
+
+val upgrade : t -> unit
+(** Release read side, then acquire write side (not atomic; callers must
+    re-validate, as the Linux page-fault path does). *)
+
+val readers : t -> int
+val writer_active : t -> bool
+val read_acqs : t -> int
+val write_acqs : t -> int
+val revocations : t -> int

@@ -1,0 +1,1 @@
+lib/tlb/tlb.ml: Array Fun Hashtbl List Mm_sim Queue

@@ -1,0 +1,155 @@
+(* Per-CPU TLB model and shootdown strategies.
+
+   CortenMM borrows two shootdown optimizations (paper §4.5): parallel
+   flushes with early acknowledgement (Amit et al. [25]) and LATR-style
+   lazy shootdown on munmap (Kumar et al. [66]), where unmapped pages are
+   pushed to per-CPU buffers drained on timer interrupts.
+
+   The model keeps real per-CPU translation tables (vpn -> pfn) so tests
+   can detect stale translations, and charges the initiating CPU the cost
+   profile of the selected strategy. Linux's baseline uses the synchronous
+   broadcast strategy. *)
+
+type strategy = Sync | Early_ack | Latr
+
+let strategy_to_string = function
+  | Sync -> "sync"
+  | Early_ack -> "early-ack"
+  | Latr -> "latr"
+
+type counters = {
+  mutable shootdowns : int;
+  mutable ipis : int;
+  mutable local_flushes : int;
+  mutable latr_published : int;
+  mutable latr_drained : int;
+}
+
+type t = {
+  ncpus : int;
+  strategy : strategy;
+  entries : (int, int * bool * int) Hashtbl.t array;
+      (* per cpu: vpn -> (pfn, writable, protection key). Writability must
+         be cached so a write to a read-only (e.g. COW) translation still
+         faults; the MPK key is cached because hardware checks PKRU on
+         every access, TLB hit or not. *)
+  pending : int Queue.t array; (* per cpu: vpns awaiting a lazy flush *)
+  counters : counters;
+}
+
+let create ~ncpus ~strategy =
+  {
+    ncpus;
+    strategy;
+    entries = Array.init ncpus (fun _ -> Hashtbl.create 64);
+    pending = Array.init ncpus (fun _ -> Queue.create ());
+    counters =
+      {
+        shootdowns = 0;
+        ipis = 0;
+        local_flushes = 0;
+        latr_published = 0;
+        latr_drained = 0;
+      };
+  }
+
+let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
+
+let install t ~cpu ~vpn ~pfn ~writable ?(key = 0) () =
+  Hashtbl.replace t.entries.(cpu) vpn (pfn, writable, key)
+
+(* A hit requires the cached translation to permit the access; the MPK
+   key (if any) is returned for the caller's PKRU check. *)
+let lookup t ~cpu ~vpn ~write =
+  match Hashtbl.find_opt t.entries.(cpu) vpn with
+  | Some (pfn, writable, key) when (not write) || writable -> Some (pfn, key)
+  | Some _ | None -> None
+
+let flush_local t ~cpu ~vpns =
+  t.counters.local_flushes <- t.counters.local_flushes + 1;
+  charge
+    (Mm_sim.Cost.tlb_flush_local
+    + (Mm_sim.Cost.tlb_flush_page * max 0 (List.length vpns - 1)));
+  List.iter (fun vpn -> Hashtbl.remove t.entries.(cpu) vpn) vpns
+
+(* Invalidate [vpns] on every CPU whose bit is set in [targets]; the
+   current CPU's flush is always immediate and local. *)
+let shootdown t ~targets ~vpns =
+  let self = Mm_sim.Engine.cpu_id () in
+  t.counters.shootdowns <- t.counters.shootdowns + 1;
+  flush_local t ~cpu:self ~vpns;
+  let remote =
+    List.filter
+      (fun c -> c <> self && c < t.ncpus && targets.(c))
+      (List.init t.ncpus Fun.id)
+  in
+  match (t.strategy, remote) with
+  | _, [] -> ()
+  | Sync, remote ->
+    (* Send IPIs in parallel, wait for every acknowledgement. *)
+    t.counters.ipis <- t.counters.ipis + List.length remote;
+    List.iter
+      (fun c -> List.iter (fun vpn -> Hashtbl.remove t.entries.(c) vpn) vpns)
+      remote;
+    charge
+      ((Mm_sim.Cost.ipi_send * List.length remote) + Mm_sim.Cost.ipi_ack_wait)
+  | Early_ack, remote ->
+    (* Remote cores acknowledge before completing the flush; the initiator
+       resumes much earlier. Entries are still removed (the window during
+       which a remote core may use a stale entry is a correctness argument
+       of [25], not modelled). *)
+    t.counters.ipis <- t.counters.ipis + List.length remote;
+    List.iter
+      (fun c -> List.iter (fun vpn -> Hashtbl.remove t.entries.(c) vpn) vpns)
+      remote;
+    charge
+      ((Mm_sim.Cost.ipi_send * List.length remote)
+      + Mm_sim.Cost.ipi_ack_wait_early)
+  | Latr, remote ->
+    (* No IPI at all: publish to the remote CPUs' buffers; each drains on
+       its next timer tick. *)
+    List.iter
+      (fun c ->
+        List.iter
+          (fun vpn ->
+            Queue.push vpn t.pending.(c);
+            t.counters.latr_published <- t.counters.latr_published + 1)
+          vpns)
+      remote;
+    charge (Mm_sim.Cost.latr_publish * List.length vpns)
+
+(* Full shootdown: invalidate the targets' entire TLBs (what a kernel
+   does beyond a per-page threshold, and what kswapd does after a batch
+   of reference-bit clears). Always synchronous — a full flush cannot be
+   deferred page-by-page. *)
+let shootdown_full t ~targets =
+  let self = Mm_sim.Engine.cpu_id () in
+  t.counters.shootdowns <- t.counters.shootdowns + 1;
+  charge Mm_sim.Cost.tlb_flush_local;
+  Hashtbl.reset t.entries.(self);
+  let remote =
+    List.filter
+      (fun c -> c <> self && c < t.ncpus && targets.(c))
+      (List.init t.ncpus Fun.id)
+  in
+  if remote <> [] then begin
+    t.counters.ipis <- t.counters.ipis + List.length remote;
+    List.iter (fun c -> Hashtbl.reset t.entries.(c)) remote;
+    charge
+      ((Mm_sim.Cost.ipi_send * List.length remote) + Mm_sim.Cost.ipi_ack_wait)
+  end
+
+(* Called by each CPU on its (simulated) timer interrupt / reschedule. *)
+let timer_tick t ~cpu =
+  let q = t.pending.(cpu) in
+  let n = Queue.length q in
+  if n > 0 then begin
+    charge (Mm_sim.Cost.latr_drain_per_entry * n);
+    Queue.iter (fun vpn -> Hashtbl.remove t.entries.(cpu) vpn) q;
+    Queue.clear q;
+    t.counters.latr_drained <- t.counters.latr_drained + n
+  end
+
+let pending_count t ~cpu = Queue.length t.pending.(cpu)
+let counters t = t.counters
+let strategy t = t.strategy

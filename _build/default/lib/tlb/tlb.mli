@@ -1,0 +1,43 @@
+(** Per-CPU TLB model and shootdown strategies: synchronous broadcast
+    (Linux), early acknowledgement, and LATR-style lazy shootdown. *)
+
+type strategy = Sync | Early_ack | Latr
+
+type counters = {
+  mutable shootdowns : int;
+  mutable ipis : int;
+  mutable local_flushes : int;
+  mutable latr_published : int;
+  mutable latr_drained : int;
+}
+
+type t
+
+val create : ncpus:int -> strategy:strategy -> t
+val strategy : t -> strategy
+val strategy_to_string : strategy -> string
+
+val install :
+  t -> cpu:int -> vpn:int -> pfn:int -> writable:bool -> ?key:int -> unit -> unit
+
+(** A hit requires the cached translation to permit the access: a write to
+    a read-only cached entry (e.g. COW) misses and takes the fault path.
+    Returns the pfn and the cached MPK key (hardware checks PKRU on every
+    access, hit or not). *)
+val lookup : t -> cpu:int -> vpn:int -> write:bool -> (int * int) option
+val flush_local : t -> cpu:int -> vpns:int list -> unit
+
+val shootdown : t -> targets:bool array -> vpns:int list -> unit
+(** Invalidate [vpns] on each CPU whose bit is set in [targets] (plus the
+    calling CPU, immediately). Must be called from inside a fiber; the
+    initiator is charged the selected strategy's cost profile. *)
+
+val shootdown_full : t -> targets:bool array -> unit
+(** Invalidate the targets' entire TLBs (synchronous; used beyond
+    per-page thresholds and after reference-bit batch clears). *)
+
+val timer_tick : t -> cpu:int -> unit
+(** Drain the CPU's lazy-shootdown buffer (LATR). *)
+
+val pending_count : t -> cpu:int -> int
+val counters : t -> counters

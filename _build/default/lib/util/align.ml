@@ -1,0 +1,22 @@
+(* Power-of-two alignment arithmetic shared by the page-table code. *)
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  if not (is_pow2 x) then invalid_arg "Align.log2: not a power of two";
+  let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let down x align =
+  if not (is_pow2 align) then invalid_arg "Align.down: bad alignment";
+  x land lnot (align - 1)
+
+let up x align =
+  if not (is_pow2 align) then invalid_arg "Align.up: bad alignment";
+  (x + align - 1) land lnot (align - 1)
+
+let is_aligned x align =
+  if not (is_pow2 align) then invalid_arg "Align.is_aligned: bad alignment";
+  x land (align - 1) = 0
+
+let div_round_up x d = (x + d - 1) / d

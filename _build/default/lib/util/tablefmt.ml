@@ -1,0 +1,84 @@
+(* Plain-text table rendering for the benchmark harness output.
+
+   The harness prints every reproduced paper table/figure as an aligned
+   text table; this module does the column sizing. *)
+
+type align = Left | Right
+
+let render ?(align_default = Right) ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Tablefmt.render: aligns length mismatch"
+    | None ->
+      Array.init ncols (fun i -> if i = 0 then Left else align_default)
+  in
+  let all = header :: rows in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then
+        invalid_arg "Tablefmt.render: row length mismatch")
+    rows;
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match aligns.(i) with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align_default ?aligns ~header rows =
+  print_string (render ?align_default ?aligns ~header rows)
+
+(* Number formatting helpers for table cells. *)
+
+let fmt_float ?(digits = 2) x =
+  if Float.is_nan x then "n/a" else Printf.sprintf "%.*f" digits x
+
+let fmt_si x =
+  (* 12_345_678.0 -> "12.35M" — compact throughput cells. *)
+  if Float.is_nan x then "n/a"
+  else
+    let ax = Float.abs x in
+    if ax >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+    else if ax >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+    else if ax >= 1e3 then Printf.sprintf "%.2fk" (x /. 1e3)
+    else Printf.sprintf "%.1f" x
+
+let fmt_bytes x =
+  if x >= 1 lsl 30 then
+    Printf.sprintf "%.2f GiB" (float_of_int x /. float_of_int (1 lsl 30))
+  else if x >= 1 lsl 20 then
+    Printf.sprintf "%.2f MiB" (float_of_int x /. float_of_int (1 lsl 20))
+  else if x >= 1 lsl 10 then
+    Printf.sprintf "%.2f KiB" (float_of_int x /. float_of_int (1 lsl 10))
+  else Printf.sprintf "%d B" x
+
+let fmt_speedup x =
+  if Float.is_nan x then "n/a"
+  else if x >= 100.0 then Printf.sprintf "%.0fx" x
+  else Printf.sprintf "%.2fx" x

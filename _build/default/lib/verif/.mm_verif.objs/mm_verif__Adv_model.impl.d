@@ -1,0 +1,1 @@
+lib/verif/adv_model.ml: Array Checker List Printf Tree

@@ -1,0 +1,1 @@
+lib/verif/adv_model.mli: Checker Tree

@@ -1,0 +1,1 @@
+lib/verif/checker.ml: Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/verif/checker.mli:

@@ -1,0 +1,1 @@
+lib/verif/funcheck.ml: Array Cortenmm Hashtbl List Mm_hal Mm_sim Mm_util Printf String

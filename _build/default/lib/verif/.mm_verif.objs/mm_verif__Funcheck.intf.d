@@ -1,0 +1,1 @@
+lib/verif/funcheck.mli: Cortenmm Mm_hal

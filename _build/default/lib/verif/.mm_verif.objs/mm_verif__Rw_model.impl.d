@@ -1,0 +1,1 @@
+lib/verif/rw_model.ml: Array Checker List Printf Tree

@@ -1,0 +1,1 @@
+lib/verif/rw_model.mli: Checker Tree

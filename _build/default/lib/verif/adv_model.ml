@@ -1,0 +1,272 @@
+(* Atomic Tree Spec of the CortenMM_adv locking protocol (paper §5.1,
+   Figs 6-7) as a finite transition system, checked exhaustively.
+
+   Each core runs a transaction on a fixed target: a lock-free traversal
+   (inside an RCU read-side critical section) to the covering PT page, a
+   mutex acquisition with a stale check and retry, a preorder DFS locking
+   every descendant, the operation — which may *remove* a child subtree
+   (clear the parent entry, mark each page stale, unlock it, and hand it
+   to the RCU monitor) — and release.
+
+   The environment includes a "reuse" transition: a freed PT page may be
+   reallocated once every core that was inside an RCU read section at free
+   time has exited (the grace period). The seeded-buggy variants disable
+   the stale check ([no_stale_check]) or the grace period ([no_rcu]);
+   the checker must catch both (Fig 7's use-after-free and lost-update
+   races), and verify the correct protocol against:
+
+   P1 non-overlap: no two cores operate on related live covering pages;
+   no lost update: an operating core's covering page is never stale;
+   no use-after-free: no core ever holds (or traverses) a reused page;
+   deadlock-freedom. *)
+
+type action = Op | Remove of int (* remove this child subtree of the cover *)
+
+type phase =
+  | AIdle
+  | ATrav of int (* lock-free descent position; inside RCU *)
+  | AAcquire of int (* chosen covering page; about to lock it *)
+  | ACheck of int (* holding its lock; about to check stale *)
+  | ALockRest of { cover : int; rest : int list } (* DFS locking phase *)
+  | ACrit of int (* all locks held; operating *)
+  | ARemoving of { cover : int; pending : int list } (* per-page teardown *)
+  | AFin
+
+type state = {
+  present : bool array; (* node linked from its parent *)
+  stale : bool array;
+  freed : bool array; (* handed to the RCU monitor *)
+  reused : bool array; (* reallocated after its grace period *)
+  lock : int array; (* -1 free, else holding core *)
+  in_rcu : bool array; (* per core *)
+  grace : int array; (* per node: cores whose RCU exit the free awaits *)
+  phases : phase array; (* per core *)
+}
+
+type config = {
+  tree : Tree.t;
+  targets : int array;
+  actions : action array;
+  no_stale_check : bool; (* seeded bug 1 *)
+  no_rcu : bool; (* seeded bug 2: reuse ignores the grace period *)
+}
+
+let initial cfg =
+  let n = Tree.node_count cfg.tree in
+  {
+    present = Array.make n true;
+    stale = Array.make n false;
+    freed = Array.make n false;
+    reused = Array.make n false;
+    lock = Array.make n (-1);
+    in_rcu = Array.make (Array.length cfg.targets) false;
+    grace = Array.make n 0;
+    phases = Array.make (Array.length cfg.targets) AIdle;
+  }
+
+let copy s =
+  {
+    present = Array.copy s.present;
+    stale = Array.copy s.stale;
+    freed = Array.copy s.freed;
+    reused = Array.copy s.reused;
+    lock = Array.copy s.lock;
+    in_rcu = Array.copy s.in_rcu;
+    grace = Array.copy s.grace;
+    phases = Array.copy s.phases;
+  }
+
+(* A core exiting its RCU read section advances every pending grace
+   period. *)
+let rcu_exit s c =
+  s.in_rcu.(c) <- false;
+  Array.iteri (fun n g -> s.grace.(n) <- g land lnot (1 lsl c)) s.grace
+
+let live_subtree_preorder cfg s n =
+  List.filter (fun m -> s.present.(m) || m = n) (Tree.subtree_preorder cfg.tree n)
+  |> List.filter (fun m ->
+         (* only nodes reachable within the subtree: a non-present node's
+            descendants are unreachable *)
+         let rec reachable m =
+           if m = n then true
+           else
+             match Tree.parent cfg.tree m with
+             | Some p -> s.present.(m) && reachable p
+             | None -> false
+         in
+         reachable m)
+
+let step cfg s =
+  let ncores = Array.length cfg.targets in
+  let succs = ref [] in
+  let add label s' = succs := (label, s') :: !succs in
+  for c = 0 to ncores - 1 do
+    let target = cfg.targets.(c) in
+    match s.phases.(c) with
+    | AIdle ->
+      let s' = copy s in
+      s'.in_rcu.(c) <- true;
+      s'.phases.(c) <- ATrav Tree.root;
+      add (Printf.sprintf "rcu-enter(%d)" c) s'
+    | ATrav pos ->
+      (* Atomic read of the child entry; descend if it exists. *)
+      if pos = target then begin
+        let s' = copy s in
+        s'.phases.(c) <- AAcquire pos;
+        add (Printf.sprintf "found-cover(%d,n%d)" c pos) s'
+      end
+      else begin
+        let next = Tree.child_toward cfg.tree ~from:pos ~target in
+        let s' = copy s in
+        if s.present.(next) then s'.phases.(c) <- ATrav next
+        else s'.phases.(c) <- AAcquire pos;
+        add (Printf.sprintf "descend(%d,n%d)" c pos) s'
+      end
+    | AAcquire n ->
+      if s.lock.(n) = -1 then begin
+        let s' = copy s in
+        s'.lock.(n) <- c;
+        s'.phases.(c) <- ACheck n;
+        add (Printf.sprintf "lock-cover(%d,n%d)" c n) s'
+      end
+    | ACheck n ->
+      if s.stale.(n) && not cfg.no_stale_check then begin
+        (* Fig 6 L10-13: racing unmap removed this page; retry. *)
+        let s' = copy s in
+        s'.lock.(n) <- -1;
+        rcu_exit s' c;
+        s'.phases.(c) <- AIdle;
+        add (Printf.sprintf "stale-retry(%d,n%d)" c n) s'
+      end
+      else begin
+        let s' = copy s in
+        rcu_exit s' c;
+        let rest =
+          List.filter (fun m -> m <> n) (live_subtree_preorder cfg s n)
+        in
+        s'.phases.(c) <- ALockRest { cover = n; rest };
+        add (Printf.sprintf "rcu-exit(%d,n%d)" c n) s'
+      end
+    | ALockRest { cover; rest = [] } ->
+      let s' = copy s in
+      s'.phases.(c) <- ACrit cover;
+      add (Printf.sprintf "locked-all(%d,n%d)" c cover) s'
+    | ALockRest { cover; rest = r :: rs } ->
+      if s.lock.(r) = -1 then begin
+        let s' = copy s in
+        s'.lock.(r) <- c;
+        s'.phases.(c) <- ALockRest { cover; rest = rs };
+        add (Printf.sprintf "dfs-lock(%d,n%d)" c r) s'
+      end
+    | ACrit cover -> (
+      match cfg.actions.(c) with
+      | Op ->
+        (* Operate, then release every held lock. *)
+        let s' = copy s in
+        Array.iteri (fun n o -> if o = c then s'.lock.(n) <- -1) s.lock;
+        s'.phases.(c) <- AFin;
+        add (Printf.sprintf "op-and-unlock(%d)" c) s'
+      | Remove child ->
+        if s.present.(child) then begin
+          (* Fig 6 L30: atomically clear the entry in the parent. *)
+          let s' = copy s in
+          s'.present.(child) <- false;
+          let victims =
+            List.rev (live_subtree_preorder cfg s child)
+            |> List.filter (fun m -> s.lock.(m) = c || m = child)
+          in
+          s'.phases.(c) <- ARemoving { cover; pending = victims };
+          add (Printf.sprintf "clear-entry(%d,n%d)" c child) s'
+        end
+        else begin
+          (* Nothing to remove (another path already did): plain op. *)
+          let s' = copy s in
+          Array.iteri (fun n o -> if o = c then s'.lock.(n) <- -1) s.lock;
+          s'.phases.(c) <- AFin;
+          add (Printf.sprintf "op-and-unlock(%d)" c) s'
+        end)
+    | ARemoving { cover; pending = [] } ->
+      (* Teardown complete: release the remaining locks. *)
+      let s' = copy s in
+      Array.iteri (fun n o -> if o = c then s'.lock.(n) <- -1) s.lock;
+      s'.phases.(c) <- AFin;
+      ignore cover;
+      add (Printf.sprintf "unlock-rest(%d)" c) s'
+    | ARemoving { cover; pending = v :: vs } ->
+      (* Fig 6 L31-35: stale, unlock, hand to the RCU monitor. *)
+      let s' = copy s in
+      s'.stale.(v) <- true;
+      if s.lock.(v) = c then s'.lock.(v) <- -1;
+      s'.freed.(v) <- true;
+      let mask = ref 0 in
+      Array.iteri (fun c' r -> if r then mask := !mask lor (1 lsl c')) s.in_rcu;
+      s'.grace.(v) <- !mask;
+      s'.phases.(c) <- ARemoving { cover; pending = vs };
+      add (Printf.sprintf "retire(%d,n%d)" c v) s'
+    | AFin -> ()
+  done;
+  (* Environment: the RCU monitor reuses a freed page once its grace
+     period has elapsed (immediately, with the no_rcu bug). *)
+  Array.iteri
+    (fun n freed ->
+      if freed && not s.reused.(n) && (cfg.no_rcu || s.grace.(n) = 0) then begin
+        let s' = copy s in
+        s'.reused.(n) <- true;
+        add (Printf.sprintf "reuse(n%d)" n) s'
+      end)
+    s.freed;
+  !succs
+
+let invariant cfg s =
+  let ncores = Array.length cfg.targets in
+  let violation = ref None in
+  (* Use-after-free: a core holds a lock on, or traverses, a reused page. *)
+  for c = 0 to ncores - 1 do
+    Array.iteri
+      (fun n o ->
+        if o = c && s.reused.(n) then
+          violation :=
+            Some (Printf.sprintf "core %d holds reallocated page n%d" c n))
+      s.lock;
+    match s.phases.(c) with
+    | ATrav pos when s.reused.(pos) ->
+      violation :=
+        Some (Printf.sprintf "core %d traverses reallocated page n%d" c pos)
+    | ACrit cover when s.stale.(cover) ->
+      (* Lost update: operating on a PT page already unlinked. *)
+      violation :=
+        Some
+          (Printf.sprintf "core %d operates on stale page n%d (lost update)" c
+             cover)
+    | _ -> ()
+  done;
+  (* Mutual exclusion on live covering pages. *)
+  let cover_of c =
+    match s.phases.(c) with
+    | ACrit n -> Some n
+    | ARemoving { cover; _ } -> Some cover
+    | _ -> None
+  in
+  for i = 0 to ncores - 1 do
+    for j = i + 1 to ncores - 1 do
+      match (cover_of i, cover_of j) with
+      | Some a, Some b
+        when (not s.stale.(a)) && (not s.stale.(b))
+             && Tree.related cfg.tree a b ->
+        violation :=
+          Some
+            (Printf.sprintf
+               "mutual exclusion violated: cores %d/%d operate on related \
+                pages n%d/n%d"
+               i j a b)
+      | _ -> ()
+    done
+  done;
+  !violation
+
+let terminal s = Array.for_all (fun p -> p = AFin) s.phases
+
+let check ?(no_stale_check = false) ?(no_rcu = false) ~tree ~targets ~actions () =
+  let cfg = { tree; targets; actions; no_stale_check; no_rcu } in
+  Checker.explore ~init:(initial cfg) ~step:(step cfg)
+    ~invariant:(invariant cfg) ~terminal ()

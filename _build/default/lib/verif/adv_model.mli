@@ -1,0 +1,45 @@
+(** Atomic Tree Spec of the CortenMM_adv locking protocol (paper §5.1,
+    Figs 6-7): lock-free RCU traversal, covering-page lock with stale
+    retry, DFS locking of the subtree, per-page teardown of removed
+    subtrees through the RCU monitor, and an environment transition that
+    reuses freed pages once their grace period elapses.
+
+    Checked properties: non-overlap of live covering pages, no lost
+    update (no core operates on a stale page), no use-after-free (no core
+    holds or traverses a reused page), deadlock-freedom. *)
+
+type action = Op | Remove of int
+
+type phase =
+  | AIdle
+  | ATrav of int
+  | AAcquire of int
+  | ACheck of int
+  | ALockRest of { cover : int; rest : int list }
+  | ACrit of int
+  | ARemoving of { cover : int; pending : int list }
+  | AFin
+
+type state = {
+  present : bool array;
+  stale : bool array;
+  freed : bool array;
+  reused : bool array;
+  lock : int array;
+  in_rcu : bool array;
+  grace : int array;
+  phases : phase array;
+}
+
+val check :
+  ?no_stale_check:bool ->
+  ?no_rcu:bool ->
+  tree:Tree.t ->
+  targets:int array ->
+  actions:action array ->
+  unit ->
+  state Checker.result
+(** [no_stale_check] and [no_rcu] are the seeded bugs (Fig 7's two races):
+    without the stale check a core operates on a removed PT page; without
+    grace periods a freed page is reused under a traversing core. The
+    checker must catch both. *)

@@ -1,0 +1,32 @@
+(** Explicit-state model checker: exhaustive BFS over every interleaving
+    of a transition system, with invariant checking, deadlock detection
+    and counterexample traces. The reproduction's stand-in for Verus. *)
+
+type 's outcome =
+  | Ok_verified
+  | Invariant_violation of { trace : (string * 's) list; message : string }
+  | Deadlock of { trace : (string * 's) list }
+
+type 's result = {
+  outcome : 's outcome;
+  states : int;
+  transitions : int;
+}
+
+val explore :
+  ?max_states:int ->
+  ?on_edge:('s -> string -> 's -> unit) ->
+  init:'s ->
+  step:('s -> (string * 's) list) ->
+  invariant:('s -> string option) ->
+  terminal:('s -> bool) ->
+  unit ->
+  's result
+(** [step] returns the labelled successors; [invariant] returns an error
+    message on violation; [terminal] says whether a state may legally have
+    no successors. [on_edge] observes every explored edge (used by the
+    refinement checker). States must be immutable values compared
+    structurally. *)
+
+val is_verified : 's result -> bool
+val describe : 's result -> string

@@ -1,0 +1,243 @@
+(* Atomic Tree Spec of the CortenMM_rw locking protocol (paper §5.1,
+   Fig 5) as a finite transition system, checked exhaustively.
+
+   Each core runs one transaction on a fixed target node: it descends from
+   the root taking reader locks on the path, then takes the writer lock on
+   the target (the covering PT page), operates, and releases everything.
+   The model checker explores all interleavings and verifies:
+
+   P1 (mutual exclusion / non-overlap): no two cores simultaneously hold
+   writer locks on nodes in an ancestor-descendant (or equal) relation —
+   the paper's non-overlapping property;
+   plus lock sanity (a write-locked node has no readers) and
+   deadlock-freedom.
+
+   [skip_read_locks] builds the seeded-buggy variant (descend without
+   read-locking), which the checker must catch — evidence the properties
+   are not vacuous. *)
+
+type phase =
+  | Idle
+  | Descending of int (* current position in the tree *)
+  | Trading of int (* holds a reader lock on the target (Fig 5 L4) *)
+  | Traded of int (* released it; about to take the writer lock (L7-8) *)
+  | Locked
+  | Releasing of int list (* stepwise unlock: reader locks left to drop *)
+  | Finished
+
+type state = {
+  readers : int array; (* per node *)
+  writer : bool array; (* per node *)
+  phases : phase array; (* per core *)
+}
+
+type config = {
+  tree : Tree.t;
+  targets : int array; (* per core: the covering PT page to write-lock *)
+  skip_read_locks : bool; (* seeded bug *)
+  trade_window : bool;
+      (* model Fig 5's L4/L7-8 faithfully: the covering page is first
+         reader-locked during the descent, released, and only then
+         writer-locked — opening a window in which other cores act *)
+  stepwise_unlock : bool; (* release locks one transition at a time *)
+}
+
+let initial cfg =
+  {
+    readers = Array.make (Tree.node_count cfg.tree) 0;
+    writer = Array.make (Tree.node_count cfg.tree) false;
+    phases = Array.make (Array.length cfg.targets) Idle;
+  }
+
+let copy s =
+  {
+    readers = Array.copy s.readers;
+    writer = Array.copy s.writer;
+    phases = Array.copy s.phases;
+  }
+
+let step cfg s =
+  let ncores = Array.length cfg.targets in
+  let succs = ref [] in
+  let add label s' = succs := (label, s') :: !succs in
+  for c = 0 to ncores - 1 do
+    let target = cfg.targets.(c) in
+    match s.phases.(c) with
+    | Idle ->
+      let s' = copy s in
+      s'.phases.(c) <- Descending Tree.root;
+      add (Printf.sprintf "start(%d)" c) s'
+    | Descending pos when pos <> target ->
+      (* Fig 5 L4-6: reader-lock the current page, move to the child. *)
+      if not s.writer.(pos) then begin
+        let s' = copy s in
+        if not cfg.skip_read_locks then s'.readers.(pos) <- s.readers.(pos) + 1;
+        s'.phases.(c) <-
+          Descending (Tree.child_toward cfg.tree ~from:pos ~target);
+        add (Printf.sprintf "read-lock(%d,n%d)" c pos) s'
+      end
+    | Descending pos when cfg.trade_window ->
+      (* pos = target, faithful variant: reader-lock the covering page
+         first (the loop's L4 ran before the break). *)
+      if not s.writer.(pos) then begin
+        let s' = copy s in
+        if not cfg.skip_read_locks then s'.readers.(pos) <- s.readers.(pos) + 1;
+        s'.phases.(c) <- Trading pos;
+        add (Printf.sprintf "read-lock-cover(%d,n%d)" c pos) s'
+      end
+    | Descending pos ->
+      (* pos = target, compact variant: acquire the writer lock directly. *)
+      if s.readers.(pos) = 0 && not s.writer.(pos) then begin
+        let s' = copy s in
+        s'.writer.(pos) <- true;
+        s'.phases.(c) <- Locked;
+        add (Printf.sprintf "write-lock(%d,n%d)" c pos) s'
+      end
+    | Trading pos ->
+      (* Fig 5 L7: drop the reader lock on the covering page... *)
+      let s' = copy s in
+      if not cfg.skip_read_locks then s'.readers.(pos) <- s.readers.(pos) - 1;
+      s'.phases.(c) <- Traded pos;
+      add (Printf.sprintf "trade-release(%d,n%d)" c pos) s'
+    | Traded pos ->
+      (* ...Fig 5 L8: and take the writer lock. Other cores may interleave
+         here — the ancestors' reader locks keep this safe. *)
+      if s.readers.(pos) = 0 && not s.writer.(pos) then begin
+        let s' = copy s in
+        s'.writer.(pos) <- true;
+        s'.phases.(c) <- Locked;
+        add (Printf.sprintf "write-lock(%d,n%d)" c pos) s'
+      end
+    | Locked ->
+      let s' = copy s in
+      s'.writer.(target) <- false;
+      let path_above =
+        List.filter (fun n -> n <> target) (Tree.path cfg.tree target)
+      in
+      if cfg.stepwise_unlock && (not cfg.skip_read_locks) && path_above <> []
+      then begin
+        s'.phases.(c) <- Releasing (List.rev path_above);
+        add (Printf.sprintf "write-unlock(%d)" c) s'
+      end
+      else begin
+        if not cfg.skip_read_locks then
+          List.iter
+            (fun n -> s'.readers.(n) <- s'.readers.(n) - 1)
+            path_above;
+        s'.phases.(c) <- Finished;
+        add (Printf.sprintf "unlock(%d)" c) s'
+      end
+    | Releasing [] ->
+      let s' = copy s in
+      s'.phases.(c) <- Finished;
+      add (Printf.sprintf "done(%d)" c) s'
+    | Releasing (n :: rest) ->
+      (* Reverse acquisition order, one reader lock per transition. *)
+      let s' = copy s in
+      s'.readers.(n) <- s.readers.(n) - 1;
+      s'.phases.(c) <- Releasing rest;
+      add (Printf.sprintf "read-unlock(%d,n%d)" c n) s'
+    | Finished -> ()
+  done;
+  !succs
+
+let invariant cfg s =
+  let ncores = Array.length cfg.targets in
+  let violation = ref None in
+  (* Non-overlap of write-locked covering pages. *)
+  for i = 0 to ncores - 1 do
+    for j = i + 1 to ncores - 1 do
+      match (s.phases.(i), s.phases.(j)) with
+      | Locked, Locked
+        when Tree.related cfg.tree cfg.targets.(i) cfg.targets.(j) ->
+        violation :=
+          Some
+            (Printf.sprintf
+               "mutual exclusion violated: cores %d and %d write-hold related \
+                pages n%d and n%d"
+               i j cfg.targets.(i) cfg.targets.(j))
+      | _ -> ()
+    done
+  done;
+  (* Lock sanity. *)
+  Array.iteri
+    (fun n r ->
+      if r < 0 then violation := Some (Printf.sprintf "negative readers on n%d" n);
+      if s.writer.(n) && r > 0 then
+        violation :=
+          Some (Printf.sprintf "write-locked n%d still has %d readers" n r))
+    s.readers;
+  !violation
+
+let terminal s = Array.for_all (fun p -> p = Finished) s.phases
+
+let check ?(skip_read_locks = false) ?(trade_window = false)
+    ?(stepwise_unlock = false) ~tree ~targets () =
+  let cfg = { tree; targets; skip_read_locks; trade_window; stepwise_unlock } in
+  Checker.explore ~init:(initial cfg) ~step:(step cfg)
+    ~invariant:(invariant cfg) ~terminal ()
+
+(* -- Refinement to the Atomic Spec (paper §5.1) --
+
+   interp maps an Atomic Tree Spec state to the Atomic Spec state: the set
+   of (core, covering page) pairs whose subtrees are exclusively held.
+   The simulation check: every concrete transition is a stutter or maps to
+   a legal spec step — lock(core, page) (legal only when no held subtree
+   overlaps) or unlock(core). *)
+
+type spec_state = (int * int) list (* sorted (core, page) *)
+
+let interp cfg s =
+  let acc = ref [] in
+  Array.iteri
+    (fun c p -> if p = Locked then acc := (c, cfg.targets.(c)) :: !acc)
+    s.phases;
+  List.sort compare !acc
+
+let spec_ok cfg (sp : spec_state) =
+  List.for_all
+    (fun (c1, n1) ->
+      List.for_all
+        (fun (c2, n2) -> c1 = c2 || not (Tree.related cfg.tree n1 n2))
+        sp)
+    sp
+
+(* Check refinement over the whole reachable state space; returns
+   (result, refinement_errors). *)
+let check_refinement ?(skip_read_locks = false) ?(trade_window = false)
+    ?(stepwise_unlock = false) ~tree ~targets () =
+  let cfg = { tree; targets; skip_read_locks; trade_window; stepwise_unlock } in
+  let errors = ref [] in
+  let on_edge s label s' =
+    let sp = interp cfg s and sp' = interp cfg s' in
+    if sp <> sp' then begin
+      (* Must be exactly one lock or unlock spec step. *)
+      let added = List.filter (fun x -> not (List.mem x sp)) sp' in
+      let removed = List.filter (fun x -> not (List.mem x sp')) sp in
+      match (added, removed) with
+      | [ (_, n) ], [] ->
+        (* lock(core, n): legal iff no overlap with previously held. *)
+        if
+          not
+            (List.for_all (fun (_, m) -> not (Tree.related cfg.tree n m)) sp)
+        then
+          errors :=
+            Printf.sprintf "edge %s: spec lock of n%d overlaps held set" label
+              n
+            :: !errors
+      | [], [ _ ] -> () (* unlock is always legal *)
+      | _ ->
+        errors :=
+          Printf.sprintf "edge %s: not a single spec step" label :: !errors
+    end;
+    if not (spec_ok cfg sp') then
+      errors :=
+        Printf.sprintf "edge %s: spec invariant broken after step" label
+        :: !errors
+  in
+  let result =
+    Checker.explore ~on_edge ~init:(initial cfg) ~step:(step cfg)
+      ~invariant:(fun _ -> None)
+      ~terminal ()
+  in
+  (result, List.rev !errors)

@@ -1,0 +1,50 @@
+(** Atomic Tree Spec of the CortenMM_rw locking protocol (paper §5.1,
+    Fig 5), model-checked exhaustively: mutual exclusion (the
+    non-overlapping property), lock sanity, deadlock-freedom, and
+    refinement to the Atomic Spec. *)
+
+type phase =
+  | Idle
+  | Descending of int
+  | Trading of int
+  | Traded of int
+  | Locked
+  | Releasing of int list
+  | Finished
+
+type state = {
+  readers : int array;
+  writer : bool array;
+  phases : phase array;
+}
+
+val check :
+  ?skip_read_locks:bool ->
+  ?trade_window:bool ->
+  ?stepwise_unlock:bool ->
+  tree:Tree.t ->
+  targets:int array ->
+  unit ->
+  state Checker.result
+(** Explore every interleaving of one transaction per core on the given
+    covering-page targets.
+    [skip_read_locks] is the seeded bug (no reader locks on the descent
+    path) that the checker must catch.
+    [trade_window] models Fig 5's faithful L4/L7-8 sequence: the covering
+    page's reader lock is taken during the descent, released, and only
+    then traded for the writer lock.
+    [stepwise_unlock] releases the path's reader locks one transition at a
+    time (reverse acquisition order) instead of atomically. *)
+
+type spec_state = (int * int) list
+
+val check_refinement :
+  ?skip_read_locks:bool ->
+  ?trade_window:bool ->
+  ?stepwise_unlock:bool ->
+  tree:Tree.t ->
+  targets:int array ->
+  unit ->
+  state Checker.result * string list
+(** Additionally check that every concrete transition maps (via interp) to
+    a stutter or one legal Atomic Spec step; returns refinement errors. *)

@@ -1,0 +1,1 @@
+lib/workloads/alloc_model.ml: Hashtbl List Mm_hal Mm_util Queue System

@@ -1,0 +1,1 @@
+lib/workloads/alloc_model.mli: System

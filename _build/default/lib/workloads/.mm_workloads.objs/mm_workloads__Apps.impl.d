@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Alloc_model Array Mm_hal Mm_sim Mm_util Runner System

@@ -1,0 +1,1 @@
+lib/workloads/apps.mli: Alloc_model Mm_hal Runner System

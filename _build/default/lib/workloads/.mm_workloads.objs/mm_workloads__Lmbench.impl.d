@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Cortenmm List Mm_hal Mm_linux Mm_sim

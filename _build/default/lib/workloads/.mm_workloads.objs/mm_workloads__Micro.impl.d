@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Mm_hal Mm_util Runner System

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Array List Mm_sim Mm_util

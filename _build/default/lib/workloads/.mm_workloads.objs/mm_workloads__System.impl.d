@@ -1,0 +1,1 @@
+lib/workloads/system.ml: Cortenmm Mm_hal Mm_linux Mm_nros Mm_phys Mm_radixvm

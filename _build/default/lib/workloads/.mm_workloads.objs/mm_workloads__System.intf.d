@@ -1,0 +1,1 @@
+lib/workloads/system.mli: Cortenmm Mm_hal

@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Hashtbl List Mm_hal Mm_util Printf Runner String System

@@ -1,0 +1,22 @@
+(** User-space allocator models (paper §6.4): ptmalloc returns freed
+    memory to the OS eagerly (frequent munmap); tcmalloc caches frees in
+    user space and rarely unmaps — trading resident memory for fewer
+    kernel MM operations (Figs 17/18). Per-thread instances. *)
+
+type kind = Ptmalloc | Tcmalloc
+
+val kind_name : kind -> string
+
+type t
+
+val create : kind:kind -> sys:System.t -> t
+
+val alloc : t -> size:int -> int
+(** Allocate and first-touch a block; returns its address. Large blocks
+    (>= 128 KiB) map directly; small ones carve from 1 MiB arenas. *)
+
+val free : t -> addr:int -> size:int -> unit
+
+val mmap_calls : t -> int
+val munmap_calls : t -> int
+val cached_bytes : t -> int

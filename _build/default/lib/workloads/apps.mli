@@ -1,0 +1,58 @@
+(** Application workload models reproducing the paper's §6.4 MM operation
+    mixes: JVM thread creation (Fig 16 left), metis map-reduce (Fig 16
+    right), dedup and psearchy under allocator models (Fig 17), and
+    compute-bound PARSEC kernels (Figs 15/21). *)
+
+val jvm_thread_creation :
+  ?isa:Mm_hal.Isa.t -> kind:System.kind -> nthreads:int -> unit -> int
+(** N threads each map, guard and first-touch a stack in a pre-warmed
+    address space; returns cycles (lower is better). *)
+
+val metis :
+  ?isa:Mm_hal.Isa.t ->
+  kind:System.kind ->
+  ncpus:int ->
+  ?chunks_per_thread:int ->
+  unit ->
+  Runner.result * System.t
+(** Map phase scans a shared input (read faults); workers allocate 8 MiB
+    chunks never returned to the kernel; a shuffle phase reads the other
+    workers' chunks (which is what forces RadixVM to replicate page
+    tables, Fig 22). *)
+
+val dedup :
+  ?isa:Mm_hal.Isa.t ->
+  kind:System.kind ->
+  alloc_kind:Alloc_model.kind ->
+  ncpus:int ->
+  ?iters_per_thread:int ->
+  unit ->
+  Runner.result * System.t
+(** High allocation churn through the user allocator plus a shared
+    deduplication hash table that limits scaling past ~64 threads. *)
+
+val psearchy :
+  ?isa:Mm_hal.Isa.t ->
+  kind:System.kind ->
+  alloc_kind:Alloc_model.kind ->
+  ncpus:int ->
+  ?files_per_thread:int ->
+  unit ->
+  Runner.result * System.t
+(** File indexing: map a chunk, read every page, index into
+    allocator-backed postings, unmap. *)
+
+type parsec = {
+  p_name : string;
+  work_cycles : int;
+  items : int;
+  resident : int;
+  reuse_pages : int;
+}
+
+val parsec_others : parsec list
+(** The ten non-MM-bound PARSEC benchmarks modelled as compute kernels
+    with modest resident sets. *)
+
+val run_parsec :
+  ?isa:Mm_hal.Isa.t -> kind:System.kind -> ncpus:int -> parsec -> Runner.result

@@ -1,0 +1,75 @@
+(* Spawning helpers shared by every benchmark driver.
+
+   Virtual time is global to a simulation world: cache-line and lock
+   timestamps advance monotonically. A benchmark therefore runs its setup
+   and measurement phases in ONE world, separated by barriers, and reports
+   the measured interval — running them in separate worlds would let the
+   setup's timestamps leak into the measurement's first operations. *)
+
+module Engine = Mm_sim.Engine
+
+(* A simple sense-less barrier over simulation fibers: the last arriver
+   releases everyone at its (maximal) virtual time. *)
+module Barrier = struct
+  type t = {
+    total : int;
+    mutable arrived : int;
+    mutable waiting : Engine.parked list;
+  }
+
+  let make ~total = { total; arrived = 0; waiting = [] }
+
+  let wait b =
+    Engine.serialize ();
+    b.arrived <- b.arrived + 1;
+    if b.arrived = b.total then begin
+      let t = Engine.now () in
+      List.iter (fun p -> Engine.unpark p ~at:t) b.waiting;
+      b.waiting <- [];
+      b.arrived <- 0
+    end
+    else Engine.park (fun p -> b.waiting <- p :: b.waiting)
+end
+
+(* Run a three-phase benchmark in one world:
+   - [setup] runs alone on cpu 0 (global preparation);
+   - [prep cpu] runs on every cpu in parallel (per-thread preparation);
+   - [measure cpu] runs on every cpu in parallel; the returned cycle count
+     is from the last barrier release to the last measure completion. *)
+let run_phases ?(setup = fun () -> ()) ?(prep = fun _ -> ()) ~ncpus ~measure ()
+    =
+  let w = Engine.create ~ncpus in
+  let b1 = Barrier.make ~total:ncpus in
+  let b2 = Barrier.make ~total:ncpus in
+  let start = Array.make ncpus 0 in
+  let finish = Array.make ncpus 0 in
+  for cpu = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu (fun () ->
+        if cpu = 0 then setup ();
+        Barrier.wait b1;
+        prep cpu;
+        Barrier.wait b2;
+        start.(cpu) <- Engine.now ();
+        measure cpu;
+        finish.(cpu) <- Engine.now ())
+  done;
+  Engine.run w;
+  let t0 = Array.fold_left min max_int start in
+  let t1 = Array.fold_left max 0 finish in
+  t1 - t0
+
+(* Run [f cpu] on each of [ncpus] virtual CPUs with no setup; returns the
+   completion time (max over CPUs, in cycles). Only safe for benchmarks
+   whose world is fresh (no state carried from another world). *)
+let run_threads ~ncpus f =
+  let w = Engine.create ~ncpus in
+  for cpu = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu (fun () -> f cpu)
+  done;
+  Engine.run w;
+  Engine.max_time w
+
+type result = { ops : int; cycles : int; ops_per_sec : float }
+
+let result ~ops ~cycles =
+  { ops; cycles; ops_per_sec = Mm_util.Stats.ops_per_second ~ops ~cycles }

@@ -1,0 +1,30 @@
+(** Benchmark spawning helpers. Virtual time is global to a world, so a
+    benchmark runs its setup and measurement in ONE world separated by
+    barriers, measuring only the final interval. *)
+
+module Barrier : sig
+  type t
+
+  val make : total:int -> t
+
+  val wait : t -> unit
+  (** The last arriver releases everyone at its virtual time. *)
+end
+
+val run_phases :
+  ?setup:(unit -> unit) ->
+  ?prep:(int -> unit) ->
+  ncpus:int ->
+  measure:(int -> unit) ->
+  unit ->
+  int
+(** [setup] runs alone on cpu 0; [prep cpu] runs on every CPU in
+    parallel; then, after a barrier, [measure cpu]. Returns the measured
+    interval in cycles (barrier release to last completion). *)
+
+val run_threads : ncpus:int -> (int -> unit) -> int
+(** Plain parallel run with no phases (only safe in a fresh world). *)
+
+type result = { ops : int; cycles : int; ops_per_sec : float }
+
+val result : ops:int -> cycles:int -> result

@@ -1,0 +1,48 @@
+(** A uniform façade over the evaluated systems (CortenMM and its
+    ablations, Linux, RadixVM, NrOS) so benchmark drivers are
+    system-agnostic. *)
+
+type kind =
+  | Corten of Cortenmm.Config.t
+  | Linux
+  | Radixvm
+  | Nros
+
+val kind_name : kind -> string
+
+type mem_stats = {
+  pt_bytes : int; (** page tables, all replicas *)
+  kernel_bytes : int; (** VMAs, metadata arrays, radix nodes *)
+  resident_bytes : int; (** user data frames, now *)
+  peak_resident_bytes : int; (** user data frames, high-water mark *)
+}
+
+type t = {
+  kind : kind;
+  name : string;
+  ncpus : int;
+  page_size : int;
+  demand_paging : bool;
+  mmap : ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int;
+  munmap : addr:int -> len:int -> unit;
+  touch : vaddr:int -> write:bool -> unit;
+  touch_range : addr:int -> len:int -> write:bool -> unit;
+  mprotect : (addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit) option;
+  timer_tick : unit -> unit;
+  mem_stats : unit -> mem_stats;
+}
+
+val make : ?isa:Mm_hal.Isa.t -> kind -> ncpus:int -> t
+
+val warm : t -> cpu:int -> unit
+(** One throwaway mapping on the calling CPU's fiber, materializing its
+    share's PT chain — application drivers run this in their prep phase
+    (real processes run in address spaces warmed by startup). *)
+
+val table2_features : (string * bool list) list
+(** The paper's Table 2 claims. *)
+
+val table2_headers : string list
+
+val implemented_features : (string * bool list) list
+(** What this reproduction actually implements, printed for honesty. *)

@@ -1,0 +1,285 @@
+(* MM operation traces: a portable text format for recording memory
+   management workloads, a synthetic generator with workload profiles,
+   and a replayer that drives any of the five systems.
+
+   Regions are referenced by symbolic ids rather than addresses, so one
+   trace replays identically on systems with different VA allocators.
+
+   Text format, one operation per line ('#' starts a comment):
+
+     <cpu> mmap <id> <bytes> <rw|ro>
+     <cpu> munmap <id>
+     <cpu> touch <id> <page-index> <r|w>
+     <cpu> mprotect <id> <rw|ro>
+*)
+
+module Perm = Mm_hal.Perm
+
+type op =
+  | T_mmap of { id : int; len : int; writable : bool }
+  | T_munmap of { id : int }
+  | T_touch of { id : int; page : int; write : bool }
+  | T_mprotect of { id : int; writable : bool }
+
+type entry = { cpu : int; op : op }
+
+type t = { ncpus : int; entries : entry array }
+
+(* -- Text serialization -- *)
+
+let entry_to_string { cpu; op } =
+  match op with
+  | T_mmap { id; len; writable } ->
+    Printf.sprintf "%d mmap %d %d %s" cpu id len (if writable then "rw" else "ro")
+  | T_munmap { id } -> Printf.sprintf "%d munmap %d" cpu id
+  | T_touch { id; page; write } ->
+    Printf.sprintf "%d touch %d %d %s" cpu id page (if write then "w" else "r")
+  | T_mprotect { id; writable } ->
+    Printf.sprintf "%d mprotect %d %s" cpu id (if writable then "rw" else "ro")
+
+exception Parse_error of int * string
+
+let entry_of_string ~line s =
+  let fail msg = raise (Parse_error (line, msg)) in
+  let int_of s = try int_of_string s with _ -> fail ("bad integer " ^ s) in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ cpu; "mmap"; id; len; prot ] ->
+    {
+      cpu = int_of cpu;
+      op =
+        T_mmap
+          {
+            id = int_of id;
+            len = int_of len;
+            writable =
+              (match prot with
+              | "rw" -> true
+              | "ro" -> false
+              | p -> fail ("bad protection " ^ p));
+          };
+    }
+  | [ cpu; "munmap"; id ] ->
+    { cpu = int_of cpu; op = T_munmap { id = int_of id } }
+  | [ cpu; "touch"; id; page; rw ] ->
+    {
+      cpu = int_of cpu;
+      op =
+        T_touch
+          {
+            id = int_of id;
+            page = int_of page;
+            write =
+              (match rw with
+              | "w" -> true
+              | "r" -> false
+              | p -> fail ("bad access " ^ p));
+          };
+    }
+  | [ cpu; "mprotect"; id; prot ] ->
+    {
+      cpu = int_of cpu;
+      op =
+        T_mprotect
+          {
+            id = int_of id;
+            writable =
+              (match prot with
+              | "rw" -> true
+              | "ro" -> false
+              | p -> fail ("bad protection " ^ p));
+          };
+    }
+  | _ -> fail ("unrecognized operation: " ^ s)
+
+let save t path =
+  let oc = open_out path in
+  Printf.fprintf oc "# mm trace: %d cpus, %d operations\n" t.ncpus
+    (Array.length t.entries);
+  Array.iter (fun e -> output_string oc (entry_to_string e ^ "\n")) t.entries;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let entries = ref [] in
+  let ncpus = ref 1 in
+  let line = ref 0 in
+  (try
+     while true do
+       incr line;
+       let s = input_line ic in
+       let s = String.trim s in
+       if s <> "" && s.[0] <> '#' then begin
+         let e = entry_of_string ~line:!line s in
+         if e.cpu + 1 > !ncpus then ncpus := e.cpu + 1;
+         entries := e :: !entries
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  { ncpus = !ncpus; entries = Array.of_list (List.rev !entries) }
+
+(* -- Synthetic generation -- *)
+
+type profile =
+  | Churn (* allocator-like: map, touch a few pages, unmap *)
+  | Faults (* fault-heavy: few large regions, many touches *)
+  | Mixed (* a blend, with occasional mprotects *)
+
+let profile_name = function
+  | Churn -> "churn"
+  | Faults -> "faults"
+  | Mixed -> "mixed"
+
+let profile_of_name = function
+  | "churn" -> Some Churn
+  | "faults" -> Some Faults
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let generate ~profile ~ncpus ~ops_per_cpu ~seed =
+  let next_id = ref 0 in
+  let entries = ref [] in
+  let emit cpu op = entries := { cpu; op } :: !entries in
+  for cpu = 0 to ncpus - 1 do
+    let rng = Mm_util.Rng.create ~seed:(seed + (97 * cpu)) in
+    let live = ref [] in
+    let budget = ref ops_per_cpu in
+    let fresh_region ~pages ~writable =
+      incr next_id;
+      let id = !next_id in
+      emit cpu (T_mmap { id; len = pages * 4096; writable });
+      live := (id, pages) :: !live;
+      decr budget;
+      id
+    in
+    while !budget > 0 do
+      match profile with
+      | Churn ->
+        let pages = 1 + Mm_util.Rng.int rng 8 in
+        let id = fresh_region ~pages ~writable:true in
+        let touches = min !budget (1 + Mm_util.Rng.int rng pages) in
+        for k = 0 to touches - 1 do
+          emit cpu (T_touch { id; page = k mod pages; write = true });
+          decr budget
+        done;
+        if !budget > 0 then begin
+          emit cpu (T_munmap { id });
+          live := List.remove_assoc id !live;
+          decr budget
+        end
+      | Faults ->
+        (match !live with
+        | [] -> ignore (fresh_region ~pages:256 ~writable:true)
+        | regions ->
+          let id, pages =
+            List.nth regions (Mm_util.Rng.int rng (List.length regions))
+          in
+          emit cpu
+            (T_touch
+               {
+                 id;
+                 page = Mm_util.Rng.int rng pages;
+                 write = Mm_util.Rng.bool rng;
+               });
+          decr budget;
+          if List.length regions < 4 && Mm_util.Rng.int rng 50 = 0 then
+            ignore (fresh_region ~pages:256 ~writable:true))
+      | Mixed -> (
+        match Mm_util.Rng.int rng 10 with
+        | 0 | 1 -> ignore (fresh_region ~pages:(1 + Mm_util.Rng.int rng 16) ~writable:true)
+        | 2 -> (
+          match !live with
+          | (id, _) :: rest ->
+            emit cpu (T_munmap { id });
+            live := rest;
+            decr budget
+          | [] -> ignore (fresh_region ~pages:4 ~writable:true))
+        | 3 -> (
+          match !live with
+          | (id, _) :: _ ->
+            emit cpu (T_mprotect { id; writable = Mm_util.Rng.bool rng });
+            decr budget
+          | [] -> ignore (fresh_region ~pages:4 ~writable:true))
+        | _ -> (
+          match !live with
+          | [] -> ignore (fresh_region ~pages:8 ~writable:true)
+          | regions ->
+            let id, pages =
+              List.nth regions (Mm_util.Rng.int rng (List.length regions))
+            in
+            emit cpu
+              (T_touch
+                 {
+                   id;
+                   page = Mm_util.Rng.int rng pages;
+                   write = Mm_util.Rng.bool rng;
+                 });
+            decr budget))
+    done
+  done;
+  { ncpus; entries = Array.of_list (List.rev !entries) }
+
+(* -- Replay -- *)
+
+type replay_stats = {
+  result : Runner.result;
+  mmaps : int;
+  munmaps : int;
+  touches : int;
+  faults_denied : int; (* touches that hit SIGSEGV (e.g. after mprotect) *)
+}
+
+let replay ?(isa = Mm_hal.Isa.x86_64) ~kind trace =
+  let sys = System.make ~isa kind ~ncpus:trace.ncpus in
+  (* id -> (addr, len); shared across CPUs (simulation is cooperative). *)
+  let regions : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let mmaps = ref 0 and munmaps = ref 0 and touches = ref 0 in
+  let denied = ref 0 in
+  (* Per-CPU streams, replayed in trace order within each CPU. *)
+  let per_cpu = Array.make trace.ncpus [] in
+  Array.iter
+    (fun e -> per_cpu.(e.cpu) <- e.op :: per_cpu.(e.cpu))
+    trace.entries;
+  Array.iteri (fun i l -> per_cpu.(i) <- List.rev l) per_cpu;
+  let cycles =
+    Runner.run_phases ~ncpus:trace.ncpus
+      ~prep:(fun cpu -> System.warm sys ~cpu)
+      ()
+      ~measure:(fun cpu ->
+        List.iter
+          (fun op ->
+            match op with
+            | T_mmap { id; len; writable } ->
+              incr mmaps;
+              let perm = if writable then Perm.rw else Perm.r in
+              let addr = sys.System.mmap ~len ~perm () in
+              Hashtbl.replace regions id (addr, len)
+            | T_munmap { id } -> (
+              match Hashtbl.find_opt regions id with
+              | Some (addr, len) ->
+                incr munmaps;
+                Hashtbl.remove regions id;
+                sys.System.munmap ~addr ~len
+              | None -> ())
+            | T_touch { id; page; write } -> (
+              match Hashtbl.find_opt regions id with
+              | Some (addr, len) when page * 4096 < len -> (
+                incr touches;
+                try sys.System.touch ~vaddr:(addr + (page * 4096)) ~write
+                with _ -> incr denied)
+              | Some _ | None -> ())
+            | T_mprotect { id; writable } -> (
+              match (Hashtbl.find_opt regions id, sys.System.mprotect) with
+              | Some (addr, len), Some mprotect ->
+                mprotect ~addr ~len
+                  ~perm:(if writable then Perm.rw else Perm.r)
+              | _ -> ()))
+          per_cpu.(cpu))
+  in
+  {
+    result = Runner.result ~ops:(Array.length trace.entries) ~cycles;
+    mmaps = !mmaps;
+    munmaps = !munmaps;
+    touches = !touches;
+    faults_denied = !denied;
+  }

@@ -1,0 +1,43 @@
+(** MM operation traces: a portable text format (regions referenced by
+    symbolic ids so a trace replays on any system regardless of its VA
+    allocator), a synthetic generator with workload profiles, and a
+    replayer driving any of the evaluated systems. *)
+
+type op =
+  | T_mmap of { id : int; len : int; writable : bool }
+  | T_munmap of { id : int }
+  | T_touch of { id : int; page : int; write : bool }
+  | T_mprotect of { id : int; writable : bool }
+
+type entry = { cpu : int; op : op }
+type t = { ncpus : int; entries : entry array }
+
+exception Parse_error of int * string
+
+val entry_to_string : entry -> string
+val entry_of_string : line:int -> string -> entry
+val save : t -> string -> unit
+val load : string -> t
+
+type profile = Churn | Faults | Mixed
+
+val profile_name : profile -> string
+val profile_of_name : string -> profile option
+
+val generate : profile:profile -> ncpus:int -> ops_per_cpu:int -> seed:int -> t
+(** Deterministic synthetic trace: [Churn] = allocator-like
+    map/touch/unmap cycles; [Faults] = few large regions, many touches;
+    [Mixed] = a blend with occasional mprotects. *)
+
+type replay_stats = {
+  result : Runner.result;
+  mmaps : int;
+  munmaps : int;
+  touches : int;
+  faults_denied : int;
+}
+
+val replay : ?isa:Mm_hal.Isa.t -> kind:System.kind -> t -> replay_stats
+(** Replay the trace's per-CPU streams on a fresh instance of the system
+    (pre-warmed); unknown/defunct region references are skipped, denied
+    accesses counted. *)

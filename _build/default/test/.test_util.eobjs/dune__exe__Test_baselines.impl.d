@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hashtbl List Mm_hal Mm_linux Mm_nros Mm_phys Mm_radixvm Mm_sim Printf QCheck QCheck_alcotest

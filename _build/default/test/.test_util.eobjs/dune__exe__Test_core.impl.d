@@ -1,0 +1,1 @@
+test/test_core.ml: Addr_space Alcotest Blockdev Config Cortenmm File Hashtbl Kernel List Mm Mm_hal Mm_phys Mm_pt Mm_sim Mm_util Printf QCheck QCheck_alcotest Status Va_alloc

@@ -1,0 +1,1 @@
+test/test_hal.ml: Alcotest Geometry Int64 Isa List Mm_hal Perm Printf Pte Pte_format QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa_diff.ml: Addr_space Alcotest Blockdev Buffer Config Cortenmm Kernel List Mm Mm_hal Mm_sim Mm_verif Mm_workloads Printf Status

@@ -1,0 +1,1 @@
+test/test_mpk.ml: Addr_space Alcotest Config Cortenmm Kernel Mm Mm_hal Mm_sim

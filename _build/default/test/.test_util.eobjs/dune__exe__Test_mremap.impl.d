@@ -1,0 +1,1 @@
+test/test_mremap.ml: Addr_space Alcotest Blockdev Config Cortenmm File Kernel Mm Mm_hal Mm_phys Mm_sim Printf Status

@@ -1,0 +1,1 @@
+test/test_numa.ml: Addr_space Alcotest Config Cortenmm Kernel List Mm Mm_hal Mm_phys Mm_sim Numa Printf Status

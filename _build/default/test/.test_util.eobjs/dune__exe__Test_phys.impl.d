@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Hashtbl List Mm_phys Mm_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost Engine List Mm_sim Mm_util Mutex_s Pqueue Printf QCheck QCheck_alcotest Rcu_s Rwlock_s

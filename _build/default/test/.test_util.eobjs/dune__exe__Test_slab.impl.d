@@ -1,0 +1,1 @@
+test/test_slab.ml: Alcotest Array Hashtbl List Mm_phys Mm_util QCheck QCheck_alcotest

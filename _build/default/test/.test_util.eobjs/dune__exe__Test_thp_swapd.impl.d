@@ -1,0 +1,1 @@
+test/test_thp_swapd.ml: Addr_space Alcotest Blockdev Config Cortenmm Kernel Mm Mm_hal Mm_phys Mm_pt Mm_sim Printf Status Swapd

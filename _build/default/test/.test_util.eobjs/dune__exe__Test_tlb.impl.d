@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Array Cortenmm Mm_hal Mm_sim Mm_tlb Option Printf

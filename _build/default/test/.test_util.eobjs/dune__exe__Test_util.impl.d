@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Align Float List Mm_util QCheck QCheck_alcotest Rng Stats String Tablefmt

@@ -1,0 +1,1 @@
+test/test_verif.ml: Adv_model Alcotest Checker Cortenmm Funcheck List Mm_verif Printf Rw_model String Tree

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer Cortenmm Filename List Mm_hal Mm_sim Mm_workloads Option Printf Sys

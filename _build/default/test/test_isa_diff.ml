@@ -1,0 +1,151 @@
+(* Cross-ISA differential tests: the same operation sequence must produce
+   identical user-visible behaviour on x86-64, RISC-V Sv48 and ARMv8 —
+   only the raw PTE encodings (and ARM's break-before-make cost) differ.
+   This is the executable form of the paper's portability claim (§3.5):
+   nothing above the HAL changes across ISAs. *)
+
+open Cortenmm
+module Engine = Mm_sim.Engine
+module Perm = Mm_hal.Perm
+
+let check = Alcotest.check
+let page = 4096
+
+let isas = [ Mm_hal.Isa.x86_64; Mm_hal.Isa.riscv_sv48; Mm_hal.Isa.arm64 ]
+
+let in_sim f =
+  let w = Engine.create ~ncpus:1 in
+  let result = ref None in
+  Engine.spawn w ~cpu:0 (fun () -> result := Some (f ()));
+  Engine.run w;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber died"
+
+(* Run a scripted workload and return its observable trace: statuses
+   (shape only — pfns differ), values, fault outcomes. *)
+let observable_trace isa =
+  in_sim (fun () ->
+      let kernel = Kernel.create ~isa ~ncpus:1 () in
+      let asp = Addr_space.create kernel Config.adv in
+      let log = Buffer.create 256 in
+      let obs fmt = Printf.ksprintf (fun s -> Buffer.add_string log (s ^ ";")) fmt in
+      let a = Mm.mmap asp ~addr:0x4000_0000 ~len:(16 * page) ~perm:Perm.rw () in
+      Mm.write_value asp ~vaddr:a ~value:11;
+      obs "w11";
+      obs "r%d" (Mm.read_value asp ~vaddr:a);
+      Mm.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.r;
+      (match Mm.page_fault asp ~vaddr:a ~write:true with
+      | Mm.Sigsegv -> obs "segv"
+      | Mm.Handled -> obs "handled");
+      Mm.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.rw;
+      let child = Mm.fork asp in
+      Mm.write_value child ~vaddr:a ~value:22;
+      obs "parent=%d child=%d" (Mm.read_value asp ~vaddr:a)
+        (Mm.read_value child ~vaddr:a);
+      let dev = Blockdev.create ~name:"swap" () in
+      Mm.write_value asp ~vaddr:(a + page) ~value:33;
+      ignore (Mm.swap_out asp ~vaddr:(a + page) ~dev);
+      obs "swapback=%d" (Mm.read_value asp ~vaddr:(a + page));
+      Mm.munmap asp ~addr:a ~len:(8 * page);
+      Addr_space.with_lock asp ~lo:a ~hi:(a + (16 * page)) (fun c ->
+          for i = 0 to 15 do
+            obs "%s"
+              (match Addr_space.query c (a + (i * page)) with
+              | Status.Invalid -> "I"
+              | Status.Mapped _ -> "M"
+              | Status.Private_anon _ -> "A"
+              | Status.Swapped _ -> "S"
+              | Status.Private_file _ -> "F"
+              | Status.Shared_anon _ -> "H")
+          done);
+      Addr_space.check_well_formed asp;
+      Addr_space.check_well_formed child;
+      Buffer.contents log)
+
+let test_same_behaviour_everywhere () =
+  match List.map observable_trace isas with
+  | [ x86; riscv; arm ] ->
+    check Alcotest.string "riscv == x86" x86 riscv;
+    check Alcotest.string "arm == x86" x86 arm
+  | _ -> assert false
+
+let test_exhaustive_on_every_isa () =
+  (* The full P2 depth-2 exhaustive check runs under each PTE codec:
+     functional correctness must be ISA-independent. *)
+  List.iter
+    (fun isa ->
+      let r =
+        Mm_verif.Funcheck.exhaustive ~isa ~cfg:Cortenmm.Config.adv ~depth:2 ()
+      in
+      check Alcotest.int
+        (isa.Mm_hal.Isa.name ^ ": no failures")
+        0
+        (List.length r.Mm_verif.Funcheck.failures))
+    isas
+
+let test_arm_bbm_costs_more () =
+  (* The same mprotect of live pages costs more on ARM: each rewrite
+     breaks (invalid write + TLB invalidate) before making. *)
+  let cost isa =
+    in_sim (fun () ->
+        let kernel = Kernel.create ~isa ~ncpus:1 () in
+        let asp = Addr_space.create kernel Config.adv in
+        let a = Mm.mmap asp ~addr:0x4000_0000 ~len:(32 * page) ~perm:Perm.rw () in
+        Mm.touch_range asp ~addr:a ~len:(32 * page) ~write:true;
+        let t0 = Engine.now () in
+        Mm.mprotect asp ~addr:a ~len:(32 * page) ~perm:Perm.r;
+        Engine.now () - t0)
+  in
+  let x86 = cost Mm_hal.Isa.x86_64 in
+  let arm = cost Mm_hal.Isa.arm64 in
+  check Alcotest.bool
+    (Printf.sprintf "arm (%d) > x86 (%d)" arm x86)
+    true (arm > x86);
+  (* The difference is exactly the per-page break cost. *)
+  check Alcotest.int "delta = 32 breaks"
+    (32 * (Mm_sim.Cost.tlb_flush_page + Mm_sim.Cost.pte_write + Mm_sim.Cost.cache_hit))
+    (arm - x86)
+
+let test_bbm_flags () =
+  check Alcotest.bool "x86 no BBM" false
+    (Mm_hal.Isa.needs_break_before_make Mm_hal.Isa.x86_64);
+  check Alcotest.bool "riscv no BBM" false
+    (Mm_hal.Isa.needs_break_before_make Mm_hal.Isa.riscv_sv48);
+  check Alcotest.bool "arm BBM" true
+    (Mm_hal.Isa.needs_break_before_make Mm_hal.Isa.arm64)
+
+let test_microbench_runs_on_all_isas () =
+  List.iter
+    (fun isa ->
+      match
+        Mm_workloads.Micro.run ~isa
+          ~kind:(Mm_workloads.System.Corten Config.adv) ~ncpus:2
+          ~bench:Mm_workloads.Micro.Mmap_pf ~contention:Mm_workloads.Micro.Low
+          ~iters:10 ()
+      with
+      | Some r ->
+        check Alcotest.bool
+          (isa.Mm_hal.Isa.name ^ " runs")
+          true
+          (r.Mm_workloads.Runner.ops_per_sec > 0.0)
+      | None -> Alcotest.fail "unsupported")
+    isas
+
+let () =
+  Alcotest.run "isa-differential"
+    [
+      ( "portability",
+        [
+          Alcotest.test_case "same behaviour on all ISAs" `Quick
+            test_same_behaviour_everywhere;
+          Alcotest.test_case "exhaustive P2 on every ISA" `Quick
+            test_exhaustive_on_every_isa;
+          Alcotest.test_case "microbench on all ISAs" `Quick
+            test_microbench_runs_on_all_isas;
+        ] );
+      ( "break-before-make",
+        [
+          Alcotest.test_case "flags" `Quick test_bbm_flags;
+          Alcotest.test_case "ARM rewrites cost more" `Quick
+            test_arm_bbm_costs_more;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Tests for the Intel MPK extension (Table 5's "new MMU feature"):
+   protection keys stored in the PTE, gated by the per-CPU PKRU register,
+   checked on every access including TLB hits. *)
+
+open Cortenmm
+module Engine = Mm_sim.Engine
+module Perm = Mm_hal.Perm
+
+let check = Alcotest.check
+let page = 4096
+let kib n = n * 1024
+
+let in_sim ?(ncpus = 1) ?(cpu = 0) f =
+  let w = Engine.create ~ncpus in
+  let result = ref None in
+  Engine.spawn w ~cpu (fun () -> result := Some (f ()));
+  Engine.run w;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber died"
+
+let setup () =
+  let kernel = Kernel.create ~ncpus:2 () in
+  (kernel, Addr_space.create kernel Config.adv)
+
+let test_key_allows_by_default () =
+  let _, asp = setup () in
+  in_sim ~ncpus:2 (fun () ->
+      let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      Mm.touch asp ~vaddr:addr ~write:true;
+      Mm.pkey_mprotect asp ~addr ~len:(kib 16) ~perm:Perm.rw ~key:5;
+      (* No PKRU denial set: access proceeds. *)
+      Mm.touch asp ~vaddr:addr ~write:true)
+
+let test_pkru_denies_access () =
+  let kernel, asp = setup () in
+  in_sim ~ncpus:2 (fun () ->
+      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      Mm.touch asp ~vaddr:addr ~write:true;
+      Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:3;
+      Kernel.wrpkru kernel ~cpu:0 ~key:3 ~deny_access:true ~deny_write:true;
+      (match Mm.touch asp ~vaddr:addr ~write:false with
+      | () -> Alcotest.fail "read should be denied by PKRU"
+      | exception Mm.Fault _ -> ());
+      (* Re-enabling the key restores access — no TLB flush needed. *)
+      Kernel.wrpkru kernel ~cpu:0 ~key:3 ~deny_access:false ~deny_write:false;
+      Mm.touch asp ~vaddr:addr ~write:true)
+
+let test_pkru_write_only_denial () =
+  let kernel, asp = setup () in
+  in_sim ~ncpus:2 (fun () ->
+      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      Mm.touch asp ~vaddr:addr ~write:true;
+      Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:2;
+      Kernel.wrpkru kernel ~cpu:0 ~key:2 ~deny_access:false ~deny_write:true;
+      Mm.touch asp ~vaddr:addr ~write:false (* reads still allowed *);
+      match Mm.touch asp ~vaddr:addr ~write:true with
+      | () -> Alcotest.fail "write should be denied by PKRU"
+      | exception Mm.Fault _ -> ())
+
+let test_pkru_checked_on_tlb_hit () =
+  (* The whole point of MPK: a PKRU change takes effect immediately, even
+     for translations already cached in the TLB. *)
+  let kernel, asp = setup () in
+  in_sim ~ncpus:2 (fun () ->
+      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:7;
+      Mm.touch asp ~vaddr:addr ~write:true (* TLB now caches the entry *);
+      Kernel.wrpkru kernel ~cpu:0 ~key:7 ~deny_access:true ~deny_write:true;
+      match Mm.touch asp ~vaddr:addr ~write:false with
+      | () -> Alcotest.fail "TLB hit must still honour PKRU"
+      | exception Mm.Fault _ -> ())
+
+let test_pkru_per_cpu () =
+  let kernel, asp = setup () in
+  (* Deny key 4 on cpu 0 only; cpu 1 can still access. *)
+  in_sim ~ncpus:2 ~cpu:0 (fun () ->
+      let addr = Mm.mmap asp ~addr:0x4000_0000 ~len:page ~perm:Perm.rw () in
+      Mm.touch asp ~vaddr:addr ~write:true;
+      Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:4;
+      Kernel.wrpkru kernel ~cpu:0 ~key:4 ~deny_access:true ~deny_write:true);
+  let cpu0_denied =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        Mm.timer_tick asp;
+        match Mm.touch asp ~vaddr:0x4000_0000 ~write:false with
+        | () -> false
+        | exception Mm.Fault _ -> true)
+  in
+  let cpu1_allowed =
+    in_sim ~ncpus:2 ~cpu:1 (fun () ->
+        Mm.timer_tick asp;
+        match Mm.touch asp ~vaddr:0x4000_0000 ~write:false with
+        | () -> true
+        | exception Mm.Fault _ -> false)
+  in
+  check Alcotest.bool "cpu0 denied" true cpu0_denied;
+  check Alcotest.bool "cpu1 allowed" true cpu1_allowed
+
+let test_mpk_rejected_on_riscv () =
+  let kernel = Kernel.create ~isa:Mm_hal.Isa.riscv_sv48 ~ncpus:1 () in
+  let asp = Addr_space.create kernel Config.adv in
+  in_sim (fun () ->
+      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      Alcotest.(check bool)
+        "pkey_mprotect raises on RISC-V" true
+        (try
+           Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:1;
+           false
+         with Invalid_argument _ -> true))
+
+let () =
+  Alcotest.run "mpk"
+    [
+      ( "pkru",
+        [
+          Alcotest.test_case "default allows" `Quick test_key_allows_by_default;
+          Alcotest.test_case "deny access" `Quick test_pkru_denies_access;
+          Alcotest.test_case "deny write only" `Quick
+            test_pkru_write_only_denial;
+          Alcotest.test_case "checked on TLB hit" `Quick
+            test_pkru_checked_on_tlb_hit;
+          Alcotest.test_case "per-cpu registers" `Quick test_pkru_per_cpu;
+          Alcotest.test_case "rejected on RISC-V" `Quick
+            test_mpk_rejected_on_riscv;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the NUMA policy extension (the paper's §4.5 future work):
+   policies stored in the per-PTE metadata, consulted by the fault path,
+   inherited across splits and fork, and rewritten by mbind. *)
+
+open Cortenmm
+module Engine = Mm_sim.Engine
+module Perm = Mm_hal.Perm
+
+let check = Alcotest.check
+let page = 4096
+let kib n = n * 1024
+
+let in_sim ?(ncpus = 1) ~cpu f =
+  let w = Engine.create ~ncpus in
+  let result = ref None in
+  Engine.spawn w ~cpu (fun () -> result := Some (f ()));
+  Engine.run w;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber died"
+
+let node_of kernel asp addr =
+  match
+    Addr_space.with_lock asp ~lo:addr ~hi:(addr + page) (fun c ->
+        Addr_space.query c addr)
+  with
+  | Status.Mapped { pfn; _ } ->
+    Mm_phys.Phys.node_of_pfn kernel.Kernel.phys pfn
+  | s -> Alcotest.failf "expected mapped, got %s" (Status.to_string s)
+
+let test_choose () =
+  check Alcotest.int "default is local" 1
+    (Numa.choose ~policy:Numa.Default ~local_node:1 ~vpn:0 ~nnodes:2);
+  check Alcotest.int "bind" 0
+    (Numa.choose ~policy:(Numa.Bind 0) ~local_node:1 ~vpn:5 ~nnodes:2);
+  check Alcotest.int "bind out of range falls back" 1
+    (Numa.choose ~policy:(Numa.Bind 7) ~local_node:1 ~vpn:0 ~nnodes:2);
+  check Alcotest.int "interleave vpn 0" 0
+    (Numa.choose ~policy:(Numa.Interleave [ 0; 1 ]) ~local_node:0 ~vpn:0
+       ~nnodes:2);
+  check Alcotest.int "interleave vpn 1" 1
+    (Numa.choose ~policy:(Numa.Interleave [ 0; 1 ]) ~local_node:0 ~vpn:1
+       ~nnodes:2)
+
+let test_node_of_cpu () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:8 () in
+  check Alcotest.int "cpu0 -> node0" 0 (Kernel.node_of_cpu kernel ~cpu:0);
+  check Alcotest.int "cpu3 -> node0" 0 (Kernel.node_of_cpu kernel ~cpu:3);
+  check Alcotest.int "cpu4 -> node1" 1 (Kernel.node_of_cpu kernel ~cpu:4);
+  check Alcotest.int "cpu7 -> node1" 1 (Kernel.node_of_cpu kernel ~cpu:7)
+
+let test_default_allocates_local () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:4 () in
+  let asp = Addr_space.create kernel Config.adv in
+  (* cpu 3 is on node 1: its faults must land on node 1. *)
+  let node =
+    in_sim ~ncpus:4 ~cpu:3 (fun () ->
+        let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+        Mm.touch asp ~vaddr:addr ~write:true;
+        node_of kernel asp addr)
+  in
+  check Alcotest.int "local allocation" 1 node
+
+let test_bind_policy () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:4 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let node =
+    in_sim ~ncpus:4 ~cpu:3 (fun () ->
+        let addr =
+          Mm.mmap asp ~policy:(Numa.Bind 0) ~len:(kib 16) ~perm:Perm.rw ()
+        in
+        Mm.touch asp ~vaddr:addr ~write:true;
+        node_of kernel asp addr)
+  in
+  check Alcotest.int "bound to node 0 despite faulting on node 1" 0 node
+
+let test_interleave_policy () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let nodes =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        let addr =
+          Mm.mmap asp
+            ~policy:(Numa.Interleave [ 0; 1 ])
+            ~len:(kib 16) ~perm:Perm.rw ()
+        in
+        Mm.touch_range asp ~addr ~len:(kib 16) ~write:true;
+        List.init 4 (fun i -> node_of kernel asp (addr + (i * page))))
+  in
+  (* Consecutive pages alternate between the nodes. *)
+  (match nodes with
+  | [ a; b; c; d ] ->
+    check Alcotest.bool "alternating" true (a <> b && b <> c && c <> d)
+  | _ -> Alcotest.fail "expected 4 pages");
+  check Alcotest.int "both nodes used" 2
+    (List.length (List.sort_uniq compare nodes))
+
+let test_mbind_rewrites () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let node =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+        (* Rebind before faulting: pages must follow the new policy. *)
+        Mm.mbind asp ~addr ~len:(kib 16) ~policy:(Numa.Bind 1);
+        Mm.touch asp ~vaddr:addr ~write:true;
+        node_of kernel asp addr)
+  in
+  check Alcotest.int "mbind redirected allocation" 1 node
+
+let test_mbind_does_not_migrate () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let node =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+        Mm.touch asp ~vaddr:addr ~write:true (* resident on node 0 *);
+        Mm.mbind asp ~addr ~len:page ~policy:(Numa.Bind 1);
+        node_of kernel asp addr)
+  in
+  check Alcotest.int "resident page not migrated" 0 node
+
+let test_policy_survives_split () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let node =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        (* A 2 MiB-aligned bound mark stored at an upper level; punching a
+           hole pushes it down — the policy must survive the split. *)
+        let addr = 1 lsl 30 in
+        let len = 2 * 1024 * 1024 in
+        ignore
+          (Mm.mmap asp ~addr ~policy:(Numa.Bind 1) ~len ~perm:Perm.rw ());
+        Mm.munmap asp ~addr:(addr + (64 * page)) ~len:page;
+        Mm.touch asp ~vaddr:addr ~write:true;
+        node_of kernel asp addr)
+  in
+  check Alcotest.int "policy survived push-down" 1 node
+
+let test_policy_survives_fork () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let node =
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        let addr =
+          Mm.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
+        in
+        let child = Mm.fork asp in
+        Mm.touch child ~vaddr:addr ~write:true;
+        node_of kernel child addr)
+  in
+  check Alcotest.int "child inherits policy" 1 node
+
+let test_remote_alloc_costs_more () =
+  let time ~policy =
+    let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+    let asp = Addr_space.create kernel Config.adv in
+    in_sim ~ncpus:2 ~cpu:0 (fun () ->
+        let addr = Mm.mmap asp ~policy ~len:(kib 64) ~perm:Perm.rw () in
+        let t0 = Engine.now () in
+        Mm.touch_range asp ~addr ~len:(kib 64) ~write:true;
+        Engine.now () - t0)
+  in
+  let local = time ~policy:(Numa.Bind 0) in
+  let remote = time ~policy:(Numa.Bind 1) in
+  check Alcotest.bool
+    (Printf.sprintf "remote faults cost more (%d vs %d)" remote local)
+    true (remote > local)
+
+let test_per_node_accounting () =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  in_sim ~ncpus:2 ~cpu:0 (fun () ->
+      let addr =
+        Mm.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
+      in
+      Mm.touch_range asp ~addr ~len:(kib 16) ~write:true;
+      (* All four frames must have come from node 1's pfn stripe. *)
+      for i = 0 to 3 do
+        let n = node_of kernel asp (addr + (i * page)) in
+        check Alcotest.int "frame on node 1" 1 n
+      done)
+
+let () =
+  Alcotest.run "numa"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "node_of_cpu" `Quick test_node_of_cpu;
+        ] );
+      ( "fault-path",
+        [
+          Alcotest.test_case "default is local" `Quick
+            test_default_allocates_local;
+          Alcotest.test_case "bind" `Quick test_bind_policy;
+          Alcotest.test_case "interleave" `Quick test_interleave_policy;
+          Alcotest.test_case "remote costs more" `Quick
+            test_remote_alloc_costs_more;
+          Alcotest.test_case "per-node accounting" `Quick
+            test_per_node_accounting;
+        ] );
+      ( "mbind",
+        [
+          Alcotest.test_case "rewrites policy" `Quick test_mbind_rewrites;
+          Alcotest.test_case "no migration" `Quick test_mbind_does_not_migrate;
+        ] );
+      ( "inheritance",
+        [
+          Alcotest.test_case "survives push-down" `Quick
+            test_policy_survives_split;
+          Alcotest.test_case "survives fork" `Quick test_policy_survives_fork;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the physical memory substrate: the buddy allocator (splits,
+   merges, alignment, double-free detection, invariant preservation under
+   random workloads), frame descriptors, NUMA striping and accounting. *)
+
+module Buddy = Mm_phys.Buddy
+module Phys = Mm_phys.Phys
+module Frame = Mm_phys.Frame
+
+let check = Alcotest.check
+
+(* -- Buddy basics -- *)
+
+let test_alloc_distinct () =
+  let b = Buddy.create ~nframes:1024 in
+  let a = Buddy.alloc b ~order:0 in
+  let c = Buddy.alloc b ~order:0 in
+  check Alcotest.bool "distinct" true (a <> c);
+  check Alcotest.int "two allocated" 2 (Buddy.allocated_frames b);
+  Buddy.check_invariants b
+
+let test_alignment () =
+  let b = Buddy.create ~nframes:(1 lsl 16) in
+  let _ = Buddy.alloc b ~order:0 in
+  let big = Buddy.alloc b ~order:6 in
+  check Alcotest.bool "order-6 block aligned" true
+    (Mm_util.Align.is_aligned big 64);
+  let huge = Buddy.alloc b ~order:9 in
+  check Alcotest.bool "order-9 block aligned" true
+    (Mm_util.Align.is_aligned huge 512);
+  Buddy.check_invariants b
+
+let test_split_and_merge () =
+  let b = Buddy.create ~nframes:1024 in
+  (* Allocate an order-3 block, free it as... no: allocate two order-0
+     from a split, free both, the buddies must merge back. *)
+  let a = Buddy.alloc b ~order:3 in
+  Buddy.free b ~pfn:a ~order:3;
+  Buddy.check_invariants b;
+  let x = Buddy.alloc b ~order:0 in
+  let y = Buddy.alloc b ~order:0 in
+  check Alcotest.bool "buddies from one split" true (x lxor y = 1 || x <> y);
+  Buddy.free b ~pfn:x ~order:0;
+  Buddy.free b ~pfn:y ~order:0;
+  Buddy.check_invariants b;
+  check Alcotest.bool "merges recorded" true (Buddy.merges b > 0);
+  check Alcotest.int "nothing allocated" 0 (Buddy.allocated_frames b)
+
+let test_double_free_detected () =
+  let b = Buddy.create ~nframes:1024 in
+  let a = Buddy.alloc b ~order:0 in
+  Buddy.free b ~pfn:a ~order:0;
+  Alcotest.(check bool)
+    "double free raises" true
+    (try
+       Buddy.free b ~pfn:a ~order:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_misaligned_free_detected () =
+  let b = Buddy.create ~nframes:1024 in
+  let _ = Buddy.alloc b ~order:2 in
+  Alcotest.(check bool)
+    "misaligned free raises" true
+    (try
+       Buddy.free b ~pfn:1 ~order:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_out_of_memory () =
+  let b = Buddy.create ~nframes:16 in
+  let _ = Buddy.alloc b ~order:4 in
+  Alcotest.(check bool)
+    "exhaustion raises" true
+    (try
+       ignore (Buddy.alloc b ~order:0);
+       false
+     with Buddy.Out_of_memory -> true)
+
+let buddy_stress_prop =
+  QCheck.Test.make ~name:"buddy invariants under random alloc/free" ~count:60
+    QCheck.(
+      pair small_int
+        (list_of_size (QCheck.Gen.return 200) (int_bound 3)))
+    (fun (seed, orders) ->
+      let rng = Mm_util.Rng.create ~seed in
+      let b = Buddy.create ~nframes:(1 lsl 14) in
+      let live = ref [] in
+      List.iter
+        (fun order ->
+          if Mm_util.Rng.bool rng || !live = [] then begin
+            let pfn = Buddy.alloc b ~order in
+            live := (pfn, order) :: !live
+          end
+          else begin
+            let i = Mm_util.Rng.int rng (List.length !live) in
+            let pfn, order = List.nth !live i in
+            live := List.filteri (fun j _ -> j <> i) !live;
+            Buddy.free b ~pfn ~order
+          end;
+          Buddy.check_invariants b)
+        orders;
+      (* Allocated count equals the live set's frame total. *)
+      Buddy.allocated_frames b
+      = List.fold_left (fun a (_, o) -> a + (1 lsl o)) 0 !live)
+
+let buddy_no_overlap_prop =
+  QCheck.Test.make ~name:"buddy never hands out overlapping blocks" ~count:40
+    QCheck.(list_of_size (QCheck.Gen.return 100) (int_bound 4))
+    (fun orders ->
+      let b = Buddy.create ~nframes:(1 lsl 14) in
+      let claimed = Hashtbl.create 256 in
+      List.for_all
+        (fun order ->
+          let pfn = Buddy.alloc b ~order in
+          let ok = ref true in
+          for i = pfn to pfn + (1 lsl order) - 1 do
+            if Hashtbl.mem claimed i then ok := false;
+            Hashtbl.replace claimed i ()
+          done;
+          !ok)
+        orders)
+
+(* -- Phys / frames / NUMA -- *)
+
+let test_frame_descriptors () =
+  let phys = Phys.create () in
+  let f = Phys.alloc phys ~kind:Frame.Anon () in
+  check Alcotest.bool "kind set" true (f.Frame.kind = Frame.Anon);
+  let same = Phys.frame phys f.Frame.pfn in
+  check Alcotest.bool "descriptor identity" true (f == same);
+  Phys.free phys f;
+  check Alcotest.bool "freed" true (f.Frame.kind = Frame.Free);
+  Alcotest.(check bool)
+    "free of free raises" true
+    (try
+       Phys.free phys f;
+       false
+     with Invalid_argument _ -> true)
+
+let test_usage_accounting () =
+  let phys = Phys.create () in
+  let f1 = Phys.alloc phys ~kind:Frame.Anon () in
+  let _ = Phys.alloc phys ~kind:Frame.Pt_page () in
+  let u = Phys.usage phys in
+  check Alcotest.int "anon bytes" 4096 u.Phys.anon_bytes;
+  check Alcotest.int "pt bytes" 4096 u.Phys.pt_bytes;
+  Phys.free phys f1;
+  check Alcotest.int "anon released" 0 (Phys.usage phys).Phys.anon_bytes;
+  check Alcotest.int "peak remembered" 4096 (Phys.peak_data_bytes phys)
+
+let test_numa_striping () =
+  let phys = Phys.create ~numa_nodes:4 () in
+  check Alcotest.int "4 nodes" 4 (Phys.numa_nodes phys);
+  let frames =
+    List.init 4 (fun node -> Phys.alloc phys ~kind:Frame.Anon ~node ())
+  in
+  List.iteri
+    (fun node f ->
+      check Alcotest.int
+        (Printf.sprintf "frame %d on its node" node)
+        node
+        (Phys.node_of_pfn phys f.Frame.pfn))
+    frames;
+  (* Freeing works across nodes. *)
+  List.iter (Phys.free phys) frames;
+  check Alcotest.int "all released" 0 (Phys.allocated_frames phys)
+
+let test_numa_bad_node_rejected () =
+  let phys = Phys.create ~numa_nodes:2 () in
+  Alcotest.(check bool)
+    "bad node raises" true
+    (try
+       ignore (Phys.alloc phys ~kind:Frame.Anon ~node:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mm_phys"
+    [
+      ( "buddy",
+        [
+          Alcotest.test_case "alloc distinct" `Quick test_alloc_distinct;
+          Alcotest.test_case "alignment" `Quick test_alignment;
+          Alcotest.test_case "split and merge" `Quick test_split_and_merge;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "misaligned free" `Quick
+            test_misaligned_free_detected;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+          QCheck_alcotest.to_alcotest buddy_stress_prop;
+          QCheck_alcotest.to_alcotest buddy_no_overlap_prop;
+        ] );
+      ( "phys",
+        [
+          Alcotest.test_case "frame descriptors" `Quick test_frame_descriptors;
+          Alcotest.test_case "usage accounting" `Quick test_usage_accounting;
+          Alcotest.test_case "numa striping" `Quick test_numa_striping;
+          Alcotest.test_case "numa bad node" `Quick test_numa_bad_node_rejected;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the slab allocator: carving, free-list reuse, slab recycling
+   back to the buddy, error detection, and a random stress property. *)
+
+module Slab = Mm_phys.Slab
+module Phys = Mm_phys.Phys
+
+let check = Alcotest.check
+
+let test_alloc_free_roundtrip () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj64" ~obj_size:64 in
+  let a = Slab.alloc c in
+  let b = Slab.alloc c in
+  check Alcotest.bool "distinct handles" true (a <> b);
+  check Alcotest.int "two allocated" 2 (Slab.allocated c);
+  Slab.free c a;
+  Slab.free c b;
+  check Alcotest.int "none allocated" 0 (Slab.allocated c)
+
+let test_handle_reuse () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj128" ~obj_size:128 in
+  let a = Slab.alloc c in
+  Slab.free c a;
+  let b = Slab.alloc c in
+  (* LIFO free list: the hot object comes back first. *)
+  check Alcotest.int "handle reused" a b
+
+let test_many_slabs () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj512" ~obj_size:512 in
+  let per = Slab.objs_per_slab c in
+  let handles = Array.init (3 * per) (fun _ -> Slab.alloc c) in
+  check Alcotest.int "three slabs" 3 (Slab.slab_count c);
+  (* All handles distinct. *)
+  let sorted = Array.copy handles in
+  Array.sort compare sorted;
+  let dup = ref false in
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then dup := true
+  done;
+  check Alcotest.bool "no duplicate handles" false !dup;
+  (* Freeing everything recycles all but one reserve slab. *)
+  Array.iter (Slab.free c) handles;
+  check Alcotest.bool "slabs recycled to the buddy" true (Slab.slab_count c <= 1)
+
+let test_frames_accounted_as_kernel () =
+  let phys = Phys.create () in
+  let before = (Phys.usage phys).Phys.kernel_bytes in
+  let c = Slab.create phys ~name:"obj256" ~obj_size:256 in
+  let _ = Slab.alloc c in
+  check Alcotest.bool "kernel frames grew" true
+    ((Phys.usage phys).Phys.kernel_bytes > before)
+
+let test_double_free_detected () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj64" ~obj_size:64 in
+  let a = Slab.alloc c in
+  Slab.free c a;
+  Alcotest.(check bool)
+    "double free raises" true
+    (try
+       Slab.free c a;
+       false
+     with Invalid_argument _ -> true)
+
+let test_foreign_free_detected () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj64" ~obj_size:64 in
+  let _ = Slab.alloc c in
+  Alcotest.(check bool)
+    "foreign handle raises" true
+    (try
+       Slab.free c 0x1234_5678_0000;
+       false
+     with Invalid_argument _ -> true)
+
+let test_misaligned_free_detected () =
+  let phys = Phys.create () in
+  let c = Slab.create phys ~name:"obj64" ~obj_size:64 in
+  let a = Slab.alloc c in
+  Alcotest.(check bool)
+    "misaligned handle raises" true
+    (try
+       Slab.free c (a + 8);
+       false
+     with Invalid_argument _ -> true)
+
+(* Random alloc/free stress: the live-handle set tracked externally must
+   always match the cache's accounting, and handles never collide. *)
+let slab_stress_prop =
+  QCheck.Test.make ~name:"slab stress: accounting and uniqueness" ~count:50
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.return 300) bool))
+    (fun (seed, plan) ->
+      let rng = Mm_util.Rng.create ~seed in
+      let phys = Phys.create () in
+      let c = Slab.create phys ~name:"stress" ~obj_size:96 in
+      let live = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun do_alloc ->
+          if do_alloc || Hashtbl.length live = 0 then begin
+            let h = Slab.alloc c in
+            if Hashtbl.mem live h then ok := false;
+            Hashtbl.replace live h ()
+          end
+          else begin
+            (* Free a pseudo-random live handle. *)
+            let handles =
+              Hashtbl.fold (fun h () acc -> h :: acc) live []
+              |> List.sort compare |> Array.of_list
+            in
+            let h = handles.(Mm_util.Rng.int rng (Array.length handles)) in
+            Hashtbl.remove live h;
+            Slab.free c h
+          end;
+          if Slab.allocated c <> Hashtbl.length live then ok := false)
+        plan;
+      !ok)
+
+let () =
+  Alcotest.run "slab"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_alloc_free_roundtrip;
+          Alcotest.test_case "handle reuse" `Quick test_handle_reuse;
+          Alcotest.test_case "many slabs" `Quick test_many_slabs;
+          Alcotest.test_case "kernel accounting" `Quick
+            test_frames_accounted_as_kernel;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "foreign free" `Quick test_foreign_free_detected;
+          Alcotest.test_case "misaligned free" `Quick
+            test_misaligned_free_detected;
+        ] );
+      ("stress", [ QCheck_alcotest.to_alcotest slab_stress_prop ]);
+    ]

@@ -1,0 +1,184 @@
+(* Tests for the TLB model and shootdown strategies, plus TLB coherence
+   through the full CortenMM stack (no stale writable translations after
+   unmap / write-protect). *)
+
+module Engine = Mm_sim.Engine
+module Tlb = Mm_tlb.Tlb
+module Perm = Mm_hal.Perm
+
+let check = Alcotest.check
+
+let in_sim ?(ncpus = 1) f =
+  let w = Engine.create ~ncpus in
+  let result = ref None in
+  Engine.spawn w ~cpu:0 (fun () -> result := Some (f ()));
+  Engine.run w;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber died"
+
+let test_install_lookup () =
+  let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Sync in
+  Tlb.install t ~cpu:0 ~vpn:100 ~pfn:7 ~writable:true ();
+  let pfn_at ~cpu ~vpn ~write =
+    Option.map fst (Tlb.lookup t ~cpu ~vpn ~write)
+  in
+  check (Alcotest.option Alcotest.int) "hit" (Some 7)
+    (pfn_at ~cpu:0 ~vpn:100 ~write:false);
+  check (Alcotest.option Alcotest.int) "write hit" (Some 7)
+    (pfn_at ~cpu:0 ~vpn:100 ~write:true);
+  check (Alcotest.option Alcotest.int) "other cpu misses" None
+    (pfn_at ~cpu:1 ~vpn:100 ~write:false)
+
+let test_readonly_entry_blocks_write () =
+  let t = Tlb.create ~ncpus:1 ~strategy:Tlb.Sync in
+  Tlb.install t ~cpu:0 ~vpn:5 ~pfn:9 ~writable:false ();
+  check (Alcotest.option Alcotest.int) "read hit" (Some 9)
+    (Option.map fst (Tlb.lookup t ~cpu:0 ~vpn:5 ~write:false));
+  check (Alcotest.option Alcotest.int) "write miss (COW safety)" None
+    (Option.map fst (Tlb.lookup t ~cpu:0 ~vpn:5 ~write:true))
+
+let test_sync_shootdown () =
+  in_sim ~ncpus:4 (fun () ->
+      let t = Tlb.create ~ncpus:4 ~strategy:Tlb.Sync in
+      for c = 0 to 3 do
+        Tlb.install t ~cpu:c ~vpn:42 ~pfn:1 ~writable:true ()
+      done;
+      let t0 = Engine.now () in
+      Tlb.shootdown t ~targets:[| true; true; true; true |] ~vpns:[ 42 ];
+      let dt = Engine.now () - t0 in
+      (* All CPUs invalidated immediately; initiator paid send + wait. *)
+      for c = 0 to 3 do
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "cpu %d invalidated" c)
+          None
+          (Option.map fst (Tlb.lookup t ~cpu:c ~vpn:42 ~write:false))
+      done;
+      check Alcotest.bool "initiator waited for acks" true
+        (dt >= Mm_sim.Cost.ipi_ack_wait);
+      check Alcotest.int "3 IPIs" 3 (Tlb.counters t).Tlb.ipis)
+
+let test_early_ack_cheaper () =
+  let cost strategy =
+    in_sim ~ncpus:4 (fun () ->
+        let t = Tlb.create ~ncpus:4 ~strategy in
+        for c = 0 to 3 do
+          Tlb.install t ~cpu:c ~vpn:7 ~pfn:1 ~writable:true ()
+        done;
+        let t0 = Engine.now () in
+        Tlb.shootdown t ~targets:[| true; true; true; true |] ~vpns:[ 7 ];
+        Engine.now () - t0)
+  in
+  check Alcotest.bool "early-ack cheaper than sync" true
+    (cost Tlb.Early_ack < cost Tlb.Sync)
+
+let test_latr_defers () =
+  in_sim ~ncpus:2 (fun () ->
+      let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Latr in
+      Tlb.install t ~cpu:1 ~vpn:9 ~pfn:3 ~writable:true ();
+      Tlb.shootdown t ~targets:[| true; true |] ~vpns:[ 9 ];
+      (* No IPI; the remote entry survives until the next timer tick. *)
+      check Alcotest.int "no IPIs" 0 (Tlb.counters t).Tlb.ipis;
+      check (Alcotest.option Alcotest.int) "remote entry still present"
+        (Some 3)
+        (Option.map fst (Tlb.lookup t ~cpu:1 ~vpn:9 ~write:false));
+      check Alcotest.int "pending on cpu1" 1 (Tlb.pending_count t ~cpu:1);
+      Tlb.timer_tick t ~cpu:1;
+      check (Alcotest.option Alcotest.int) "drained after tick" None
+        (Option.map fst (Tlb.lookup t ~cpu:1 ~vpn:9 ~write:false));
+      check Alcotest.int "drain counted" 1 (Tlb.counters t).Tlb.latr_drained)
+
+let test_latr_initiator_cheap () =
+  let cost strategy =
+    in_sim ~ncpus:8 (fun () ->
+        let t = Tlb.create ~ncpus:8 ~strategy in
+        let t0 = Engine.now () in
+        Tlb.shootdown t
+          ~targets:(Array.make 8 true)
+          ~vpns:[ 1; 2; 3; 4 ];
+        Engine.now () - t0)
+  in
+  let latr = cost Tlb.Latr and sync = cost Tlb.Sync in
+  check Alcotest.bool
+    (Printf.sprintf "latr (%d) << sync (%d)" latr sync)
+    true
+    (latr * 3 < sync)
+
+(* -- Coherence through the full CortenMM stack -- *)
+
+let test_no_stale_write_after_mprotect () =
+  (* cpu 1 caches a writable translation; cpu 0 write-protects the page.
+     cpu 1's next write must fault, not sneak through a stale entry. *)
+  let kernel = Cortenmm.Kernel.create ~ncpus:2 () in
+  let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
+  let addr = 0x4000_0000 in
+  let w = Engine.create ~ncpus:2 in
+  let faulted = ref false in
+  Engine.spawn w ~cpu:1 (fun () ->
+      ignore (Cortenmm.Mm.mmap asp ~addr ~len:4096 ~perm:Perm.rw ());
+      Cortenmm.Mm.touch asp ~vaddr:addr ~write:true);
+  Engine.run w;
+  let w = Engine.create ~ncpus:2 in
+  Engine.spawn w ~cpu:0 (fun () ->
+      Cortenmm.Mm.mprotect asp ~addr ~len:4096 ~perm:Perm.r);
+  Engine.run w;
+  let w = Engine.create ~ncpus:2 in
+  Engine.spawn w ~cpu:1 (fun () ->
+      (* LATR may still hold the flush in cpu1's buffer; the timer tick
+         runs before user code resumes after an interrupt. *)
+      Cortenmm.Mm.timer_tick asp;
+      try Cortenmm.Mm.touch asp ~vaddr:addr ~write:true
+      with Cortenmm.Mm.Fault _ -> faulted := true);
+  Engine.run w;
+  check Alcotest.bool "write after mprotect faults" true !faulted
+
+let test_unmap_invalidates_all_cpus () =
+  let ncpus = 4 in
+  let kernel = Cortenmm.Kernel.create ~ncpus () in
+  let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
+  let addr = 0x4000_0000 in
+  let w = Engine.create ~ncpus in
+  Engine.spawn w ~cpu:0 (fun () ->
+      ignore (Cortenmm.Mm.mmap asp ~addr ~len:4096 ~perm:Perm.rw ()));
+  Engine.run w;
+  let w = Engine.create ~ncpus in
+  for c = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu:c (fun () ->
+        Cortenmm.Mm.touch asp ~vaddr:addr ~write:false)
+  done;
+  Engine.run w;
+  let w = Engine.create ~ncpus in
+  Engine.spawn w ~cpu:0 (fun () -> Cortenmm.Mm.munmap asp ~addr ~len:4096);
+  Engine.run w;
+  (* Every CPU's next access must fault. *)
+  let faults = ref 0 in
+  let w = Engine.create ~ncpus in
+  for c = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu:c (fun () ->
+        Cortenmm.Mm.timer_tick asp;
+        try Cortenmm.Mm.touch asp ~vaddr:addr ~write:false
+        with Cortenmm.Mm.Fault _ -> incr faults)
+  done;
+  Engine.run w;
+  check Alcotest.int "all cpus fault after unmap" ncpus !faults
+
+let () =
+  Alcotest.run "mm_tlb"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "install/lookup" `Quick test_install_lookup;
+          Alcotest.test_case "read-only blocks writes" `Quick
+            test_readonly_entry_blocks_write;
+          Alcotest.test_case "sync shootdown" `Quick test_sync_shootdown;
+          Alcotest.test_case "early-ack cheaper" `Quick test_early_ack_cheaper;
+          Alcotest.test_case "latr defers" `Quick test_latr_defers;
+          Alcotest.test_case "latr initiator cheap" `Quick
+            test_latr_initiator_cheap;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "no stale write after mprotect" `Quick
+            test_no_stale_write_after_mprotect;
+          Alcotest.test_case "unmap invalidates all cpus" `Quick
+            test_unmap_invalidates_all_cpus;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the verification library: both locking-protocol models must
+   verify exhaustively (P1), the seeded-buggy variants must be caught
+   (evidence the properties are not vacuous), refinement to the Atomic
+   Spec must hold, and the functional-correctness (P2) and linearizability
+   checks must pass. *)
+
+open Mm_verif
+
+let check = Alcotest.check
+
+let tree = Tree.create ~arity:2 ~depth:3 (* 7 nodes: 0; 1,2; 3,4,5,6 *)
+
+(* -- Tree helpers -- *)
+
+let test_tree_structure () =
+  check Alcotest.int "7 nodes" 7 (Tree.node_count tree);
+  Alcotest.(check (list int)) "children of root" [ 1; 2 ] (Tree.children tree 0);
+  Alcotest.(check (list int)) "children of 1" [ 3; 4 ] (Tree.children tree 1);
+  check Alcotest.bool "3 is leaf" true (Tree.is_leaf tree 3);
+  check Alcotest.bool "0 anc of 6" true (Tree.is_ancestor tree ~anc:0 ~desc:6);
+  check Alcotest.bool "1 not anc of 5" false
+    (Tree.is_ancestor tree ~anc:1 ~desc:5);
+  check Alcotest.bool "related equal" true (Tree.related tree 4 4);
+  check Alcotest.bool "unrelated siblings" false (Tree.related tree 3 4);
+  Alcotest.(check (list int)) "path to 4" [ 0; 1; 4 ] (Tree.path tree 4);
+  Alcotest.(check (list int)) "preorder of 1" [ 1; 3; 4 ]
+    (Tree.subtree_preorder tree 1);
+  check Alcotest.int "child toward" 1 (Tree.child_toward tree ~from:0 ~target:3)
+
+(* -- CortenMM_rw model -- *)
+
+let rw_scenarios =
+  [
+    ("overlapping (ancestor/descendant)", [| 1; 3 |]);
+    ("same target", [| 4; 4 |]);
+    ("disjoint subtrees", [| 1; 2 |]);
+    ("root vs leaf", [| 0; 6 |]);
+    ("three cores mixed", [| 1; 4; 2 |]);
+    ("three cores all root", [| 0; 0; 0 |]);
+  ]
+
+let test_rw_verifies () =
+  List.iter
+    (fun (name, targets) ->
+      let r = Rw_model.check ~tree ~targets () in
+      check Alcotest.bool
+        (Printf.sprintf "%s: %s" name (Checker.describe r))
+        true (Checker.is_verified r);
+      check Alcotest.bool (name ^ " explored >10 states") true (r.Checker.states > 10))
+    rw_scenarios
+
+let test_rw_trade_window_verifies () =
+  (* Fig 5's faithful L4/L7-8 sequence: the covering page's reader lock is
+     released before the writer lock is taken. The window admits more
+     interleavings; the ancestors' reader locks must keep it safe. *)
+  List.iter
+    (fun (name, targets) ->
+      let r = Rw_model.check ~trade_window:true ~tree ~targets () in
+      check Alcotest.bool
+        (Printf.sprintf "trade %s: %s" name (Checker.describe r))
+        true (Checker.is_verified r))
+    rw_scenarios
+
+let test_rw_stepwise_unlock_verifies () =
+  List.iter
+    (fun (name, targets) ->
+      let r =
+        Rw_model.check ~trade_window:true ~stepwise_unlock:true ~tree ~targets
+          ()
+      in
+      check Alcotest.bool
+        (Printf.sprintf "stepwise %s: %s" name (Checker.describe r))
+        true (Checker.is_verified r))
+    rw_scenarios
+
+let test_rw_bigger_tree () =
+  (* A ternary depth-3 tree (13 nodes), three cores, full trade+stepwise
+     interleavings. *)
+  let tree3 = Tree.create ~arity:3 ~depth:3 in
+  let r =
+    Rw_model.check ~trade_window:true ~stepwise_unlock:true ~tree:tree3
+      ~targets:[| 4; 5; 1 |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r);
+  check Alcotest.bool "large state space" true (r.Checker.states > 1_000)
+
+let test_rw_bug_caught () =
+  (* Without read locks on the path, a descendant writer and an ancestor
+     writer can coexist: the checker must find it. *)
+  let r = Rw_model.check ~skip_read_locks:true ~tree ~targets:[| 1; 3 |] () in
+  match r.Checker.outcome with
+  | Checker.Invariant_violation { message; _ } ->
+    check Alcotest.bool "mutual exclusion violation found" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail ("bug not caught: " ^ Checker.describe r)
+
+let test_rw_refinement () =
+  List.iter
+    (fun (name, targets) ->
+      let r, errors = Rw_model.check_refinement ~tree ~targets () in
+      check Alcotest.bool (name ^ " refinement explored") true
+        (Checker.is_verified r);
+      Alcotest.(check (list string)) (name ^ " no refinement errors") [] errors)
+    rw_scenarios
+
+(* -- CortenMM_adv model -- *)
+
+let test_adv_verifies_disjoint () =
+  let r =
+    Adv_model.check ~tree ~targets:[| 1; 2 |]
+      ~actions:[| Adv_model.Op; Adv_model.Op |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r)
+
+let test_adv_verifies_overlap () =
+  let r =
+    Adv_model.check ~tree ~targets:[| 1; 3 |]
+      ~actions:[| Adv_model.Op; Adv_model.Op |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r)
+
+let test_adv_verifies_fig7_race () =
+  (* The Fig 7 scenario: core 0 locks the subtree of node 1 and removes
+     its child 3 while core 1 races to lock node 3. *)
+  let r =
+    Adv_model.check ~tree ~targets:[| 1; 3 |]
+      ~actions:[| Adv_model.Remove 3; Adv_model.Op |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r);
+  check Alcotest.bool "nontrivial state space" true (r.Checker.states > 100)
+
+let test_adv_three_cores () =
+  (* Three cores, one removing the subtree another is racing to lock. *)
+  List.iter
+    (fun (targets, actions) ->
+      let r = Adv_model.check ~tree ~targets ~actions () in
+      check Alcotest.bool (Checker.describe r) true (Checker.is_verified r))
+    [
+      ( [| 1; 3; 2 |],
+        [| Adv_model.Remove 3; Adv_model.Op; Adv_model.Op |] );
+      ( [| 1; 3; 4 |],
+        [| Adv_model.Remove 3; Adv_model.Op; Adv_model.Op |] );
+      ( [| 0; 3; 5 |],
+        [| Adv_model.Op; Adv_model.Op; Adv_model.Op |] );
+    ]
+
+let test_adv_ternary_tree () =
+  let tree3 = Tree.create ~arity:3 ~depth:3 in
+  let r =
+    Adv_model.check ~tree:tree3 ~targets:[| 1; 4 |]
+      ~actions:[| Adv_model.Remove 4; Adv_model.Op |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r)
+
+let test_adv_verifies_double_remove () =
+  let r =
+    Adv_model.check ~tree ~targets:[| 1; 2 |]
+      ~actions:[| Adv_model.Remove 3; Adv_model.Remove 5 |] ()
+  in
+  check Alcotest.bool (Checker.describe r) true (Checker.is_verified r)
+
+let test_adv_stale_bug_caught () =
+  (* Skipping the stale check makes core 1 operate on the removed page:
+     the lost-update violation must be found. *)
+  let r =
+    Adv_model.check ~no_stale_check:true ~tree ~targets:[| 1; 3 |]
+      ~actions:[| Adv_model.Remove 3; Adv_model.Op |] ()
+  in
+  match r.Checker.outcome with
+  | Checker.Invariant_violation { message; _ } ->
+    check Alcotest.bool "violation mentions stale or exclusion" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail ("stale bug not caught: " ^ Checker.describe r)
+
+let test_adv_rcu_bug_caught () =
+  (* Without the grace period, a freed PT page can be reused while core 1
+     still holds a pointer from its lock-free traversal. *)
+  let r =
+    Adv_model.check ~no_rcu:true ~tree ~targets:[| 1; 3 |]
+      ~actions:[| Adv_model.Remove 3; Adv_model.Op |] ()
+  in
+  match r.Checker.outcome with
+  | Checker.Invariant_violation { message; _ } ->
+    check Alcotest.bool "use-after-free found" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail ("RCU bug not caught: " ^ Checker.describe r)
+
+(* -- Functional correctness (P2) -- *)
+
+let test_exhaustive_adv () =
+  let r = Funcheck.exhaustive ~cfg:Cortenmm.Config.adv ~depth:2 () in
+  check Alcotest.int "49 sequences" 49 r.Funcheck.sequences;
+  check Alcotest.int "no failures" 0 (List.length r.Funcheck.failures)
+
+let test_exhaustive_rw () =
+  let r = Funcheck.exhaustive ~cfg:Cortenmm.Config.rw ~depth:2 () in
+  check Alcotest.int "no failures" 0 (List.length r.Funcheck.failures)
+
+(* -- Linearizability -- *)
+
+let test_linearizability () =
+  List.iter
+    (fun seed ->
+      let r =
+        Funcheck.lin_check ~cfg:Cortenmm.Config.adv ~ncpus:4 ~ops_per_thread:15
+          ~seed
+      in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: %s" seed r.Funcheck.detail)
+        true r.Funcheck.matched)
+    [ 1; 2; 3; 42; 1234 ]
+
+let test_linearizability_rw () =
+  let r =
+    Funcheck.lin_check ~cfg:Cortenmm.Config.rw ~ncpus:4 ~ops_per_thread:15
+      ~seed:7
+  in
+  check Alcotest.bool r.Funcheck.detail true r.Funcheck.matched
+
+let () =
+  Alcotest.run "mm_verif"
+    [
+      ("tree", [ Alcotest.test_case "structure" `Quick test_tree_structure ]);
+      ( "rw-protocol",
+        [
+          Alcotest.test_case "verifies (P1)" `Quick test_rw_verifies;
+          Alcotest.test_case "trade window verifies" `Quick
+            test_rw_trade_window_verifies;
+          Alcotest.test_case "stepwise unlock verifies" `Quick
+            test_rw_stepwise_unlock_verifies;
+          Alcotest.test_case "3 cores, ternary tree" `Quick test_rw_bigger_tree;
+          Alcotest.test_case "seeded bug caught" `Quick test_rw_bug_caught;
+          Alcotest.test_case "refines Atomic Spec" `Quick test_rw_refinement;
+        ] );
+      ( "adv-protocol",
+        [
+          Alcotest.test_case "disjoint verifies" `Quick
+            test_adv_verifies_disjoint;
+          Alcotest.test_case "overlap verifies" `Quick
+            test_adv_verifies_overlap;
+          Alcotest.test_case "fig7 unmap race verifies" `Quick
+            test_adv_verifies_fig7_race;
+          Alcotest.test_case "double remove verifies" `Quick
+            test_adv_verifies_double_remove;
+          Alcotest.test_case "three cores verify" `Quick test_adv_three_cores;
+          Alcotest.test_case "ternary tree verifies" `Quick
+            test_adv_ternary_tree;
+          Alcotest.test_case "stale-check bug caught" `Quick
+            test_adv_stale_bug_caught;
+          Alcotest.test_case "missing-RCU bug caught" `Quick
+            test_adv_rcu_bug_caught;
+        ] );
+      ( "functional-correctness",
+        [
+          Alcotest.test_case "exhaustive depth-2 (adv)" `Quick
+            test_exhaustive_adv;
+          Alcotest.test_case "exhaustive depth-2 (rw)" `Quick
+            test_exhaustive_rw;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "adv histories linearize" `Quick
+            test_linearizability;
+          Alcotest.test_case "rw histories linearize" `Quick
+            test_linearizability_rw;
+        ] );
+    ]
