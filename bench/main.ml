@@ -126,6 +126,41 @@ let bechamel_suite () =
     tests;
   print_newline ()
 
+(* --flag <value> style argument, hand-rolled like the rest of this
+   driver's CLI. *)
+let flag_value args name =
+  let rec find = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find args
+
+let run_entry (e : Mm_experiments.Registry.entry) =
+  Mm_workloads.Runner.set_label e.id;
+  Printf.printf "=== %s: %s ===\n\n%!" e.id e.title;
+  e.run ();
+  print_newline ()
+
+let write_results_json ~path results =
+  let open Mm_obs in
+  Json.write_file ~path
+    (Json.Obj
+       [
+         ( "results",
+           Json.List
+             (List.map
+                (fun (label, (r : Mm_workloads.Runner.result)) ->
+                  Json.Obj
+                    [
+                      ("id", Json.String label);
+                      ("ops", Json.Int r.ops);
+                      ("cycles", Json.Int r.cycles);
+                      ("ops_per_sec", Json.Float r.ops_per_sec);
+                    ])
+                results) );
+       ])
+
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--list" args then
@@ -136,26 +171,41 @@ let () =
       Mm_experiments.Registry.all
   else begin
     let only =
-      let rec find = function
-        | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
-        | _ :: rest -> find rest
-        | [] -> None
-      in
-      find args
+      Option.map (String.split_on_char ',') (flag_value args "--only")
     in
+    let json_path = flag_value args "--json" in
+    let trace_path = flag_value args "--trace" in
+    let report = List.mem "--report" args in
+    if json_path <> None then Mm_workloads.Runner.start_collecting ();
+    if trace_path <> None || report then Mm_obs.Trace.start ();
     (match only with
-    | None -> Mm_experiments.Registry.run_all ()
+    | None -> List.iter run_entry Mm_experiments.Registry.all
     | Some ids ->
       List.iter
         (fun id ->
           match Mm_experiments.Registry.find id with
-          | Some e ->
-            Printf.printf "=== %s: %s ===\n\n%!" e.Mm_experiments.Registry.id
-              e.Mm_experiments.Registry.title;
-            e.Mm_experiments.Registry.run ();
-            print_newline ()
+          | Some e -> run_entry e
           | None -> Printf.eprintf "unknown experiment id %S\n" id)
         ids);
+    (match trace_path with
+    | Some path ->
+      let events = Mm_obs.Trace.events () in
+      Mm_obs.Chrome.write ~path events;
+      Printf.printf "wrote %d trace events to %s (%d dropped)\n%!"
+        (List.length events) path
+        (Mm_obs.Trace.dropped ())
+    | None -> ());
+    if report then begin
+      print_string (Mm_obs.Contention.report ());
+      print_newline ();
+      print_string (Mm_obs.Metrics.dump ())
+    end;
+    if trace_path <> None || report then ignore (Mm_obs.Trace.stop ());
+    (match json_path with
+    | Some path ->
+      write_results_json ~path (Mm_workloads.Runner.stop_collecting ());
+      Printf.printf "wrote results to %s\n%!" path
+    | None -> ());
     if (not (List.mem "--no-bechamel" args)) && only = None then
       bechamel_suite ()
   end

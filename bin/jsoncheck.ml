@@ -1,0 +1,41 @@
+(* jsoncheck — validate a JSON file (used by check.sh to smoke-test the
+   bench --json and --trace outputs).
+
+     jsoncheck FILE            parse FILE, exit 0 iff well-formed
+     jsoncheck --chrome FILE   additionally require Chrome trace_event
+                               shape: a top-level "traceEvents" array whose
+                               entries carry name/ph/pid/tid *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let check_chrome json =
+  let open Mm_obs.Json in
+  match member "traceEvents" json with
+  | None -> fail "no traceEvents field"
+  | Some evs -> (
+    match to_list_opt evs with
+    | None -> fail "traceEvents is not an array"
+    | Some [] -> fail "traceEvents is empty"
+    | Some items ->
+      List.iteri
+        (fun i item ->
+          List.iter
+            (fun field ->
+              if member field item = None then
+                fail "traceEvents[%d] missing %S" i field)
+            [ "name"; "ph"; "pid"; "tid" ])
+        items;
+      Printf.printf "ok: %d trace events\n" (List.length items))
+
+let () =
+  let chrome, path =
+    match Array.to_list Sys.argv with
+    | [ _; "--chrome"; p ] -> (true, p)
+    | [ _; p ] -> (false, p)
+    | _ -> fail "usage: jsoncheck [--chrome] FILE"
+  in
+  match Mm_obs.Json.parse_file path with
+  | Error msg -> fail "%s: invalid JSON: %s" path msg
+  | Ok json ->
+    if chrome then check_chrome json
+    else Printf.printf "ok: %s parses\n" path

@@ -10,6 +10,46 @@
 
 open Cmdliner
 
+(* Shared observability options: record a deterministic event trace
+   (Chrome trace_event JSON, Perfetto-loadable) and/or print the
+   lock-contention report after the run. *)
+
+let obs_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a deterministic event trace of the run and write it as \
+           Chrome trace_event JSON (load in ui.perfetto.dev or \
+           chrome://tracing).")
+
+let obs_report =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "After the run, print the lock-contention report (locks ranked by \
+           serialized cycles) and the metrics registry.")
+
+let with_obs ~trace ~report f =
+  if trace <> None || report then Mm_obs.Trace.start ();
+  f ();
+  (match trace with
+  | Some path ->
+    let events = Mm_obs.Trace.events () in
+    Mm_obs.Chrome.write ~path events;
+    Printf.printf "wrote %d trace events to %s (%d dropped)\n%!"
+      (List.length events) path
+      (Mm_obs.Trace.dropped ())
+  | None -> ());
+  if report then begin
+    print_string (Mm_obs.Contention.report ());
+    print_newline ();
+    print_string (Mm_obs.Metrics.dump ())
+  end;
+  if trace <> None || report then ignore (Mm_obs.Trace.stop ())
+
 let list_cmd =
   let doc = "List the reproducible tables and figures." in
   let run () =
@@ -24,25 +64,26 @@ let list_cmd =
 let run_cmd =
   let doc = "Run experiments by id (all when none given)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run ids =
-    match ids with
-    | [] -> Mm_experiments.Registry.run_all ()
-    | ids ->
-      List.iter
-        (fun id ->
-          match Mm_experiments.Registry.find id with
-          | Some e ->
-            Printf.printf "=== %s: %s ===\n\n%!" e.Mm_experiments.Registry.id
-              e.Mm_experiments.Registry.title;
-            e.Mm_experiments.Registry.run ();
-            print_newline ()
-          | None ->
-            Printf.eprintf
-              "unknown experiment %S (try `mmrepro list`)\n" id;
-            exit 1)
-        ids
+  let run ids trace report =
+    with_obs ~trace ~report (fun () ->
+        match ids with
+        | [] -> Mm_experiments.Registry.run_all ()
+        | ids ->
+          List.iter
+            (fun id ->
+              match Mm_experiments.Registry.find id with
+              | Some e ->
+                Printf.printf "=== %s: %s ===\n\n%!"
+                  e.Mm_experiments.Registry.id e.Mm_experiments.Registry.title;
+                e.Mm_experiments.Registry.run ();
+                print_newline ()
+              | None ->
+                Printf.eprintf
+                  "unknown experiment %S (try `mmrepro list`)\n" id;
+                exit 1)
+            ids)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ obs_trace $ obs_report)
 
 let verify_cmd =
   let doc =
@@ -173,7 +214,8 @@ let sweep_cmd =
   let high =
     Arg.(value & flag & info [ "high" ] ~doc:"High-contention variant.")
   in
-  let run bench high =
+  let run bench high trace report =
+    with_obs ~trace ~report @@ fun () ->
     let contention =
       if high then Mm_workloads.Micro.High else Mm_workloads.Micro.Low
     in
@@ -207,7 +249,8 @@ let sweep_cmd =
     in
     Mm_util.Tablefmt.print ~header rows
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bench $ high)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ bench $ high $ obs_trace $ obs_report)
 
 let trace_cmd =
   let doc =

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository health check: tier-1 build + tests, then a smoke run of the
+# bench driver's machine-readable and tracing outputs with JSON
+# validation. Exits nonzero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke: fig13 --json/--trace =="
+dune exec bench/main.exe -- --only fig13 --json /tmp/b.json \
+  --trace /tmp/t.json --report > /tmp/check_bench.out 2>&1 \
+  || { cat /tmp/check_bench.out; exit 1; }
+tail -n 3 /tmp/check_bench.out
+
+echo "== validate JSON outputs =="
+dune exec bin/jsoncheck.exe -- /tmp/b.json
+dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
+
+echo "All checks passed."

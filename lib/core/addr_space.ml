@@ -46,7 +46,8 @@ let va_lo = 0x1000_0000
 let create ?va kernel (cfg : Config.t) =
   let geo = kernel.Kernel.isa.Isa.geo in
   let page_size = Geometry.page_size geo in
-  {
+  let t =
+    {
     id = Kernel.fresh_asp_id kernel;
     kernel;
     cfg;
@@ -69,7 +70,16 @@ let create ?va kernel (cfg : Config.t) =
     meta_arrays = 0;
     meta_bytes = 0;
     stale_retries = 0;
-  }
+    }
+  in
+  (* Name the root PT page's locks: the root is the protocol's global
+     serialization point, so it dominates contention reports. *)
+  let root_frame = (Pt.root t.pt).Pt.frame in
+  Mm_sim.Mutex_s.set_name root_frame.Mm_phys.Frame.lock
+    (Printf.sprintf "asp%d.root_pt" t.id);
+  Mm_sim.Rwlock_s.set_name root_frame.Mm_phys.Frame.rwlock
+    (Printf.sprintf "asp%d.root_pt" t.id);
+  t
 
 let id t = t.id
 let kernel t = t.kernel
@@ -225,6 +235,10 @@ let adv_lock t ~lo ~hi =
       Mm_sim.Mutex_s.unlock cover.Pt.frame.Mm_phys.Frame.lock;
       Mm_sim.Rcu_s.read_unlock rcu;
       t.stale_retries <- t.stale_retries + 1;
+      if Mm_obs.Trace.on () then begin
+        Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "addr_space.stale_retries");
+        Mm_sim.Engine.obs Mm_obs.Event.Stale_retry
+      end;
       retry ()
     end
     else begin
@@ -275,9 +289,23 @@ let check_range t ~lo ~hi =
 let lock t ~lo ~hi =
   check_range t ~lo ~hi;
   note_cpu t;
-  match t.cfg.Config.protocol with
-  | Config.Rw -> rw_lock t ~lo ~hi
-  | Config.Adv -> adv_lock t ~lo ~hi
+  let tracing = Mm_obs.Trace.on () && Mm_sim.Engine.in_fiber () in
+  let t0 = if tracing then Mm_sim.Engine.now () else 0 in
+  let c =
+    match t.cfg.Config.protocol with
+    | Config.Rw -> rw_lock t ~lo ~hi
+    | Config.Adv -> adv_lock t ~lo ~hi
+  in
+  if tracing then begin
+    let span = Mm_sim.Engine.now () - t0 in
+    Mm_obs.Metrics.observe
+      (Mm_obs.Metrics.histogram "cursor.lock_cycles")
+      span;
+    Mm_sim.Engine.obs
+      (Mm_obs.Event.Cursor_lock
+         { lo; hi; locked = List.length c.locked; span })
+  end;
+  c
 
 (* -- Commit (RCursor Drop, Fig 4 L23) -- *)
 
@@ -312,7 +340,7 @@ let commit c =
     Mm_tlb.Tlb.shootdown t.tlb ~targets ~vpns
   | _ -> ());
   (* Release locks in reverse acquisition order. *)
-  match t.cfg.Config.protocol with
+  (match t.cfg.Config.protocol with
   | Config.Adv ->
     List.iter
       (fun (n : node) -> Mm_sim.Mutex_s.unlock n.Pt.frame.Mm_phys.Frame.lock)
@@ -325,7 +353,15 @@ let commit c =
     List.iter
       (fun (n : node) ->
         Mm_sim.Rwlock_s.read_unlock n.Pt.frame.Mm_phys.Frame.rwlock)
-      (List.rev c.read_path)
+      (List.rev c.read_path));
+  if Mm_obs.Trace.on () then
+    Mm_sim.Engine.obs
+      (Mm_obs.Event.Cursor_commit
+         {
+           lo = c.lo;
+           hi = c.hi;
+           flushed = List.fold_left (fun a (_, n) -> a + n) 0 c.tlb_pending;
+         })
 
 let with_lock t ~lo ~hi f =
   let c = lock t ~lo ~hi in
@@ -416,6 +452,14 @@ let free_child c (parent : node) idx (child : node) =
   let detached = Pt.detach_child t.pt parent idx in
   assert (detached == child);
   let nodes = subtree_nodes t child in
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Metrics.add
+      (Mm_obs.Metrics.counter "addr_space.pt_pages_freed")
+      (List.length nodes);
+    Mm_sim.Engine.obs
+      (Mm_obs.Event.Pt_free
+         { level = child.Pt.level; pages = List.length nodes })
+  end;
   (match t.cfg.Config.protocol with
   | Config.Adv ->
     (* Fig 6 L29-35: mark stale and unlock bottom-up, then hand the pages
@@ -525,6 +569,12 @@ let split_huge c (node : node) idx (l : Pte.t) =
   let t = c.asp in
   match l with
   | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
+    if Mm_obs.Trace.on () then begin
+      Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "addr_space.pt_splits");
+      Mm_sim.Engine.obs
+        (Mm_obs.Event.Pt_split
+           { vaddr = Pt.node_base t.pt node; level = node.Pt.level })
+    end;
     let origin = meta_get node idx in
     let n = entries_per_node t in
     let geo = t.kernel.Kernel.isa.Isa.geo in

@@ -36,7 +36,7 @@ let create ~kind ~size =
     kind;
     size;
     pages = Hashtbl.create 16;
-    lock = Mm_sim.Mutex_s.make ();
+    lock = Mm_sim.Mutex_s.make ~name:"file.lock" ();
     mappers = [];
     dirty = Hashtbl.create 16;
     writebacks = 0;

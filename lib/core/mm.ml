@@ -155,11 +155,14 @@ let madvise_dontneed asp ~addr ~len =
 
 let page_fault asp ~vaddr ~write =
   charge Mm_sim.Cost.trap;
+  let tracing = Mm_obs.Trace.on () && Mm_sim.Engine.in_fiber () in
+  let t0 = if tracing then Mm_sim.Engine.now () else 0 in
   let kernel = Addr_space.kernel asp in
   let phys = kernel.Kernel.phys in
   let ps = Addr_space.page_size asp in
   let page = Mm_util.Align.down vaddr ps in
-  Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
+  let outcome =
+    Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
       match Addr_space.query c page with
       | Status.Invalid -> Sigsegv
       | Status.Private_anon perm ->
@@ -268,6 +271,13 @@ let page_fault asp ~vaddr ~write =
               ~key:perm.Perm.mpk_key ();
           Handled
         end)
+  in
+  if tracing then begin
+    let span = Mm_sim.Engine.now () - t0 in
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "fault.cycles") span;
+    Mm_sim.Engine.obs (Mm_obs.Event.Page_fault { vaddr = page; write; span })
+  end;
+  outcome
 
 (* -- Transparent huge pages (khugepaged-style promotion) -- *)
 

@@ -39,7 +39,7 @@ let create ~ncpus ~per_core ~va_lo ~va_hi ~page_size =
           free_by_len = Hashtbl.create 8;
         })
   in
-  { per_core; shares; global_lock = Mm_sim.Mutex_s.make (); page_size }
+  { per_core; shares; global_lock = Mm_sim.Mutex_s.make ~name:"va_alloc.global" (); page_size }
 
 let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
 
@@ -62,7 +62,7 @@ let clone t =
                 s.free_by_len (Hashtbl.create 8);
           })
         t.shares;
-    global_lock = Mm_sim.Mutex_s.make ();
+    global_lock = Mm_sim.Mutex_s.make ~name:"va_alloc.global" ();
     page_size = t.page_size;
   }
 

@@ -53,8 +53,8 @@ let create ?(isa = Isa.x86_64) ~ncpus () =
     ncpus;
     pt = Pt.create phys isa;
     vmas = Vma.create phys;
-    mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ();
-    page_table_lock = Mm_sim.Mutex_s.make ();
+    mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ~name:"linux.mmap_lock" ();
+    page_table_lock = Mm_sim.Mutex_s.make ~name:"linux.page_table_lock" ();
     stats_line = Mm_sim.Engine.Line.make ();
     tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync;
     va =
@@ -375,8 +375,8 @@ let fork t =
       ncpus = t.ncpus;
       pt = Pt.create t.phys t.isa;
       vmas = Vma.create t.phys;
-      mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ();
-      page_table_lock = Mm_sim.Mutex_s.make ();
+      mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ~name:"linux.mmap_lock" ();
+      page_table_lock = Mm_sim.Mutex_s.make ~name:"linux.page_table_lock" ();
       stats_line = Mm_sim.Engine.Line.make ();
       tlb = Mm_tlb.Tlb.create ~ncpus:t.ncpus ~strategy:Mm_tlb.Tlb.Sync;
       va = Va_alloc.clone t.va;

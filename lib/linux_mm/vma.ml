@@ -43,7 +43,7 @@ let alloc_vma t ~start ~end_ ~perm =
     v_start = start;
     v_end = end_;
     perm;
-    vma_lock = Mm_sim.Rwlock_s.make ~bravo:false ();
+    vma_lock = Mm_sim.Rwlock_s.make ~bravo:false ~name:"linux.vma_lock" ();
     seq = 0;
     line = Mm_sim.Engine.Line.make ();
     slab_handle;

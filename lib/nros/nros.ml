@@ -63,7 +63,7 @@ let create ?(isa = Isa.x86_64) ?(nreplicas = 2) ~ncpus () =
         (min nreplicas (max 1 ncpus))
         (fun _ ->
           {
-            rep_lock = Mm_sim.Mutex_s.make ();
+            rep_lock = Mm_sim.Mutex_s.make ~name:"nros.rep_lock" ();
             pt = Pt.create phys isa;
             applied = 0;
           });

@@ -1,0 +1,7 @@
+(** Chrome [trace_event] exporter. The produced JSON loads in Perfetto
+    (ui.perfetto.dev) or chrome://tracing: pid 1 is the simulation, each
+    vCPU appears as a named thread, spans carry their virtual-cycle
+    durations. *)
+
+val to_json : Event.t list -> Json.t
+val write : path:string -> Event.t list -> unit

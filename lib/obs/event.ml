@@ -1,0 +1,120 @@
+(* The event taxonomy of the observability subsystem.
+
+   Every event is stamped with the *virtual* time of the emitting vCPU and
+   a global emission sequence number. Because the simulator is
+   deterministic (fibers are replayed in virtual-time order with sequence
+   tie-breaks), the full event stream of a run is a pure function of the
+   workload and its seeds: two identical runs yield byte-identical
+   streams. Recording an event never advances virtual time, so tracing is
+   invisible to the simulation itself.
+
+   Spans (lock waits, cursor transactions, page faults) are emitted at
+   their *completion*, carrying their duration — the exporter reconstructs
+   the interval as [time - span, time]. This avoids begin/end pairing
+   state in the hot paths. *)
+
+type lock_kind = Mutex | Rw_read | Rw_write
+
+let lock_kind_name = function
+  | Mutex -> "mutex"
+  | Rw_read -> "rw-read"
+  | Rw_write -> "rw-write"
+
+type payload =
+  (* Lock protocol events. [lock] is the registry id ({!Contention}). *)
+  | Lock_acquire of { lock : int; kind : lock_kind; wait : int }
+  | Lock_release of { lock : int; kind : lock_kind; held : int }
+  | Lock_contend of { lock : int; kind : lock_kind }
+  (* RCU: read-side sections, deferred frees, grace-period completion. *)
+  | Rcu_enter
+  | Rcu_exit
+  | Rcu_defer of { pending : int }
+  | Rcu_gp of { callbacks : int }
+  (* TLB maintenance. *)
+  | Tlb_shootdown of { vpns : int; targets : int; ipis : int }
+  | Tlb_latr_drain of { entries : int }
+  (* Page-table structure changes. *)
+  | Pt_split of { vaddr : int; level : int }
+  | Pt_free of { level : int; pages : int }
+  (* Transactional interface. *)
+  | Cursor_lock of { lo : int; hi : int; locked : int; span : int }
+  | Cursor_commit of { lo : int; hi : int; flushed : int }
+  | Stale_retry (* the adv protocol's retry loop fired (Fig 6 L10-13) *)
+  (* Fault path. *)
+  | Page_fault of { vaddr : int; write : bool; span : int }
+  (* Generic instrumentation. *)
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Counter of { name : string; value : int }
+
+type t = { seq : int; time : int; cpu : int; payload : payload }
+
+let name = function
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_release _ -> "lock-release"
+  | Lock_contend _ -> "lock-contend"
+  | Rcu_enter -> "rcu-enter"
+  | Rcu_exit -> "rcu-exit"
+  | Rcu_defer _ -> "rcu-defer"
+  | Rcu_gp _ -> "rcu-gp"
+  | Tlb_shootdown _ -> "tlb-shootdown"
+  | Tlb_latr_drain _ -> "tlb-latr-drain"
+  | Pt_split _ -> "pt-split"
+  | Pt_free _ -> "pt-free"
+  | Cursor_lock _ -> "cursor-lock"
+  | Cursor_commit _ -> "cursor-commit"
+  | Stale_retry -> "stale-retry"
+  | Page_fault _ -> "page-fault"
+  | Span_begin _ -> "span-begin"
+  | Span_end _ -> "span-end"
+  | Counter _ -> "counter"
+
+let payload_args = function
+  | Lock_acquire { lock; kind; wait } ->
+    [ ("lock", lock); ("wait", wait) ]
+    @ [ ("k", match kind with Mutex -> 0 | Rw_read -> 1 | Rw_write -> 2) ]
+  | Lock_release { lock; kind; held } ->
+    [ ("lock", lock); ("held", held) ]
+    @ [ ("k", match kind with Mutex -> 0 | Rw_read -> 1 | Rw_write -> 2) ]
+  | Lock_contend { lock; kind } ->
+    [ ("lock", lock);
+      ("k", match kind with Mutex -> 0 | Rw_read -> 1 | Rw_write -> 2) ]
+  | Rcu_enter | Rcu_exit | Stale_retry -> []
+  | Rcu_defer { pending } -> [ ("pending", pending) ]
+  | Rcu_gp { callbacks } -> [ ("callbacks", callbacks) ]
+  | Tlb_shootdown { vpns; targets; ipis } ->
+    [ ("vpns", vpns); ("targets", targets); ("ipis", ipis) ]
+  | Tlb_latr_drain { entries } -> [ ("entries", entries) ]
+  | Pt_split { vaddr; level } -> [ ("vaddr", vaddr); ("level", level) ]
+  | Pt_free { level; pages } -> [ ("level", level); ("pages", pages) ]
+  | Cursor_lock { lo; hi; locked; span } ->
+    [ ("lo", lo); ("hi", hi); ("locked", locked); ("span", span) ]
+  | Cursor_commit { lo; hi; flushed } ->
+    [ ("lo", lo); ("hi", hi); ("flushed", flushed) ]
+  | Page_fault { vaddr; write; span } ->
+    [ ("vaddr", vaddr); ("write", (if write then 1 else 0)); ("span", span) ]
+  | Span_begin _ | Span_end _ -> []
+  | Counter { value; _ } -> [ ("value", value) ]
+
+(* The duration carried by a span-at-completion event, if any. *)
+let span_of = function
+  | Lock_acquire { wait; _ } -> Some wait
+  | Lock_release { held; _ } -> Some held
+  | Cursor_lock { span; _ } -> Some span
+  | Page_fault { span; _ } -> Some span
+  | _ -> None
+
+(* Canonical single-line text form — the byte stream the determinism
+   guarantee is stated over. *)
+let to_string e =
+  let args =
+    (match e.payload with
+    | Span_begin { name } | Span_end { name } | Counter { name; _ } ->
+      Printf.sprintf " name=%s" name
+    | _ -> "")
+    ^ String.concat ""
+        (List.map
+           (fun (k, v) -> Printf.sprintf " %s=%d" k v)
+           (payload_args e.payload))
+  in
+  Printf.sprintf "%d %d cpu%d %s%s" e.seq e.time e.cpu (name e.payload) args

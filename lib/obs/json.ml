@@ -1,0 +1,266 @@
+(* Minimal JSON: an emitter and a recursive-descent parser.
+
+   The container has no JSON library (DESIGN.md's dependency rule), and
+   the subsystem needs both directions: the Chrome exporter and the bench
+   --json writer emit, the test suite and check.sh validate by parsing.
+   This is deliberately small: objects, arrays, strings (with the JSON
+   escapes), ints, floats, bools, null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* -- Emission -- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | String s -> escape b s
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b v)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape b k;
+        Buffer.add_char b ':';
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b v;
+  Buffer.contents b
+
+let write_file ~path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+(* -- Parsing -- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st lit value =
+  if
+    st.pos + String.length lit <= String.length st.src
+    && String.sub st.src st.pos (String.length lit) = lit
+  then begin
+    st.pos <- st.pos + String.length lit;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string_body st =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> advance st; Buffer.add_char b '\n'; go ()
+      | Some 't' -> advance st; Buffer.add_char b '\t'; go ()
+      | Some 'r' -> advance st; Buffer.add_char b '\r'; go ()
+      | Some 'b' -> advance st; Buffer.add_char b '\b'; go ()
+      | Some 'f' -> advance st; Buffer.add_char b '\012'; go ()
+      | Some ('"' | '\\' | '/') ->
+        Buffer.add_char b st.src.[st.pos];
+        advance st;
+        go ()
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+        let hex = String.sub st.src st.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> fail st "bad \\u escape"
+        in
+        st.pos <- st.pos + 4;
+        (* Encode as UTF-8 (surrogates passed through raw). *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        go ()
+      | _ -> fail st "bad escape")
+    | Some c ->
+      advance st;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek st with Some c when is_num_char c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail st "expected number";
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        expect st '"';
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ()
+        | Some '}' -> advance st
+        | _ -> fail st "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements ()
+        | Some ']' -> advance st
+        | _ -> fail st "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' ->
+    advance st;
+    String (parse_string_body st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length src then Error "trailing garbage"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+(* -- Accessors -- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None

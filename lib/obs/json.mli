@@ -1,0 +1,23 @@
+(** Minimal dependency-free JSON: emit and parse. Used by the Chrome
+    trace exporter, the bench --json writer, and the validation in
+    tests / check.sh. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write_file : path:string -> t -> unit
+
+val parse : string -> (t, string) result
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on anything else. *)
+
+val to_list_opt : t -> t list option

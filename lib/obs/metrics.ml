@@ -1,0 +1,136 @@
+(* A registry of named counters and histograms that any layer can register
+   into. Counters are plain ints; histograms bucket values by log2 (good
+   enough for cycle counts spanning orders of magnitude) and keep exact
+   count/sum/min/max so means are precise even though percentiles are
+   bucket-resolution.
+
+   The registry is global (instrumentation sites are scattered across
+   every layer and must not thread a handle around) and deterministic:
+   enumeration is sorted by name, never by hash order. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  buckets : int array; (* buckets.(b) counts values with log2 = b *)
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters_tbl name c;
+    c
+
+let add c by = c.count <- c.count + by
+let inc c = add c 1
+let count c = c.count
+
+let nbuckets = 63
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        buckets = Array.make nbuckets 0;
+        n = 0;
+        sum = 0;
+        min_v = max_int;
+        max_v = 0;
+      }
+    in
+    Hashtbl.replace histograms_tbl name h;
+    h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+    min (nbuckets - 1) (go (-1) v)
+
+let observe h v =
+  let v = max 0 v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
+let samples h = h.n
+let total h = h.sum
+let max_value h = h.max_v
+
+(* Upper bound of the bucket holding the q-th quantile observation. *)
+let quantile h q =
+  if h.n = 0 then 0
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int h.n)))
+    in
+    let acc = ref 0 and result = ref h.max_v and found = ref false in
+    Array.iteri
+      (fun b c ->
+        if not !found then begin
+          acc := !acc + c;
+          if !acc >= target then begin
+            result := min h.max_v ((1 lsl (b + 1)) - 1);
+            found := true
+          end
+        end)
+      h.buckets;
+    !result
+  end
+
+let sorted_values tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let counters () =
+  sorted_values counters_tbl
+  |> List.map (fun c -> (c.c_name, c.count))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histograms () =
+  sorted_values histograms_tbl
+  |> List.map (fun h -> (h.h_name, h))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset histograms_tbl
+
+(* Plain-text dump, e.g. under a benchmark's --report flag. *)
+let dump () =
+  let b = Buffer.create 256 in
+  let cs = counters () in
+  if cs <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-36s %d\n" name v))
+      cs
+  end;
+  let hs = histograms () in
+  if hs <> [] then begin
+    Buffer.add_string b "histograms (cycles):\n";
+    Buffer.add_string b
+      (Printf.sprintf "  %-36s %10s %10s %10s %10s %10s\n" "" "count" "mean"
+         "p50<=" "p99<=" "max");
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-36s %10d %10.1f %10d %10d %10d\n" name h.n
+             (mean h) (quantile h 0.5) (quantile h 0.99) h.max_v))
+      hs
+  end;
+  Buffer.contents b

@@ -1,0 +1,36 @@
+(** Registry of named counters and log2-bucketed histograms. Global (any
+    layer registers by name) and deterministic (enumeration is sorted by
+    name). *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find or create the counter with this name. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val histogram : string -> histogram
+(** Find or create the histogram with this name. *)
+
+val observe : histogram -> int -> unit
+
+val mean : histogram -> float
+val samples : histogram -> int
+val total : histogram -> int
+val max_value : histogram -> int
+
+val quantile : histogram -> float -> int
+(** Upper bound of the log2 bucket holding the q-th quantile. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : unit -> (string * histogram) list
+
+val reset : unit -> unit
+
+val dump : unit -> string
+(** Plain-text rendering of the whole registry. *)

@@ -1,0 +1,20 @@
+(** Fixed-capacity ring buffer. Pushing beyond the capacity overwrites
+    the oldest entries, keeping the tail of the stream. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Entries currently held (≤ capacity). *)
+
+val dropped : 'a t -> int
+(** Entries overwritten so far. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+val clear : 'a t -> unit

@@ -61,7 +61,7 @@ let make_node ~level =
     level;
     entries = (if level = 1 then Array.make fanout R_empty else [||]);
     children = (if level > 1 then Array.make fanout None else [||]);
-    lock = Mm_sim.Mutex_s.make ();
+    lock = Mm_sim.Mutex_s.make ~name:"radixvm.node_lock" ();
     line = Mm_sim.Engine.Line.make ();
     core_mask = 0;
   }

@@ -39,8 +39,11 @@ type _ Effect.t += Park : (parked -> unit) -> unit Effect.t
 type stats = {
   mutable events : int;
   mutable parks : int;
+  mutable wakes : int; (* explicit unparks (parks minus self-serializations
+                          that were still pending at exit — so parks >= wakes) *)
   mutable rmws : int;
   mutable line_stalls : int; (* RMWs that had to wait for the line *)
+  mutable max_ready_queue : int; (* high-water mark of runnable fibers *)
 }
 
 type world = {
@@ -70,7 +73,15 @@ let create ~ncpus =
     live = 0;
     runnable = 0;
     cpu_time = Array.make ncpus 0;
-    stats = { events = 0; parks = 0; rmws = 0; line_stalls = 0 };
+    stats =
+      {
+        events = 0;
+        parks = 0;
+        wakes = 0;
+        rmws = 0;
+        line_stalls = 0;
+        max_ready_queue = 0;
+      };
   }
 
 let world () =
@@ -105,11 +116,17 @@ let push_event w ~time run =
 
 let park register = Effect.perform (Park register)
 
+let note_runnable w =
+  if w.runnable > w.stats.max_ready_queue then
+    w.stats.max_ready_queue <- w.runnable
+
 let unpark p ~at =
   if not p.pk_live then failwith "Engine.unpark: fiber already unparked";
   p.pk_live <- false;
   let w = world () in
+  w.stats.wakes <- w.stats.wakes + 1;
   w.runnable <- w.runnable + 1;
+  note_runnable w;
   push_event w ~time:at (fun () ->
       let f = p.pk_fiber in
       if at > f.f_time then f.f_time <- at;
@@ -152,6 +169,7 @@ let spawn w ~cpu prog =
   w.next_fiber_id <- w.next_fiber_id + 1;
   w.live <- w.live + 1;
   w.runnable <- w.runnable + 1;
+  note_runnable w;
   push_event w ~time:0 (fun () ->
       w.current <- Some f;
       w.runnable <- w.runnable - 1;
@@ -183,11 +201,27 @@ let run w =
    with e ->
      finish ();
      raise e);
+  (* A clean finish must leave internally consistent stats: every wake
+     resumed a prior park, and no fiber is still queued. *)
+  if w.stats.parks < w.stats.wakes then
+    failwith "Engine.run: stats inconsistent (wakes exceed parks)";
+  if w.runnable <> 0 then
+    failwith "Engine.run: stats inconsistent (runnable fibers after finish)";
   finish ()
 
 let cpu_time w cpu = w.cpu_time.(cpu)
 let max_time w = Array.fold_left max 0 w.cpu_time
 let stats w = w.stats
+
+(* Observability bridge: stamp an event with the emitting fiber's virtual
+   time and CPU. Call sites guard with [Mm_obs.Trace.on ()] so the payload
+   is never even allocated when tracing is off; recording never touches
+   [f_time], so traced and untraced runs are bit-identical. *)
+let obs payload =
+  match !cur_world with
+  | Some { current = Some f; _ } ->
+    Mm_obs.Trace.emit ~time:f.f_time ~cpu:f.f_cpu payload
+  | _ -> ()
 
 (* -- Cache-line contention model -- *)
 

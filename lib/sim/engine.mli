@@ -18,8 +18,10 @@ type fiber = {
 type stats = {
   mutable events : int;
   mutable parks : int;
+  mutable wakes : int;
   mutable rmws : int;
   mutable line_stalls : int;
+  mutable max_ready_queue : int;
 }
 
 exception Deadlock of string
@@ -71,6 +73,12 @@ val serialize : unit -> unit
 (** Re-enter the scheduler at the current time so that subsequent shared
     state inspection happens in global virtual-time order. Every simulated
     synchronization primitive calls this before touching its state. *)
+
+val obs : Mm_obs.Event.payload -> unit
+(** Record a trace event stamped with the current fiber's virtual time and
+    CPU; no-op outside a fiber or without an active {!Mm_obs.Trace}
+    session. Guard call sites with [Mm_obs.Trace.on ()] so payloads are not
+    allocated when tracing is off. Never advances virtual time. *)
 
 (** Cache-line contention model. *)
 module Line : sig

@@ -5,38 +5,73 @@
    (local, free), and release hands the lock to the successor with a single
    line transfer. We model exactly that: one [Line.rmw] per acquire, FIFO
    queue of parked fibers, and a [line_transfer] handoff latency.
-   CortenMM_adv uses this as the per-PT-page lock (paper §4.5). *)
+   CortenMM_adv uses this as the per-PT-page lock (paper §4.5).
+
+   Observability: each lock carries a cheap integer id; profile entries and
+   trace events are produced only while a session is active ([Trace.on]),
+   and recording never advances virtual time. Wait time is the parked
+   duration (cycles serialized behind the holder), not the line-transfer
+   cost of an uncontended acquire. *)
 
 type t = {
   line : Engine.Line.t;
+  id : int;
+  mutable name : string option;
   mutable locked : bool;
   mutable holder : int; (* cpu, or -1 *)
+  mutable acquired_at : int; (* virtual time of last acquisition *)
   waiters : Engine.parked Queue.t;
   mutable acquisitions : int;
   mutable contended : int;
 }
 
-let make () =
+let make ?name () =
   {
     line = Engine.Line.make ();
+    id = Mm_obs.Contention.fresh_id ();
+    name;
     locked = false;
     holder = -1;
+    acquired_at = 0;
     waiters = Queue.create ();
     acquisitions = 0;
     contended = 0;
   }
+
+let set_name t name = t.name <- Some name
+
+let profile t =
+  Mm_obs.Contention.get ~id:t.id ~kind:Mm_obs.Event.Mutex ~name:(fun () ->
+      match t.name with
+      | Some n -> n
+      | None -> Printf.sprintf "mutex#%d" t.id)
+
+let note_acquired t ~wait =
+  t.acquired_at <- Engine.now ();
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Contention.acquired (profile t) ~wait;
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.wait_cycles") wait;
+    Engine.obs
+      (Mm_obs.Event.Lock_acquire { lock = t.id; kind = Mm_obs.Event.Mutex; wait })
+  end
 
 let lock t =
   Engine.Line.rmw t.line;
   t.acquisitions <- t.acquisitions + 1;
   if not t.locked then begin
     t.locked <- true;
-    t.holder <- Engine.cpu_id ()
+    t.holder <- Engine.cpu_id ();
+    note_acquired t ~wait:0
   end
   else begin
     t.contended <- t.contended + 1;
-    Engine.park (fun p -> Queue.push p t.waiters)
+    if Mm_obs.Trace.on () then
+      Engine.obs
+        (Mm_obs.Event.Lock_contend { lock = t.id; kind = Mm_obs.Event.Mutex });
+    let t0 = Engine.now () in
+    Engine.park (fun p -> Queue.push p t.waiters);
     (* We resume as the holder: [unlock] set [holder] before unparking. *)
+    note_acquired t ~wait:(Engine.now () - t0)
   end
 
 let try_lock t =
@@ -46,6 +81,7 @@ let try_lock t =
     t.acquisitions <- t.acquisitions + 1;
     t.locked <- true;
     t.holder <- Engine.cpu_id ();
+    note_acquired t ~wait:0;
     true
   end
 
@@ -55,6 +91,13 @@ let unlock t =
   if t.holder <> Engine.cpu_id () then
     failwith "Mutex_s.unlock: unlocked by non-holder";
   Engine.tick Cost.cache_hit;
+  if Mm_obs.Trace.on () then begin
+    let held = Engine.now () - t.acquired_at in
+    Mm_obs.Contention.released (profile t) ~held;
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.hold_cycles") held;
+    Engine.obs
+      (Mm_obs.Event.Lock_release { lock = t.id; kind = Mm_obs.Event.Mutex; held })
+  end;
   match Queue.take_opt t.waiters with
   | None ->
     t.locked <- false;
@@ -68,3 +111,4 @@ let holder t = if t.locked then Some t.holder else None
 let is_locked t = t.locked
 let acquisitions t = t.acquisitions
 let contended t = t.contended
+let id t = t.id

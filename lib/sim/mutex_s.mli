@@ -3,7 +3,13 @@
 
 type t
 
-val make : unit -> t
+val make : ?name:string -> unit -> t
+(** [name] labels the lock in contention reports and traces; unnamed locks
+    appear as [mutex#<id>]. *)
+
+val set_name : t -> string -> unit
+val id : t -> int
+
 val lock : t -> unit
 val try_lock : t -> bool
 

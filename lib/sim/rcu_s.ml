@@ -37,7 +37,9 @@ let read_lock t =
   Engine.serialize ();
   Engine.tick Cost.rcu_toggle;
   let c = Engine.cpu_id () in
-  t.nesting.(c) <- t.nesting.(c) + 1
+  t.nesting.(c) <- t.nesting.(c) + 1;
+  if t.nesting.(c) = 1 && Mm_obs.Trace.on () then
+    Engine.obs Mm_obs.Event.Rcu_enter
 
 let in_read_section t ~cpu = t.nesting.(cpu) > 0
 
@@ -54,6 +56,13 @@ let quiesce t cpu =
       t.pending
   in
   t.pending <- rest;
+  (match ready with
+  | [] -> ()
+  | _ when Mm_obs.Trace.on () ->
+    let n = List.length ready in
+    Mm_obs.Metrics.add (Mm_obs.Metrics.counter "rcu.gp_callbacks") n;
+    Engine.obs (Mm_obs.Event.Rcu_gp { callbacks = n })
+  | _ -> ());
   List.iter
     (fun cb ->
       t.completed <- t.completed + 1;
@@ -66,7 +75,10 @@ let read_unlock t =
   let c = Engine.cpu_id () in
   if t.nesting.(c) <= 0 then failwith "Rcu_s.read_unlock: not in read section";
   t.nesting.(c) <- t.nesting.(c) - 1;
-  if t.nesting.(c) = 0 then quiesce t c
+  if t.nesting.(c) = 0 then begin
+    if Mm_obs.Trace.on () then Engine.obs Mm_obs.Event.Rcu_exit;
+    quiesce t c
+  end
 
 let snapshot_readers t =
   let n = Array.length t.nesting in
@@ -90,7 +102,11 @@ let defer t fn =
     t.completed <- t.completed + 1;
     fn ()
   end
-  else t.pending <- { waiting_on = waiting; remaining; fn } :: t.pending
+  else t.pending <- { waiting_on = waiting; remaining; fn } :: t.pending;
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "rcu.deferred");
+    Engine.obs (Mm_obs.Event.Rcu_defer { pending = List.length t.pending })
+  end
 
 let synchronize t =
   Engine.serialize ();

@@ -13,16 +13,24 @@
 
    This captures the scalability difference the paper measures between
    CortenMM_rw (reader RMWs or revocation scans on the root lock) and
-   CortenMM_adv (no reader-side shared writes at all). *)
+   CortenMM_adv (no reader-side shared writes at all).
+
+   Observability mirrors {!Mutex_s}: integer id at creation, lazy profile
+   entry, events only while tracing. Wait time is the parked duration; hold
+   time is tracked for the exclusive (writer) side only — readers overlap,
+   so a per-reader hold would need per-fiber state the model doesn't keep. *)
 
 type t = {
   line : Engine.Line.t;
+  id : int;
+  mutable name : string option;
   bravo_capable : bool;
   mutable bravo : bool;
   mutable reads_since_writer : int;
   mutable readers : int;
   mutable writer : bool;
   mutable writer_cpu : int;
+  mutable writer_since : int; (* virtual time the writer acquired *)
   rwait : Engine.parked Queue.t;
   wwait : Engine.parked Queue.t;
   mutable read_acqs : int;
@@ -32,21 +40,43 @@ type t = {
 
 let bravo_reenable_threshold = 16
 
-let make ?(bravo = true) () =
+let make ?(bravo = true) ?name () =
   {
     line = Engine.Line.make ();
+    id = Mm_obs.Contention.fresh_id ();
+    name;
     bravo_capable = bravo;
     bravo;
     reads_since_writer = 0;
     readers = 0;
     writer = false;
     writer_cpu = -1;
+    writer_since = 0;
     rwait = Queue.create ();
     wwait = Queue.create ();
     read_acqs = 0;
     write_acqs = 0;
     revocations = 0;
   }
+
+let set_name t name = t.name <- Some name
+
+let profile t =
+  Mm_obs.Contention.get ~id:t.id ~kind:Mm_obs.Event.Rw_write ~name:(fun () ->
+      match t.name with
+      | Some n -> n
+      | None -> Printf.sprintf "rwlock#%d" t.id)
+
+let note_acquired t ~kind ~wait =
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Contention.acquired (profile t) ~wait;
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.wait_cycles") wait;
+    Engine.obs (Mm_obs.Event.Lock_acquire { lock = t.id; kind; wait })
+  end
+
+let note_contend t ~kind =
+  if Mm_obs.Trace.on () then
+    Engine.obs (Mm_obs.Event.Lock_contend { lock = t.id; kind })
 
 let reader_entry_cost t =
   if t.bravo then Engine.tick Cost.bravo_read else Engine.Line.rmw t.line
@@ -60,16 +90,21 @@ let maybe_reenable_bravo t =
 
 let read_lock t =
   Engine.serialize ();
-  if t.writer || not (Queue.is_empty t.wwait) then
+  if t.writer || not (Queue.is_empty t.wwait) then begin
     (* Phase-fair: a pending writer blocks new readers. The waker updates
        the lock state on our behalf before unparking us. *)
-    Engine.park (fun p -> Queue.push p t.rwait)
+    note_contend t ~kind:Mm_obs.Event.Rw_read;
+    let t0 = Engine.now () in
+    Engine.park (fun p -> Queue.push p t.rwait);
+    note_acquired t ~kind:Mm_obs.Event.Rw_read ~wait:(Engine.now () - t0)
+  end
   else begin
     reader_entry_cost t;
     t.readers <- t.readers + 1;
     t.read_acqs <- t.read_acqs + 1;
     t.reads_since_writer <- t.reads_since_writer + 1;
-    maybe_reenable_bravo t
+    maybe_reenable_bravo t;
+    note_acquired t ~kind:Mm_obs.Event.Rw_read ~wait:0
   end
 
 let wake_next_writer t =
@@ -86,6 +121,10 @@ let read_unlock t =
   if t.readers <= 0 then failwith "Rwlock_s.read_unlock: no readers";
   reader_entry_cost t;
   t.readers <- t.readers - 1;
+  if Mm_obs.Trace.on () then
+    Engine.obs
+      (Mm_obs.Event.Lock_release
+         { lock = t.id; kind = Mm_obs.Event.Rw_read; held = 0 });
   if t.readers = 0 && not t.writer then wake_next_writer t
 
 let write_lock t =
@@ -100,9 +139,18 @@ let write_lock t =
   if t.readers = 0 && (not t.writer) && Queue.is_empty t.wwait then begin
     t.writer <- true;
     t.writer_cpu <- Engine.cpu_id ();
-    t.write_acqs <- t.write_acqs + 1
+    t.write_acqs <- t.write_acqs + 1;
+    t.writer_since <- Engine.now ();
+    note_acquired t ~kind:Mm_obs.Event.Rw_write ~wait:0
   end
-  else Engine.park (fun p -> Queue.push p t.wwait)
+  else begin
+    note_contend t ~kind:Mm_obs.Event.Rw_write;
+    let t0 = Engine.now () in
+    Engine.park (fun p -> Queue.push p t.wwait);
+    (* We resume as the writer: [wake_next_writer] set the state. *)
+    t.writer_since <- Engine.now ();
+    note_acquired t ~kind:Mm_obs.Event.Rw_write ~wait:(Engine.now () - t0)
+  end
 
 let wake_reader_phase t =
   let base = Engine.now () + Cost.line_transfer in
@@ -117,12 +165,23 @@ let wake_reader_phase t =
   Queue.iter admit t.rwait;
   Queue.clear t.rwait
 
+let note_writer_release t =
+  if Mm_obs.Trace.on () then begin
+    let held = Engine.now () - t.writer_since in
+    Mm_obs.Contention.released (profile t) ~held;
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.hold_cycles") held;
+    Engine.obs
+      (Mm_obs.Event.Lock_release
+         { lock = t.id; kind = Mm_obs.Event.Rw_write; held })
+  end
+
 let write_unlock t =
   Engine.serialize ();
   if not t.writer then failwith "Rwlock_s.write_unlock: no writer";
   if t.writer_cpu <> Engine.cpu_id () then
     failwith "Rwlock_s.write_unlock: wrong cpu";
   Engine.tick Cost.cache_hit;
+  note_writer_release t;
   t.writer <- false;
   t.writer_cpu <- -1;
   if not (Queue.is_empty t.rwait) then wake_reader_phase t
@@ -134,6 +193,7 @@ let downgrade t =
   if t.writer_cpu <> Engine.cpu_id () then
     failwith "Rwlock_s.downgrade: wrong cpu";
   Engine.tick Cost.cache_hit;
+  note_writer_release t;
   t.writer <- false;
   t.writer_cpu <- -1;
   t.readers <- t.readers + 1;
@@ -151,3 +211,4 @@ let writer_active t = t.writer
 let read_acqs t = t.read_acqs
 let write_acqs t = t.write_acqs
 let revocations t = t.revocations
+let id t = t.id

@@ -3,7 +3,13 @@
 
 type t
 
-val make : ?bravo:bool -> unit -> t
+val make : ?bravo:bool -> ?name:string -> unit -> t
+(** [name] labels the lock in contention reports and traces; unnamed locks
+    appear as [rwlock#<id>]. *)
+
+val set_name : t -> string -> unit
+val id : t -> int
+
 val read_lock : t -> unit
 val read_unlock : t -> unit
 val write_lock : t -> unit

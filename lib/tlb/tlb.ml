@@ -83,7 +83,7 @@ let shootdown t ~targets ~vpns =
       (fun c -> c <> self && c < t.ncpus && targets.(c))
       (List.init t.ncpus Fun.id)
   in
-  match (t.strategy, remote) with
+  (match (t.strategy, remote) with
   | _, [] -> ()
   | Sync, remote ->
     (* Send IPIs in parallel, wait for every acknowledgement. *)
@@ -116,7 +116,22 @@ let shootdown t ~targets ~vpns =
             t.counters.latr_published <- t.counters.latr_published + 1)
           vpns)
       remote;
-    charge (Mm_sim.Cost.latr_publish * List.length vpns)
+    charge (Mm_sim.Cost.latr_publish * List.length vpns));
+  if Mm_obs.Trace.on () then begin
+    let nremote = List.length remote in
+    let ipis =
+      match t.strategy with
+      | (Sync | Early_ack) when nremote > 0 -> nremote
+      | _ -> 0
+    in
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "tlb.shootdowns");
+    Mm_obs.Metrics.observe
+      (Mm_obs.Metrics.histogram "tlb.shootdown_fanout")
+      nremote;
+    Mm_sim.Engine.obs
+      (Mm_obs.Event.Tlb_shootdown
+         { vpns = List.length vpns; targets = nremote; ipis })
+  end
 
 (* Full shootdown: invalidate the targets' entire TLBs (what a kernel
    does beyond a per-page threshold, and what kswapd does after a batch
@@ -137,6 +152,16 @@ let shootdown_full t ~targets =
     List.iter (fun c -> Hashtbl.reset t.entries.(c)) remote;
     charge
       ((Mm_sim.Cost.ipi_send * List.length remote) + Mm_sim.Cost.ipi_ack_wait)
+  end;
+  if Mm_obs.Trace.on () then begin
+    let nremote = List.length remote in
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "tlb.shootdowns");
+    Mm_obs.Metrics.observe
+      (Mm_obs.Metrics.histogram "tlb.shootdown_fanout")
+      nremote;
+    (* vpns = 0 encodes a full flush. *)
+    Mm_sim.Engine.obs
+      (Mm_obs.Event.Tlb_shootdown { vpns = 0; targets = nremote; ipis = nremote })
   end
 
 (* Called by each CPU on its (simulated) timer interrupt / reschedule. *)
@@ -147,7 +172,11 @@ let timer_tick t ~cpu =
     charge (Mm_sim.Cost.latr_drain_per_entry * n);
     Queue.iter (fun vpn -> Hashtbl.remove t.entries.(cpu) vpn) q;
     Queue.clear q;
-    t.counters.latr_drained <- t.counters.latr_drained + n
+    t.counters.latr_drained <- t.counters.latr_drained + n;
+    if Mm_obs.Trace.on () then begin
+      Mm_obs.Metrics.add (Mm_obs.Metrics.counter "tlb.latr_drained") n;
+      Mm_sim.Engine.obs (Mm_obs.Event.Tlb_latr_drain { entries = n })
+    end
   end
 
 let pending_count t ~cpu = Queue.length t.pending.(cpu)

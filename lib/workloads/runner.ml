@@ -50,7 +50,11 @@ let run_phases ?(setup = fun () -> ()) ?(prep = fun _ -> ()) ~ncpus ~measure ()
         prep cpu;
         Barrier.wait b2;
         start.(cpu) <- Engine.now ();
+        if Mm_obs.Trace.on () then
+          Engine.obs (Mm_obs.Event.Span_begin { name = "measure" });
         measure cpu;
+        if Mm_obs.Trace.on () then
+          Engine.obs (Mm_obs.Event.Span_end { name = "measure" });
         finish.(cpu) <- Engine.now ())
   done;
   Engine.run w;
@@ -71,5 +75,32 @@ let run_threads ~ncpus f =
 
 type result = { ops : int; cycles : int; ops_per_sec : float }
 
+(* -- Machine-readable result collection (bench --json) --
+
+   Every benchmark funnels its numbers through [result], so an optional
+   collector installed here sees each result exactly once. The driver
+   labels the current experiment before running it; results constructed
+   while no collection is active are simply not recorded. *)
+
+let collector : (string * result) list ref option ref = ref None
+let current_label = ref "?"
+
+let start_collecting () = collector := Some (ref [])
+let set_label l = current_label := l
+
+let collected () =
+  match !collector with None -> [] | Some acc -> List.rev !acc
+
+let stop_collecting () =
+  let out = collected () in
+  collector := None;
+  out
+
 let result ~ops ~cycles =
-  { ops; cycles; ops_per_sec = Mm_util.Stats.ops_per_second ~ops ~cycles }
+  let r =
+    { ops; cycles; ops_per_sec = Mm_util.Stats.ops_per_second ~ops ~cycles }
+  in
+  (match !collector with
+  | None -> ()
+  | Some acc -> acc := (!current_label, r) :: !acc);
+  r

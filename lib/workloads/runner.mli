@@ -28,3 +28,19 @@ val run_threads : ncpus:int -> (int -> unit) -> int
 type result = { ops : int; cycles : int; ops_per_sec : float }
 
 val result : ops:int -> cycles:int -> result
+(** Construct a result; if collection is active, it is also recorded
+    under the current label (see below). *)
+
+(** {2 Machine-readable result collection}
+
+    The bench driver labels each experiment ({!set_label}) and collects
+    every {!result} constructed while collection is active — the basis of
+    [bench --json]. *)
+
+val start_collecting : unit -> unit
+val set_label : string -> unit
+
+val collected : unit -> (string * result) list
+(** Results so far, in construction order. *)
+
+val stop_collecting : unit -> (string * result) list

@@ -1,0 +1,309 @@
+(* Tests for lib/obs: ring-buffer mechanics, the determinism guarantee
+   (identical runs produce byte-identical event streams; tracing never
+   perturbs virtual time), Chrome trace_event export, the metrics
+   registry, the contention profile, and agreement between the traced
+   Stale_retry events and [Addr_space.stale_retries]. *)
+
+module Engine = Mm_sim.Engine
+module Ring = Mm_obs.Ring
+module Event = Mm_obs.Event
+module Trace = Mm_obs.Trace
+module Metrics = Mm_obs.Metrics
+module Contention = Mm_obs.Contention
+module Json = Mm_obs.Json
+module Chrome = Mm_obs.Chrome
+module Micro = Mm_workloads.Micro
+module Runner = Mm_workloads.Runner
+module System = Mm_workloads.System
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* -- Ring buffer -- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check Alcotest.int "empty" 0 (Ring.length r);
+  List.iter (fun i -> Ring.push r i) [ 0; 1; 2 ];
+  check Alcotest.int "partial" 3 (Ring.length r);
+  check Alcotest.int "no drops" 0 (Ring.dropped r);
+  check Alcotest.(list int) "order" [ 0; 1; 2 ] (Ring.to_list r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Ring.push r i
+  done;
+  check Alcotest.int "full" 4 (Ring.length r);
+  check Alcotest.int "dropped" 6 (Ring.dropped r);
+  (* Oldest-first survivors are the last [capacity] pushes. *)
+  check Alcotest.(list int) "survivors" [ 6; 7; 8; 9 ] (Ring.to_list r);
+  Ring.clear r;
+  check Alcotest.int "cleared" 0 (Ring.length r)
+
+(* -- Trace sessions -- *)
+
+let test_trace_off_is_noop () =
+  check Alcotest.bool "off" false (Trace.on ());
+  (* Emitting without a session must be a silent no-op. *)
+  Trace.emit ~time:0 ~cpu:0 Event.Rcu_enter;
+  check Alcotest.int "nothing recorded" 0 (List.length (Trace.events ()))
+
+let run_micro () =
+  Micro.run
+    ~kind:(System.Corten Cortenmm.Config.adv)
+    ~ncpus:4 ~bench:Micro.Pf ~contention:Micro.High ~iters:20 ()
+
+let traced_micro () =
+  Trace.start ~capacity:(1 lsl 18) ();
+  let r = run_micro () in
+  let events = Trace.stop () in
+  (r, events)
+
+let test_trace_determinism () =
+  let r1, e1 = traced_micro () in
+  let r2, e2 = traced_micro () in
+  check Alcotest.bool "events recorded" true (List.length e1 > 0);
+  check Alcotest.bool "byte-identical streams" true
+    (Trace.to_text e1 = Trace.to_text e2);
+  match (r1, r2) with
+  | Some r1, Some r2 ->
+    check Alcotest.int "identical cycles" r1.Runner.cycles r2.Runner.cycles
+  | _ -> Alcotest.fail "micro benchmark did not run"
+
+let test_tracing_does_not_perturb () =
+  (* The same workload, traced and untraced, must report bit-identical
+     virtual-time results: recording never advances simulated time. *)
+  let plain =
+    match run_micro () with
+    | Some r -> r.Runner.cycles
+    | None -> Alcotest.fail "micro benchmark did not run"
+  in
+  let traced =
+    match traced_micro () with
+    | Some r, _ -> r.Runner.cycles
+    | None, _ -> Alcotest.fail "micro benchmark did not run"
+  in
+  check Alcotest.int "cycles identical with tracing on" plain traced
+
+(* -- Chrome export -- *)
+
+let test_chrome_json_wellformed () =
+  let _, events = traced_micro () in
+  let text = Json.to_string (Chrome.to_json events) in
+  match Json.parse text with
+  | Error msg -> Alcotest.fail ("chrome JSON does not parse: " ^ msg)
+  | Ok json -> (
+    match Option.bind (Json.member "traceEvents" json) Json.to_list_opt with
+    | None -> Alcotest.fail "no traceEvents array"
+    | Some items ->
+      check Alcotest.bool "has events" true (List.length items > 0);
+      List.iter
+        (fun item ->
+          List.iter
+            (fun field ->
+              if Json.member field item = None then
+                Alcotest.fail ("event missing field " ^ field))
+            [ "name"; "ph"; "pid"; "tid" ];
+          (* Complete events reconstruct [time - span, time]: ts must not
+             go negative. *)
+          match (Json.member "ph" item, Json.member "ts" item) with
+          | Some (Json.String "X"), Some (Json.Int ts) ->
+            check Alcotest.bool "span ts >= 0" true (ts >= 0)
+          | _ -> ())
+        items)
+
+(* -- JSON corner cases -- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("l", Json.List [ Json.Int 1; Json.Null; Json.Bool true ]);
+        ("f", Json.Float 1.5);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> check Alcotest.bool "roundtrip" true (v = v')
+  | Error msg -> Alcotest.fail msg
+
+let test_json_rejects_garbage () =
+  (match Json.parse "{\"a\": }" with
+  | Ok _ -> Alcotest.fail "accepted malformed object"
+  | Error _ -> ());
+  match Json.parse "[1,2] trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+(* -- Metrics -- *)
+
+let test_metrics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.count" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check Alcotest.int "counter" 5 (Metrics.count c);
+  check Alcotest.bool "find-or-create" true (c == Metrics.counter "test.count");
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1; 2; 4; 8 ];
+  check Alcotest.int "samples" 4 (Metrics.samples h);
+  check Alcotest.int "total" 15 (Metrics.total h);
+  check Alcotest.int "max" 8 (Metrics.max_value h);
+  check (Alcotest.float 0.001) "mean" 3.75 (Metrics.mean h);
+  check Alcotest.bool "median bucket" true (Metrics.quantile h 0.5 <= 4);
+  let dump = Metrics.dump () in
+  check Alcotest.bool "dump lists counter" true
+    (contains ~needle:"test.count" dump);
+  check Alcotest.bool "dump lists histogram" true
+    (contains ~needle:"test.hist" dump);
+  Metrics.reset ();
+  check Alcotest.int "reset" 0 (Metrics.count (Metrics.counter "test.count"))
+
+(* -- Contention profile -- *)
+
+let test_contention_ranking () =
+  Trace.start ();
+  let hot = Mm_sim.Mutex_s.make ~name:"test.hot" () in
+  let cold = Mm_sim.Mutex_s.make ~name:"test.cold" () in
+  let w = Engine.create ~ncpus:4 in
+  for cpu = 0 to 3 do
+    Engine.spawn w ~cpu (fun () ->
+        for _ = 1 to 10 do
+          Mm_sim.Mutex_s.lock hot;
+          Engine.tick 500;
+          Mm_sim.Mutex_s.unlock hot
+        done;
+        if cpu = 0 then begin
+          Mm_sim.Mutex_s.lock cold;
+          Mm_sim.Mutex_s.unlock cold
+        end)
+  done;
+  Engine.run w;
+  (match Contention.top () with
+  | None -> Alcotest.fail "no contention recorded"
+  | Some e ->
+    check Alcotest.string "top lock is the hot one" "test.hot"
+      e.Contention.name;
+    check Alcotest.bool "serialized cycles recorded" true
+      (e.Contention.wait_cycles > 0);
+    check Alcotest.int "all acquisitions counted" 40
+      e.Contention.acquisitions);
+  let report = Contention.report () in
+  check Alcotest.bool "report names the hot lock" true
+    (contains ~needle:"test.hot" report);
+  ignore (Trace.stop ())
+
+(* -- Engine stats satellites -- *)
+
+let test_engine_stats_consistency () =
+  let m = Mm_sim.Mutex_s.make () in
+  let w = Engine.create ~ncpus:4 in
+  for cpu = 0 to 3 do
+    Engine.spawn w ~cpu (fun () ->
+        for _ = 1 to 5 do
+          Mm_sim.Mutex_s.lock m;
+          Engine.tick 100;
+          Mm_sim.Mutex_s.unlock m
+        done)
+  done;
+  Engine.run w;
+  let s = Engine.stats w in
+  check Alcotest.bool "parks >= wakes" true (s.Engine.parks >= s.Engine.wakes);
+  check Alcotest.bool "wakes happened" true (s.Engine.wakes > 0);
+  check Alcotest.bool "ready-queue high-water >= 1" true
+    (s.Engine.max_ready_queue >= 1);
+  check Alcotest.bool "high-water bounded by fibers" true
+    (s.Engine.max_ready_queue <= 4)
+
+(* -- Stale-retry agreement (adv protocol, Fig 6 L10-13) -- *)
+
+let test_stale_retries_agree () =
+  Trace.start ~capacity:(1 lsl 20) ();
+  let asp_box = ref None in
+  let ps = 4096 in
+  let base = 0x4000_0000 in
+  (* The window must span multiple L1 PT pages (> 2 MiB): [free_child]
+     only fires on strict descendants of the unmapper's covering node, so
+     a single-PT-page window never marks anything stale. *)
+  let pages = 1024 in
+  let len = pages * ps in
+  let ncpus = 4 in
+  ignore
+    (Runner.run_phases ~ncpus
+       ~setup:(fun () ->
+         let kernel = Cortenmm.Kernel.create ~ncpus () in
+         let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
+         ignore (Cortenmm.Mm.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ());
+         asp_box := Some asp)
+       ~measure:(fun cpu ->
+         let asp = Option.get !asp_box in
+         if cpu = 0 then
+           (* Churn the window: each munmap empties the covering PT
+              page(s), marking them stale under concurrent touchers. *)
+           for _ = 1 to 20 do
+             Cortenmm.Mm.munmap asp ~addr:base ~len;
+             ignore
+               (Cortenmm.Mm.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ())
+           done
+         else
+           for i = 1 to 120 do
+             let v = base + ((cpu * 37) + i) mod pages * ps in
+             try Cortenmm.Mm.touch asp ~vaddr:v ~write:true
+             with Cortenmm.Mm.Fault _ -> ()
+           done)
+       ());
+  let asp = Option.get !asp_box in
+  let dropped = Trace.dropped () in
+  let events = Trace.stop () in
+  check Alcotest.int "no ring overflow" 0 dropped;
+  let traced =
+    List.length
+      (List.filter (fun e -> e.Event.payload = Event.Stale_retry) events)
+  in
+  check Alcotest.bool "the retry path was exercised" true (traced > 0);
+  check Alcotest.int "trace agrees with Addr_space.stale_retries"
+    (Cortenmm.Addr_space.stale_retries asp)
+    traced
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "off is no-op" `Quick test_trace_off_is_noop;
+          Alcotest.test_case "determinism" `Quick test_trace_determinism;
+          Alcotest.test_case "zero perturbation" `Quick
+            test_tracing_does_not_perturb;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome wellformed" `Quick
+            test_chrome_json_wellformed;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick
+            test_json_rejects_garbage;
+        ] );
+      ( "registries",
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "contention ranking" `Quick
+            test_contention_ranking;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine stats consistent" `Quick
+            test_engine_stats_consistency;
+          Alcotest.test_case "stale retries agree" `Quick
+            test_stale_retries_agree;
+        ] );
+    ]
