@@ -11,14 +11,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke: fig13 --json/--trace =="
+echo "== bench smoke: fig13 --json/--trace/--wallclock =="
 dune exec bench/main.exe -- --only fig13 --json /tmp/b.json \
-  --trace /tmp/t.json --report > /tmp/check_bench.out 2>&1 \
+  --trace /tmp/t.json --wallclock --report > /tmp/check_bench.out 2>&1 \
   || { cat /tmp/check_bench.out; exit 1; }
 tail -n 3 /tmp/check_bench.out
 
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
+dune exec bin/jsoncheck.exe -- BENCH_wallclock.json
+
+echo "== wall-clock summary =="
+grep -A 100 '## Wall-clock per experiment driver' /tmp/check_bench.out \
+  | sed -n '2,20p'
 
 echo "All checks passed."

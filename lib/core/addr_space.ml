@@ -149,6 +149,17 @@ let release_meta t (node : node) =
 
 (* -- Cursor -- *)
 
+(* A memoized [node_for] walk: the target node plus the nodes whose
+   entries the descent read (covering page first). Replaying the walk's
+   charges along [wc_path] keeps simulated time and cache-line state
+   identical to a real descent; only the PTE decodes and node-table
+   probes are skipped. *)
+type walk_cache = {
+  wc_node : node;
+  wc_path : node list;
+  wc_level : int;
+}
+
 type cursor = {
   asp : t;
   lo : int;
@@ -159,6 +170,10 @@ type cursor = {
   mutable tlb_pending : (int * int) list; (* (first vpn, page count) *)
   mutable tlb_targets : int; (* CPUs that may cache the flushed entries *)
   mutable committed : bool;
+  (* Two walk-cache slots, most recent first: [move_range] alternates
+     between source and destination pages, which would thrash one. *)
+  mutable wc_a : walk_cache option;
+  mutable wc_b : walk_cache option;
 }
 
 let cursor_range c = (c.lo, c.hi)
@@ -206,6 +221,8 @@ let rw_lock t ~lo ~hi =
     tlb_pending = [];
     tlb_targets = 0;
     committed = false;
+    wc_a = None;
+    wc_b = None;
   }
 
 (* -- CortenMM_adv locking protocol (Fig 6) -- *)
@@ -273,6 +290,8 @@ let adv_lock t ~lo ~hi =
         tlb_pending = [];
         tlb_targets = 0;
         committed = false;
+        wc_a = None;
+        wc_b = None;
       }
     end
   in
@@ -432,11 +451,40 @@ let ensure_child c (parent : node) idx =
     push_down_mark t parent idx child;
     child
 
-let rec node_for c (cur : node) vaddr ~to_level =
-  if cur.Pt.level = to_level then cur
+let rec walk_to c (cur : node) vaddr ~to_level rev_path =
+  if cur.Pt.level = to_level then (cur, rev_path)
   else
     let idx = Pt.index c.asp.pt ~level:cur.Pt.level ~vaddr in
-    node_for c (ensure_child c cur idx) vaddr ~to_level
+    walk_to c (ensure_child c cur idx) vaddr ~to_level (cur :: rev_path)
+
+let wc_covers c (e : walk_cache) vaddr ~to_level =
+  e.wc_level = to_level
+  &&
+  let pt = c.asp.pt in
+  let base = Pt.node_base pt e.wc_node in
+  vaddr >= base && vaddr < base + Pt.node_coverage pt e.wc_node
+
+(* Replay the memoized descent's charges in walk order, so the virtual
+   clock and line states advance exactly as the skipped walk would. *)
+let wc_replay c (e : walk_cache) =
+  List.iter (fun n -> Pt.charge_walk_step c.asp.pt n) e.wc_path;
+  e.wc_node
+
+let node_for c (cur : node) vaddr ~to_level =
+  if not (cur == c.covering) then fst (walk_to c cur vaddr ~to_level [])
+  else
+    match (c.wc_a, c.wc_b) with
+    | Some e, _ when wc_covers c e vaddr ~to_level -> wc_replay c e
+    | _, Some e when wc_covers c e vaddr ~to_level ->
+      c.wc_b <- c.wc_a;
+      c.wc_a <- Some e;
+      wc_replay c e
+    | _ ->
+      let node, rev_path = walk_to c cur vaddr ~to_level [] in
+      c.wc_b <- c.wc_a;
+      c.wc_a <-
+        Some { wc_node = node; wc_path = List.rev rev_path; wc_level = to_level };
+      node
 
 (* -- Freeing empty PT pages -- *)
 
@@ -449,6 +497,9 @@ let subtree_nodes t (node : node) =
    empty of mappings and marks. *)
 let free_child c (parent : node) idx (child : node) =
   let t = c.asp in
+  (* The freed subtree may be memoized: drop both walk-cache slots. *)
+  c.wc_a <- None;
+  c.wc_b <- None;
   let detached = Pt.detach_child t.pt parent idx in
   assert (detached == child);
   let nodes = subtree_nodes t child in
@@ -606,7 +657,7 @@ let split_huge c (node : node) idx (l : Pte.t) =
     (* The huge frame head loses its single mapping. *)
     let head = Mm_phys.Phys.frame t.kernel.Kernel.phys pfn in
     head.Mm_phys.Frame.map_count <- head.Mm_phys.Frame.map_count - 1;
-    child.Pt.parent <- Some (node, idx);
+    Pt.link_child t.pt node idx child;
     Pt.set t.pt node idx (Pte.Table { pfn = child.Pt.frame.Mm_phys.Frame.pfn });
     child
   | Pte.Absent | Pte.Table _ -> invalid_arg "split_huge: not a leaf"
@@ -1084,7 +1135,7 @@ let clone_for_fork pc cc =
             Mm_sim.Mutex_s.lock cchild.Pt.frame.Mm_phys.Frame.lock;
             cc.locked <- cchild :: cc.locked
           | Config.Rw -> ());
-          cchild.Pt.parent <- Some (cn, idx);
+          Pt.link_child ct.pt cn idx cchild;
           Pt.set ct.pt cn idx
             (Pte.Table { pfn = cchild.Pt.frame.Mm_phys.Frame.pfn });
           clone pchild cchild

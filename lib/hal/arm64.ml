@@ -44,9 +44,9 @@ let encode ~level (pte : Pte.t) =
   | Pte.Absent -> 0L
   | Pte.Table { pfn } ->
     if level <= 1 then invalid_arg "ARMv8: table entry at leaf level";
-    let w = set_bit 0L valid_bit true in
-    let w = set_bit w type_bit true in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit 0 valid_bit true in
+    let b = set_bit b type_bit true in
+    word (set_field b ~lo:pfn_lo ~width:pfn_width pfn)
   | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
     if not perm.Perm.read then
       invalid_arg "ARMv8: present leaf is always readable (use Absent)";
@@ -54,40 +54,41 @@ let encode ~level (pte : Pte.t) =
     if level = 4 then invalid_arg "ARMv8: no level-0 blocks with 4K granule";
     if level > 1 && not (Mm_util.Align.is_aligned pfn (1 lsl (9 * (level - 1))))
     then invalid_arg "ARMv8: misaligned block frame";
-    let w = set_bit 0L valid_bit true in
+    let b = set_bit 0 valid_bit true in
     (* Page descriptors at the last level have the type bit set; block
        descriptors at upper levels have it clear. *)
-    let w = set_bit w type_bit (level = 1) in
-    let w = set_bit w ap1_bit perm.Perm.user in
-    let w = set_bit w ap2_bit (not perm.Perm.write) in
-    let w = set_bit w af_bit accessed in
-    let w = set_bit w ng_bit (not global) in
-    let w = set_bit w uxn_bit (not perm.Perm.execute) in
-    let w = set_bit w pxn_bit true in
-    let w = set_bit w cow_bit perm.Perm.cow in
-    let w = set_bit w dirty_bit dirty in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit b type_bit (level = 1) in
+    let b = set_bit b ap1_bit perm.Perm.user in
+    let b = set_bit b ap2_bit (not perm.Perm.write) in
+    let b = set_bit b af_bit accessed in
+    let b = set_bit b ng_bit (not global) in
+    let b = set_bit b uxn_bit (not perm.Perm.execute) in
+    let b = set_bit b pxn_bit true in
+    let b = set_bit b cow_bit perm.Perm.cow in
+    let b = set_bit b dirty_bit dirty in
+    word (set_field b ~lo:pfn_lo ~width:pfn_width pfn)
 
 let decode ~level w =
-  if not (get_bit w valid_bit) then Pte.Absent
+  let b = bits w in
+  if not (get_bit b valid_bit) then Pte.Absent
   else
-    let type_set = get_bit w type_bit in
-    let pfn = field w ~lo:pfn_lo ~width:pfn_width in
+    let type_set = get_bit b type_bit in
+    let pfn = field b ~lo:pfn_lo ~width:pfn_width in
     let leaf = if level = 1 then type_set else not type_set in
     if (not leaf) && level = 1 then Pte.Absent (* reserved encoding *)
     else if not leaf then Pte.Table { pfn }
     else
       let perm =
         Perm.make ~read:true
-          ~write:(not (get_bit w ap2_bit))
-          ~execute:(not (get_bit w uxn_bit))
-          ~user:(get_bit w ap1_bit) ~cow:(get_bit w cow_bit) ~mpk_key:0 ()
+          ~write:(not (get_bit b ap2_bit))
+          ~execute:(not (get_bit b uxn_bit))
+          ~user:(get_bit b ap1_bit) ~cow:(get_bit b cow_bit) ~mpk_key:0 ()
       in
       Pte.Leaf
         {
           pfn;
           perm;
-          accessed = get_bit w af_bit;
-          dirty = get_bit w dirty_bit;
-          global = not (get_bit w ng_bit);
+          accessed = get_bit b af_bit;
+          dirty = get_bit b dirty_bit;
+          global = not (get_bit b ng_bit);
         }

@@ -40,8 +40,8 @@ let encode ~level (pte : Pte.t) =
   | Pte.Absent -> 0L
   | Pte.Table { pfn } ->
     if level <= 1 then invalid_arg "Sv48: table entry at leaf level";
-    let w = set_bit 0L v_bit true in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit 0 v_bit true in
+    word (set_field b ~lo:pfn_lo ~width:pfn_width pfn)
   | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
     if not (perm.Perm.read || perm.Perm.execute) then
       invalid_arg "Sv48: leaf must have R or X (R=W=X=0 means pointer)";
@@ -51,35 +51,36 @@ let encode ~level (pte : Pte.t) =
       invalid_arg "Sv48: no protection keys";
     if level > 1 && not (Mm_util.Align.is_aligned pfn (1 lsl (9 * (level - 1))))
     then invalid_arg "Sv48: misaligned superpage frame";
-    let w = set_bit 0L v_bit true in
-    let w = set_bit w r_bit perm.Perm.read in
-    let w = set_bit w w_bit perm.Perm.write in
-    let w = set_bit w x_bit perm.Perm.execute in
-    let w = set_bit w u_bit perm.Perm.user in
-    let w = set_bit w g_bit global in
-    let w = set_bit w a_bit accessed in
-    let w = set_bit w d_bit dirty in
-    let w = set_bit w cow_bit perm.Perm.cow in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit 0 v_bit true in
+    let b = set_bit b r_bit perm.Perm.read in
+    let b = set_bit b w_bit perm.Perm.write in
+    let b = set_bit b x_bit perm.Perm.execute in
+    let b = set_bit b u_bit perm.Perm.user in
+    let b = set_bit b g_bit global in
+    let b = set_bit b a_bit accessed in
+    let b = set_bit b d_bit dirty in
+    let b = set_bit b cow_bit perm.Perm.cow in
+    word (set_field b ~lo:pfn_lo ~width:pfn_width pfn)
 
 let decode ~level w =
-  if not (get_bit w v_bit) then Pte.Absent
+  let b = bits w in
+  if not (get_bit b v_bit) then Pte.Absent
   else
-    let leaf = get_bit w r_bit || get_bit w w_bit || get_bit w x_bit in
-    let pfn = field w ~lo:pfn_lo ~width:pfn_width in
+    let leaf = get_bit b r_bit || get_bit b w_bit || get_bit b x_bit in
+    let pfn = field b ~lo:pfn_lo ~width:pfn_width in
     if (not leaf) && level > 1 then Pte.Table { pfn }
     else if not leaf then Pte.Absent (* R=W=X=0 at level 1 is malformed *)
     else
       let perm =
-        Perm.make ~read:(get_bit w r_bit) ~write:(get_bit w w_bit)
-          ~execute:(get_bit w x_bit) ~user:(get_bit w u_bit)
-          ~cow:(get_bit w cow_bit) ~mpk_key:0 ()
+        Perm.make ~read:(get_bit b r_bit) ~write:(get_bit b w_bit)
+          ~execute:(get_bit b x_bit) ~user:(get_bit b u_bit)
+          ~cow:(get_bit b cow_bit) ~mpk_key:0 ()
       in
       Pte.Leaf
         {
           pfn;
           perm;
-          accessed = get_bit w a_bit;
-          dirty = get_bit w d_bit;
-          global = get_bit w g_bit;
+          accessed = get_bit b a_bit;
+          dirty = get_bit b d_bit;
+          global = get_bit b g_bit;
         }

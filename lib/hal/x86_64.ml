@@ -45,10 +45,10 @@ let encode ~level (pte : Pte.t) =
   | Pte.Table { pfn } ->
     if level <= 1 then invalid_arg "x86-64: table entry at leaf level";
     (* Intermediate entries get RW|US set so the leaf controls access. *)
-    let w = set_bit 0L p_bit true in
-    let w = set_bit w rw_bit true in
-    let w = set_bit w us_bit true in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit 0 p_bit true in
+    let b = set_bit b rw_bit true in
+    let b = set_bit b us_bit true in
+    word (set_field b ~lo:pfn_lo ~width:pfn_width pfn)
   | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
     if not perm.Perm.read then
       invalid_arg "x86-64: present leaf is always readable (use Absent)";
@@ -56,37 +56,38 @@ let encode ~level (pte : Pte.t) =
     if level > 3 then invalid_arg "x86-64: no huge pages above 1 GiB";
     if huge && not (Mm_util.Align.is_aligned pfn (1 lsl (9 * (level - 1))))
     then invalid_arg "x86-64: misaligned huge-page frame";
-    let w = set_bit 0L p_bit true in
-    let w = set_bit w rw_bit perm.Perm.write in
-    let w = set_bit w us_bit perm.Perm.user in
-    let w = set_bit w a_bit accessed in
-    let w = set_bit w d_bit dirty in
-    let w = set_bit w ps_bit huge in
-    let w = set_bit w g_bit global in
-    let w = set_bit w cow_bit perm.Perm.cow in
-    let w = set_bit w xd_bit (not perm.Perm.execute) in
-    let w = set_field w ~lo:pku_lo ~width:pku_width perm.Perm.mpk_key in
-    set_field w ~lo:pfn_lo ~width:pfn_width pfn
+    let b = set_bit 0 p_bit true in
+    let b = set_bit b rw_bit perm.Perm.write in
+    let b = set_bit b us_bit perm.Perm.user in
+    let b = set_bit b a_bit accessed in
+    let b = set_bit b d_bit dirty in
+    let b = set_bit b ps_bit huge in
+    let b = set_bit b g_bit global in
+    let b = set_bit b cow_bit perm.Perm.cow in
+    let b = set_field b ~lo:pku_lo ~width:pku_width perm.Perm.mpk_key in
+    let b = set_field b ~lo:pfn_lo ~width:pfn_width pfn in
+    word ~bit63:(not perm.Perm.execute) b (* XD *)
 
 let decode ~level w =
-  if not (get_bit w p_bit) then Pte.Absent
+  let b = bits w in
+  if not (get_bit b p_bit) then Pte.Absent
   else
-    let huge = get_bit w ps_bit in
-    let pfn = field w ~lo:pfn_lo ~width:pfn_width in
+    let huge = get_bit b ps_bit in
+    let pfn = field b ~lo:pfn_lo ~width:pfn_width in
     if level > 1 && not huge then Pte.Table { pfn }
     else
       let perm =
-        Perm.make ~read:true ~write:(get_bit w rw_bit)
-          ~execute:(not (get_bit w xd_bit))
-          ~user:(get_bit w us_bit) ~cow:(get_bit w cow_bit)
-          ~mpk_key:(field w ~lo:pku_lo ~width:pku_width)
+        Perm.make ~read:true ~write:(get_bit b rw_bit)
+          ~execute:(w >= 0L) (* XD is bit 63: the boxed word's sign *)
+          ~user:(get_bit b us_bit) ~cow:(get_bit b cow_bit)
+          ~mpk_key:(field b ~lo:pku_lo ~width:pku_width)
           ()
       in
       Pte.Leaf
         {
           pfn;
           perm;
-          accessed = get_bit w a_bit;
-          dirty = get_bit w d_bit;
-          global = get_bit w g_bit;
+          accessed = get_bit b a_bit;
+          dirty = get_bit b d_bit;
+          global = get_bit b g_bit;
         }

@@ -403,7 +403,7 @@ let fork t =
         match Pt.node_of_pfn t.pt pfn with
         | Some pchild ->
           let cchild = Pt.alloc_node child.pt ~level:(cn.Pt.level - 1) in
-          cchild.Pt.parent <- Some (cn, idx);
+          Pt.link_child child.pt cn idx cchild;
           Pt.set child.pt cn idx
             (Pte.Table { pfn = cchild.Pt.frame.Mm_phys.Frame.pfn });
           clone_pt pchild cchild

@@ -8,14 +8,23 @@
 
    Blocks that have never been allocated live beyond a bump frontier, so
    the allocator handles address spaces far larger than the set of frames
-   actually touched. *)
+   actually touched.
+
+   Free lists are per-order sorted sets of block pfns, so the deterministic
+   smallest-pfn pop is O(log n) instead of a full scan, and an occupancy
+   bitmask (bit o set iff order o has free blocks) makes "is anything free
+   above this order" a single mask test. *)
+
+module Iset = Set.Make (Int)
 
 let max_order = 10
 
 type t = {
   nframes : int;
   mutable frontier : int; (* every pfn >= frontier is virgin memory *)
-  free_lists : (int, unit) Hashtbl.t array; (* per order: set of block pfns *)
+  free_sets : Iset.t array; (* per order: sorted set of block pfns *)
+  free_counts : int array; (* per order: cardinality of [free_sets] *)
+  mutable occupancy : int; (* bit o set iff [free_sets.(o)] is nonempty *)
   mutable allocated_frames : int;
   mutable splits : int;
   mutable merges : int;
@@ -26,7 +35,9 @@ let create ~nframes =
   {
     nframes;
     frontier = 0;
-    free_lists = Array.init (max_order + 1) (fun _ -> Hashtbl.create 16);
+    free_sets = Array.make (max_order + 1) Iset.empty;
+    free_counts = Array.make (max_order + 1) 0;
+    occupancy = 0;
     allocated_frames = 0;
     splits = 0;
     merges = 0;
@@ -34,28 +45,29 @@ let create ~nframes =
 
 let block_size order = 1 lsl order
 
-let is_free_block t ~pfn ~order = Hashtbl.mem t.free_lists.(order) pfn
+let is_free_block t ~pfn ~order = Iset.mem pfn t.free_sets.(order)
 
-let remove_free t ~pfn ~order = Hashtbl.remove t.free_lists.(order) pfn
+let remove_free t ~pfn ~order =
+  t.free_sets.(order) <- Iset.remove pfn t.free_sets.(order);
+  t.free_counts.(order) <- t.free_counts.(order) - 1;
+  if t.free_counts.(order) = 0 then
+    t.occupancy <- t.occupancy land lnot (1 lsl order)
 
-let add_free t ~pfn ~order = Hashtbl.replace t.free_lists.(order) pfn ()
+let add_free t ~pfn ~order =
+  t.free_sets.(order) <- Iset.add pfn t.free_sets.(order);
+  t.free_counts.(order) <- t.free_counts.(order) + 1;
+  t.occupancy <- t.occupancy lor (1 lsl order)
 
 let buddy_of ~pfn ~order = pfn lxor block_size order
 
-(* Take any block from a free list (deterministic: smallest pfn). *)
+(* Take the smallest-pfn block from a free list (deterministic). *)
 let pop_free t ~order =
-  let best = ref None in
-  Hashtbl.iter
-    (fun pfn () ->
-      match !best with
-      | Some b when b <= pfn -> ()
-      | _ -> best := Some pfn)
-    t.free_lists.(order);
-  match !best with
-  | None -> None
-  | Some pfn ->
+  if t.occupancy land (1 lsl order) = 0 then None
+  else begin
+    let pfn = Iset.min_elt t.free_sets.(order) in
     remove_free t ~pfn ~order;
     Some pfn
+  end
 
 exception Out_of_memory
 
@@ -82,11 +94,7 @@ let rec alloc_block t ~order =
     end
 
 and any_free_above t ~order =
-  let rec go o =
-    o <= max_order
-    && (Hashtbl.length t.free_lists.(o) > 0 || go (o + 1))
-  in
-  go (order + 1)
+  t.occupancy land lnot ((1 lsl (order + 1)) - 1) <> 0
 
 and release_range t ~lo ~hi =
   (* Free the frames in [lo, hi) created by frontier alignment, as maximal
@@ -143,21 +151,33 @@ let free t ~pfn ~order =
 let allocated_frames t = t.allocated_frames
 let splits t = t.splits
 let merges t = t.merges
+let frontier t = t.frontier
 
 let free_frames t =
   let acc = ref 0 in
   Array.iteri
-    (fun order fl -> acc := !acc + (Hashtbl.length fl * block_size order))
-    t.free_lists;
+    (fun order n -> acc := !acc + (n * block_size order))
+    t.free_counts;
   !acc + (t.nframes - t.frontier)
 
-(* Internal consistency: no block appears on two lists, all blocks aligned,
-   free + allocated accounts for the frontier. Used by property tests. *)
+(* Sorted (ascending) free-block pfns of one order, for tests and the
+   reference-implementation equivalence harness. *)
+let free_blocks t ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.free_blocks";
+  Iset.elements t.free_sets.(order)
+
+(* Internal consistency: counts and occupancy track the sets, all blocks
+   aligned, free + allocated accounts for the frontier. Used by property
+   tests. *)
 let check_invariants t =
   Array.iteri
-    (fun order fl ->
-      Hashtbl.iter
-        (fun pfn () ->
+    (fun order fs ->
+      if Iset.cardinal fs <> t.free_counts.(order) then
+        failwith "buddy invariant: stale free count";
+      if (t.occupancy land (1 lsl order) <> 0) <> (not (Iset.is_empty fs))
+      then failwith "buddy invariant: stale occupancy bit";
+      Iset.iter
+        (fun pfn ->
           if not (Mm_util.Align.is_aligned pfn (block_size order)) then
             failwith "buddy invariant: misaligned free block";
           if pfn + block_size order > t.frontier then
@@ -169,11 +189,11 @@ let check_invariants t =
             if is_free_block t ~pfn:b ~order then
               failwith "buddy invariant: unmerged buddies"
           end)
-        fl)
-    t.free_lists;
+        fs)
+    t.free_sets;
   let freed = ref 0 in
   Array.iteri
-    (fun order fl -> freed := !freed + (Hashtbl.length fl * block_size order))
-    t.free_lists;
+    (fun order n -> freed := !freed + (n * block_size order))
+    t.free_counts;
   if !freed + t.allocated_frames <> t.frontier then
     failwith "buddy invariant: frame accounting mismatch"

@@ -22,5 +22,12 @@ val free_frames : t -> int
 val splits : t -> int
 val merges : t -> int
 
+val frontier : t -> int
+(** First never-allocated pfn (the bump frontier). *)
+
+val free_blocks : t -> order:int -> int list
+(** Free-block pfns of one order, sorted ascending. For tests and the
+    reference-implementation equivalence harness. *)
+
 val check_invariants : t -> unit
 (** Raises [Failure] if internal invariants are broken (for tests). *)

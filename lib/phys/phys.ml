@@ -4,12 +4,25 @@
 
    NUMA: the pfn space is striped across nodes — node [n] owns
    [n*node_span, (n+1)*node_span). Single-node machines (the default)
-   behave exactly as before. *)
+   behave exactly as before.
+
+   The frame table is a chunked direct map: pfn -> (chunk, slot) with
+   lazily materialized chunks, so the sparse 2^40-pfn space costs nothing
+   until touched while the fault path's descriptor lookup is an array
+   index instead of a hash probe. A one-entry chunk cache covers the
+   spatial locality of buddy-allocated pfns. Descriptors are still
+   created on first access, so creation order (and the deterministic ids
+   handed to their locks) is unchanged. *)
+
+let chunk_bits = 10
+let chunk_mask = (1 lsl chunk_bits) - 1
 
 type t = {
   buddies : Buddy.t array; (* one per NUMA node *)
   node_span : int; (* pfns per node *)
-  frames : (int, Frame.t) Hashtbl.t;
+  chunks : (int, Frame.t option array) Hashtbl.t; (* chunk index -> slots *)
+  mutable cached_cidx : int; (* last chunk touched, -1 for none *)
+  mutable cached_chunk : Frame.t option array;
   page_size : int;
   mutable counts : int array; (* frames per Frame.kind *)
   mutable extra_bytes : int array; (* sub-page kernel allocations per kind *)
@@ -31,7 +44,9 @@ let create ?(nframes = 1 lsl 40) ?(page_size = 4096) ?(numa_nodes = 1) () =
   {
     buddies = Array.init numa_nodes (fun _ -> Buddy.create ~nframes:node_span);
     node_span;
-    frames = Hashtbl.create 4096;
+    chunks = Hashtbl.create 64;
+    cached_cidx = -1;
+    cached_chunk = [||];
     page_size;
     counts = Array.make nkinds 0;
     extra_bytes = Array.make nkinds 0;
@@ -42,17 +57,55 @@ let numa_nodes t = Array.length t.buddies
 
 let node_of_pfn t pfn = min (numa_nodes t - 1) (pfn / t.node_span)
 
+let chunk t cidx =
+  if cidx = t.cached_cidx then t.cached_chunk
+  else begin
+    let c =
+      match Hashtbl.find_opt t.chunks cidx with
+      | Some c -> c
+      | None ->
+        let c = Array.make (chunk_mask + 1) None in
+        Hashtbl.replace t.chunks cidx c;
+        c
+    in
+    t.cached_cidx <- cidx;
+    t.cached_chunk <- c;
+    c
+  end
+
 let frame t pfn =
-  match Hashtbl.find_opt t.frames pfn with
+  let c = chunk t (pfn lsr chunk_bits) in
+  let slot = pfn land chunk_mask in
+  match c.(slot) with
   | Some f -> f
   | None ->
     let f = Frame.make ~pfn in
-    Hashtbl.replace t.frames pfn f;
+    c.(slot) <- Some f;
     f
+
+(* Allocator observability: splits/merges deltas around the buddy call,
+   recorded only while a trace session is on so untraced runs never touch
+   the metrics registry (PR-1's zero-perturbation rule). *)
+let note_alloc t ~node ~order ~splits0 =
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "phys.frame_allocs");
+    Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "phys.alloc_order") order;
+    let d = Buddy.splits t.buddies.(node) - splits0 in
+    if d > 0 then Mm_obs.Metrics.add (Mm_obs.Metrics.counter "buddy.splits") d
+  end
+
+let note_free t ~node ~merges0 =
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "phys.frame_frees");
+    let d = Buddy.merges t.buddies.(node) - merges0 in
+    if d > 0 then Mm_obs.Metrics.add (Mm_obs.Metrics.counter "buddy.merges") d
+  end
 
 let alloc t ~kind ?(order = 0) ?(node = 0) () =
   if node < 0 || node >= numa_nodes t then invalid_arg "Phys.alloc: node";
+  let splits0 = Buddy.splits t.buddies.(node) in
   let pfn = (node * t.node_span) + Buddy.alloc t.buddies.(node) ~order in
+  note_alloc t ~node ~order ~splits0;
   let n = 1 lsl order in
   t.counts.(kind_index kind) <- t.counts.(kind_index kind) + n;
   (let data =
@@ -80,7 +133,9 @@ let free t (f : Frame.t) =
     fi.Frame.kind <- Frame.Free
   done;
   let node = node_of_pfn t f.Frame.pfn in
-  Buddy.free t.buddies.(node) ~pfn:(f.Frame.pfn - (node * t.node_span)) ~order
+  let merges0 = Buddy.merges t.buddies.(node) in
+  Buddy.free t.buddies.(node) ~pfn:(f.Frame.pfn - (node * t.node_span)) ~order;
+  note_free t ~node ~merges0
 
 (* Sub-page kernel allocations (metadata arrays, VMA structs…) tracked for
    the overhead accounting; a slab allocator is modelled by byte counts. *)

@@ -2,9 +2,12 @@
 
    This is the hardware-level structure every system in the reproduction
    programs: a multi-level radix tree of page-table pages whose entries are
-   raw 64-bit words in the current ISA's format (every read decodes, every
-   write encodes — the HAL is genuinely on the access path, as in
-   CortenMM's Rust implementation).
+   raw 64-bit words in the current ISA's format. Every write encodes and
+   immediately decodes the stored word into a per-node mirror of [Pte.t]
+   values, so the HAL is genuinely on the access path (as in CortenMM's
+   Rust implementation) while reads serve the mirror — one decode per
+   store instead of one per walk step, with identical results because the
+   mirror always holds [decode (encode pte)].
 
    Each node is backed by a physical frame from {!Mm_phys.Phys}; the
    frame's descriptor carries the per-PT-page lock and stale flag the
@@ -23,8 +26,10 @@ type 'm node = {
   frame : Mm_phys.Frame.t;
   level : int;
   entries : int64 array;
+  decoded : Pte.t array; (* mirror: decoded.(i) = decode entries.(i) *)
   mutable present : int; (* number of present entries *)
   mutable parent : ('m node * int) option;
+  mutable base : int; (* base vaddr of the node's coverage, set at link *)
   mutable meta : 'm option;
   mutable touched : int; (* bitmask of CPUs that installed translations *)
 }
@@ -56,8 +61,10 @@ let alloc_node t ~level =
       frame;
       level;
       entries = Array.make (Geometry.entries t.isa.Isa.geo) 0L;
+      decoded = Array.make (Geometry.entries t.isa.Isa.geo) Pte.Absent;
       present = 0;
       parent = None;
+      base = 0;
       meta = None;
       touched = 0;
     }
@@ -74,8 +81,10 @@ let create phys isa =
       frame;
       level = isa.Isa.geo.Geometry.levels;
       entries = Array.make (Geometry.entries isa.Isa.geo) 0L;
+      decoded = Array.make (Geometry.entries isa.Isa.geo) Pte.Absent;
       present = 0;
       parent = None;
+      base = 0;
       meta = None;
       touched = 0;
     }
@@ -106,17 +115,21 @@ let entries_per_node t = Geometry.entries t.isa.Isa.geo
 
 (* -- Raw entry access -- *)
 
-let get t node idx =
+let get _t node idx =
   charge Mm_sim.Cost.pt_walk_step;
   read_line node.frame;
-  Isa.decode t.isa ~level:node.level node.entries.(idx)
+  node.decoded.(idx)
 
 let set t node idx pte =
   charge Mm_sim.Cost.pte_write;
   write_line node.frame;
-  let old = Isa.decode t.isa ~level:node.level node.entries.(idx) in
-  node.entries.(idx) <- Isa.encode t.isa ~level:node.level pte;
-  (match (Pte.is_present old, Pte.is_present pte) with
+  let old = node.decoded.(idx) in
+  let raw = Isa.encode t.isa ~level:node.level pte in
+  node.entries.(idx) <- raw;
+  (* Re-decode the stored word rather than caching [pte] itself, so reads
+     observe exactly what the raw encoding preserves. *)
+  node.decoded.(idx) <- Isa.decode t.isa ~level:node.level raw;
+  (match (Pte.is_present old, Pte.is_present node.decoded.(idx)) with
   | false, true -> node.present <- node.present + 1
   | true, false -> node.present <- node.present - 1
   | _ -> ())
@@ -126,11 +139,10 @@ let set t node idx pte =
    so call sites document their intent. *)
 let get_atomic = get
 
-(* Uncharged decode, for whole-node scans that are charged in bulk with
+(* Uncharged read, for whole-node scans that are charged in bulk with
    [charge_node_scan] (streaming a 4 KiB PT page is a linear pass over its
    cache lines, not 512 independent walk steps). *)
-let get_uncharged t node idx =
-  Isa.decode t.isa ~level:node.level node.entries.(idx)
+let get_uncharged _t node idx = node.decoded.(idx)
 
 let charge_node_scan t =
   charge (entries_per_node t / 8 * Mm_sim.Cost.cache_hit)
@@ -139,6 +151,20 @@ let child t node idx =
   match get t node idx with
   | Pte.Table { pfn } -> node_of_pfn t pfn
   | Pte.Absent | Pte.Leaf _ -> None
+
+(* Exactly [get]'s charges without the decode — for walk caches that skip
+   a descent but must keep simulated time and line state identical. *)
+let charge_walk_step _t node =
+  charge Mm_sim.Cost.pt_walk_step;
+  read_line node.frame
+
+let entry_coverage t node = Geometry.coverage t.isa.Isa.geo ~level:node.level
+
+(* Record the parent link and the derived base address in one place, so
+   [node_base] is a field read instead of a walk to the root. *)
+let link_child t parent idx child =
+  child.parent <- Some (parent, idx);
+  child.base <- parent.base + (idx * entry_coverage t parent)
 
 let ensure_child t node idx =
   match get t node idx with
@@ -150,18 +176,21 @@ let ensure_child t node idx =
   | Pte.Absent ->
     if node.level <= 1 then invalid_arg "Pt.ensure_child: at leaf level";
     let c = alloc_node t ~level:(node.level - 1) in
-    c.parent <- Some (node, idx);
+    link_child t node idx c;
     set t node idx (Pte.Table { pfn = c.frame.Mm_phys.Frame.pfn });
     c
 
 (* Hardware sets the accessed bit for free during a walk; model that as an
    uncharged in-place update of the raw entry. *)
 let set_accessed t node idx =
-  match Isa.decode t.isa ~level:node.level node.entries.(idx) with
+  match node.decoded.(idx) with
   | Pte.Leaf { pfn; perm; accessed = false; dirty; global } ->
-    node.entries.(idx) <-
+    let raw =
       Isa.encode t.isa ~level:node.level
         (Pte.Leaf { pfn; perm; accessed = true; dirty; global })
+    in
+    node.entries.(idx) <- raw;
+    node.decoded.(idx) <- Isa.decode t.isa ~level:node.level raw
   | Pte.Leaf _ | Pte.Absent | Pte.Table _ -> ()
 
 (* Detach the child under [idx] without freeing it (CortenMM_adv clears the
@@ -194,15 +223,10 @@ let free_node t node =
 
 let index t ~level ~vaddr = Geometry.index t.isa.Isa.geo ~level ~vaddr
 
-let entry_coverage t node = Geometry.coverage t.isa.Isa.geo ~level:node.level
 let node_coverage t node = entry_coverage t node * entries_per_node t
 
-(* Base virtual address of [node]'s coverage, derived from its path to the
-   root. *)
-let rec node_base t node =
-  match node.parent with
-  | None -> 0
-  | Some (p, idx) -> node_base t p + (idx * entry_coverage t p)
+(* Base virtual address of [node]'s coverage, cached at link time. *)
+let node_base _t node = node.base
 
 (* Does the child slot [idx] of [node] entirely cover [lo, hi)? *)
 let entry_covers t node idx ~lo ~hi =
@@ -259,7 +283,7 @@ let rec iter_subtree t node f =
   f node;
   if node.level > 1 then
     for idx = 0 to entries_per_node t - 1 do
-      match Isa.decode t.isa ~level:node.level node.entries.(idx) with
+      match node.decoded.(idx) with
       | Pte.Table { pfn } -> (
         match node_of_pfn t pfn with
         | Some c -> iter_subtree t c f
@@ -275,7 +299,7 @@ let rec iter_leaves t node f =
   let base = node_base t node in
   let per = entry_coverage t node in
   for idx = 0 to entries_per_node t - 1 do
-    match Isa.decode t.isa ~level:node.level node.entries.(idx) with
+    match node.decoded.(idx) with
     | Pte.Absent -> ()
     | Pte.Leaf _ as pte -> f (base + (idx * per)) node.level pte
     | Pte.Table { pfn } -> (
@@ -300,7 +324,11 @@ let check_well_formed t =
     let present = ref 0 in
     Array.iteri
       (fun idx raw ->
-        match Isa.decode t.isa ~level:node.level raw with
+        let pte = Isa.decode t.isa ~level:node.level raw in
+        if pte <> node.decoded.(idx) then
+          fail "stale decode mirror (node %#x idx %d)"
+            node.frame.Mm_phys.Frame.pfn idx;
+        match pte with
         | Pte.Absent -> ()
         | Pte.Leaf _ ->
           incr present;
@@ -325,6 +353,8 @@ let check_well_formed t =
               when p == node && pidx = idx ->
               ()
             | _ -> fail "child %#x has wrong parent link" pfn);
+            if c.base <> node.base + (idx * entry_coverage t node) then
+              fail "child %#x has stale base %#x" pfn c.base;
             go c))
       node.entries;
     if !present <> node.present then

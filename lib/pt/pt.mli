@@ -8,8 +8,10 @@ type 'm node = {
   frame : Mm_phys.Frame.t;
   level : int;
   entries : int64 array;
+  decoded : Pte.t array; (* mirror: decoded.(i) = decode entries.(i) *)
   mutable present : int;
   mutable parent : ('m node * int) option;
+  mutable base : int; (* base vaddr of the node's coverage, set at link *)
   mutable meta : 'm option;
   mutable touched : int; (* bitmask of CPUs that installed translations *)
 }
@@ -44,6 +46,11 @@ val charge_node_scan : 'm t -> unit
 val charge_range_scan : 'm t -> 'm node -> lo:int -> hi:int -> unit
 (** Streaming cost of scanning only the slots intersecting [lo, hi). *)
 
+val charge_walk_step : 'm t -> 'm node -> unit
+(** Charge exactly what [get] charges (a walk step plus a shared line
+    read) without decoding — for walk caches replaying a skipped
+    descent's cost. *)
+
 val set : 'm t -> 'm node -> int -> Pte.t -> unit
 (** Encode and store entry [idx]; charges an exclusive line access, which
     serializes concurrent writers to the same PT page. *)
@@ -56,6 +63,10 @@ val ensure_child : 'm t -> 'm node -> int -> 'm node
 
 val alloc_node : 'm t -> level:int -> 'm node
 (** Allocate an unlinked PT page (callers link it via [set]). *)
+
+val link_child : 'm t -> 'm node -> int -> 'm node -> unit
+(** Set [child]'s parent link to [(parent, idx)] and its cached base
+    address. Callers still write the table entry themselves via [set]. *)
 
 val detach_child : 'm t -> 'm node -> int -> 'm node
 (** Atomically clear the table entry and unlink the child (the caller

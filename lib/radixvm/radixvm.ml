@@ -158,7 +158,10 @@ let mmap t ?addr ~len ~perm () =
   in
   let npages = len / ps in
   let vpn0 = lo / ps in
-  (* Mark pages reserved, locking each leaf radix node once. *)
+  (* Mark pages reserved, locking each leaf radix node once. The reserved
+     entry is immutable and identical for the whole range — share one
+     block instead of allocating it per page (1 GiB = 256 Ki pages). *)
+  let reserved = R_reserved perm in
   let i = ref 0 in
   while !i < npages do
     let vpn = vpn0 + !i in
@@ -167,7 +170,7 @@ let mmap t ?addr ~len ~perm () =
     let in_this_leaf = min (npages - !i) (fanout - entry_idx ~vpn) in
     for k = 0 to in_this_leaf - 1 do
       charge Mm_sim.Cost.meta_write;
-      leaf.entries.(entry_idx ~vpn + k) <- R_reserved perm
+      leaf.entries.(entry_idx ~vpn + k) <- reserved
     done;
     Mm_sim.Mutex_s.unlock leaf.lock;
     i := !i + in_this_leaf

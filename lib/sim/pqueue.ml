@@ -11,6 +11,10 @@ let create () = { data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* Earliest queued time, [max_int] when empty. Allocation-free peek for the
+   scheduler's serialize fast path. *)
+let min_time t = if t.size = 0 then max_int else t.data.(0).time
+
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =

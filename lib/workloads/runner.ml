@@ -31,48 +31,6 @@ module Barrier = struct
     else Engine.park (fun p -> b.waiting <- p :: b.waiting)
 end
 
-(* Run a three-phase benchmark in one world:
-   - [setup] runs alone on cpu 0 (global preparation);
-   - [prep cpu] runs on every cpu in parallel (per-thread preparation);
-   - [measure cpu] runs on every cpu in parallel; the returned cycle count
-     is from the last barrier release to the last measure completion. *)
-let run_phases ?(setup = fun () -> ()) ?(prep = fun _ -> ()) ~ncpus ~measure ()
-    =
-  let w = Engine.create ~ncpus in
-  let b1 = Barrier.make ~total:ncpus in
-  let b2 = Barrier.make ~total:ncpus in
-  let start = Array.make ncpus 0 in
-  let finish = Array.make ncpus 0 in
-  for cpu = 0 to ncpus - 1 do
-    Engine.spawn w ~cpu (fun () ->
-        if cpu = 0 then setup ();
-        Barrier.wait b1;
-        prep cpu;
-        Barrier.wait b2;
-        start.(cpu) <- Engine.now ();
-        if Mm_obs.Trace.on () then
-          Engine.obs (Mm_obs.Event.Span_begin { name = "measure" });
-        measure cpu;
-        if Mm_obs.Trace.on () then
-          Engine.obs (Mm_obs.Event.Span_end { name = "measure" });
-        finish.(cpu) <- Engine.now ())
-  done;
-  Engine.run w;
-  let t0 = Array.fold_left min max_int start in
-  let t1 = Array.fold_left max 0 finish in
-  t1 - t0
-
-(* Run [f cpu] on each of [ncpus] virtual CPUs with no setup; returns the
-   completion time (max over CPUs, in cycles). Only safe for benchmarks
-   whose world is fresh (no state carried from another world). *)
-let run_threads ~ncpus f =
-  let w = Engine.create ~ncpus in
-  for cpu = 0 to ncpus - 1 do
-    Engine.spawn w ~cpu (fun () -> f cpu)
-  done;
-  Engine.run w;
-  Engine.max_time w
-
 type result = { ops : int; cycles : int; ops_per_sec : float }
 
 (* -- Machine-readable result collection (bench --json) --
@@ -104,3 +62,57 @@ let result ~ops ~cycles =
   | None -> ()
   | Some acc -> acc := (!current_label, r) :: !acc);
   r
+
+(* Run a three-phase benchmark in one world:
+   - [setup] runs alone on cpu 0 (global preparation);
+   - [prep cpu] runs on every cpu in parallel (per-thread preparation);
+   - [measure cpu] runs on every cpu in parallel; the returned cycle count
+     is from the last barrier release to the last measure completion. *)
+let run_phases ?(setup = fun () -> ()) ?(prep = fun _ -> ()) ~ncpus ~measure ()
+    =
+  let w = Engine.create ~ncpus in
+  let b1 = Barrier.make ~total:ncpus in
+  let b2 = Barrier.make ~total:ncpus in
+  let start = Array.make ncpus 0 in
+  let finish = Array.make ncpus 0 in
+  let mw0 = Gc.minor_words () in
+  let ct0 = Sys.time () in
+  for cpu = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu (fun () ->
+        if cpu = 0 then setup ();
+        Barrier.wait b1;
+        prep cpu;
+        Barrier.wait b2;
+        start.(cpu) <- Engine.now ();
+        if Mm_obs.Trace.on () then
+          Engine.obs (Mm_obs.Event.Span_begin { name = "measure" });
+        measure cpu;
+        if Mm_obs.Trace.on () then
+          Engine.obs (Mm_obs.Event.Span_end { name = "measure" });
+        finish.(cpu) <- Engine.now ())
+  done;
+  Engine.run w;
+  (if Sys.getenv_opt "MM_ENGINE_STATS" <> None then
+     let s = Engine.stats w in
+     Printf.eprintf
+       "ENGINE_STATS label=%s ncpus=%d events=%d parks=%d wakes=%d rmws=%d \
+        stalls=%d mwords=%.0f cpu_s=%.3f\n\
+        %!"
+       !current_label ncpus s.Engine.events s.Engine.parks s.Engine.wakes
+       s.Engine.rmws s.Engine.line_stalls
+       (Gc.minor_words () -. mw0)
+       (Sys.time () -. ct0));
+  let t0 = Array.fold_left min max_int start in
+  let t1 = Array.fold_left max 0 finish in
+  t1 - t0
+
+(* Run [f cpu] on each of [ncpus] virtual CPUs with no setup; returns the
+   completion time (max over CPUs, in cycles). Only safe for benchmarks
+   whose world is fresh (no state carried from another world). *)
+let run_threads ~ncpus f =
+  let w = Engine.create ~ncpus in
+  for cpu = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu (fun () -> f cpu)
+  done;
+  Engine.run w;
+  Engine.max_time w

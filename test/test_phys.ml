@@ -120,6 +120,139 @@ let buddy_no_overlap_prop =
           !ok)
         orders)
 
+(* -- Reference-implementation equivalence --
+
+   A deliberately naive buddy (unsorted association lists, smallest-pfn pop
+   by linear scan) implementing the same split/merge/frontier algorithm.
+   The optimized allocator must produce identical pfn sequences and
+   identical per-order free-block sets on any alloc/free trace. *)
+
+module Ref_buddy = struct
+  let max_order = 10
+
+  type t = { nframes : int; mutable frontier : int; free : int list array }
+
+  let create ~nframes =
+    { nframes; frontier = 0; free = Array.make (max_order + 1) [] }
+
+  let block_size order = 1 lsl order
+  let buddy_of ~pfn ~order = pfn lxor block_size order
+  let is_free t ~pfn ~order = List.mem pfn t.free.(order)
+
+  let remove t ~pfn ~order =
+    t.free.(order) <- List.filter (fun p -> p <> pfn) t.free.(order)
+
+  let add t ~pfn ~order = t.free.(order) <- pfn :: t.free.(order)
+
+  let pop_min t ~order =
+    match t.free.(order) with
+    | [] -> None
+    | l ->
+      let m = List.fold_left min max_int l in
+      remove t ~pfn:m ~order;
+      Some m
+
+  let rec any_free_above t ~order =
+    order < max_order
+    && (t.free.(order + 1) <> [] || any_free_above t ~order:(order + 1))
+
+  let rec insert_and_merge t ~pfn ~order ~limit =
+    let b = buddy_of ~pfn ~order in
+    if
+      order < max_order
+      && b + block_size order <= limit
+      && is_free t ~pfn:b ~order
+    then begin
+      remove t ~pfn:b ~order;
+      insert_and_merge t ~pfn:(min pfn b) ~order:(order + 1) ~limit
+    end
+    else add t ~pfn ~order
+
+  let release_range t ~lo ~hi =
+    let lo = ref lo in
+    while !lo < hi do
+      let rec align o =
+        if
+          o < max_order
+          && Mm_util.Align.is_aligned !lo (block_size (o + 1))
+          && !lo + block_size (o + 1) <= hi
+        then align (o + 1)
+        else o
+      in
+      let order = align 0 in
+      insert_and_merge t ~pfn:!lo ~order ~limit:hi;
+      lo := !lo + block_size order
+    done
+
+  let rec alloc t ~order =
+    if order > max_order then failwith "ref buddy: out of memory";
+    match pop_min t ~order with
+    | Some pfn -> pfn
+    | None ->
+      if not (any_free_above t ~order) then begin
+        let pfn = Mm_util.Align.up t.frontier (block_size order) in
+        if pfn + block_size order > t.nframes then
+          failwith "ref buddy: out of memory";
+        release_range t ~lo:t.frontier ~hi:pfn;
+        t.frontier <- pfn + block_size order;
+        pfn
+      end
+      else begin
+        let big = alloc t ~order:(order + 1) in
+        add t ~pfn:(big + block_size order) ~order;
+        big
+      end
+
+  let free t ~pfn ~order = insert_and_merge t ~pfn ~order ~limit:t.frontier
+  let free_blocks t ~order = List.sort compare t.free.(order)
+end
+
+(* One seeded random trace, compared step by step: every alloc must return
+   the same pfn, and after every operation the full free-list state (all
+   orders) must agree, while the optimized allocator's internal invariants
+   hold. *)
+let run_equivalence_trace ~seed ~steps =
+  let nframes = 1 lsl 14 in
+  let b = Buddy.create ~nframes in
+  let r = Ref_buddy.create ~nframes in
+  let rng = Mm_util.Rng.create ~seed in
+  let live = ref [] in
+  let compare_state step =
+    check Alcotest.int
+      (Printf.sprintf "step %d: frontier" step)
+      r.Ref_buddy.frontier (Buddy.frontier b);
+    for order = 0 to 10 do
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "step %d: free blocks of order %d" step order)
+        (Ref_buddy.free_blocks r ~order)
+        (Buddy.free_blocks b ~order)
+    done;
+    Buddy.check_invariants b
+  in
+  for step = 1 to steps do
+    if Mm_util.Rng.bool rng || !live = [] then begin
+      let order = Mm_util.Rng.int rng 4 in
+      let pfn = Buddy.alloc b ~order in
+      let pfn' = Ref_buddy.alloc r ~order in
+      check Alcotest.int
+        (Printf.sprintf "step %d: alloc order %d pfn" step order)
+        pfn' pfn;
+      live := (pfn, order) :: !live
+    end
+    else begin
+      let i = Mm_util.Rng.int rng (List.length !live) in
+      let pfn, order = List.nth !live i in
+      live := List.filteri (fun j _ -> j <> i) !live;
+      Buddy.free b ~pfn ~order;
+      Ref_buddy.free r ~pfn ~order
+    end;
+    compare_state step
+  done
+
+let test_reference_equivalence () =
+  List.iter (fun seed -> run_equivalence_trace ~seed ~steps:300) [ 1; 7; 42 ]
+
 (* -- Phys / frames / NUMA -- *)
 
 let test_frame_descriptors () =
@@ -188,6 +321,8 @@ let () =
           Alcotest.test_case "out of memory" `Quick test_out_of_memory;
           QCheck_alcotest.to_alcotest buddy_stress_prop;
           QCheck_alcotest.to_alcotest buddy_no_overlap_prop;
+          Alcotest.test_case "reference equivalence" `Quick
+            test_reference_equivalence;
         ] );
       ( "phys",
         [

@@ -318,6 +318,35 @@ let test_radixvm_memory_overhead () =
     true
     (radix > 2 * corten)
 
+(* -- Golden determinism of the headline experiment --
+
+   The simulator is deterministic by design: fig1's result table must be
+   bit-for-bit stable across runs, hosts and refactors. Any change to the
+   digest below means simulated behaviour changed — intended changes must
+   update the constant (and say so in review); performance work must not. *)
+
+let fig1_golden_digest = "410ea96e0ba6e825b0134f3917bd1c6e"
+
+let test_fig1_golden_digest () =
+  let e =
+    match Mm_experiments.Registry.find "fig1" with
+    | Some e -> e
+    | None -> Alcotest.fail "fig1 not registered"
+  in
+  Mm_workloads.Runner.start_collecting ();
+  Mm_workloads.Runner.set_label e.Mm_experiments.Registry.id;
+  e.Mm_experiments.Registry.run ();
+  let results = Mm_workloads.Runner.stop_collecting () in
+  check Alcotest.bool "fig1 produced results" true (results <> []);
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (label, (r : Runner.result)) ->
+      Printf.bprintf buf "%s %d %d %.6f\n" label r.Runner.ops r.Runner.cycles
+        r.Runner.ops_per_sec)
+    results;
+  check Alcotest.string "fig1 result-table digest" fig1_golden_digest
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
 let () =
   Alcotest.run "mm_workloads"
     [
@@ -362,5 +391,9 @@ let () =
         [
           Alcotest.test_case "radixvm overhead" `Quick
             test_radixvm_memory_overhead;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "fig1 digest" `Slow test_fig1_golden_digest;
         ] );
     ]
