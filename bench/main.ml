@@ -200,12 +200,15 @@ let () =
   Gc.set
     { (Gc.get ()) with minor_heap_size = 1 lsl 20; space_overhead = 300 };
   let args = Array.to_list Sys.argv in
-  if List.mem "--list" args then
+  if List.mem "--list" args then begin
     List.iter
       (fun e ->
         Printf.printf "%-8s %s\n" e.Mm_experiments.Registry.id
           e.Mm_experiments.Registry.title)
-      Mm_experiments.Registry.all
+      Mm_experiments.Registry.all;
+    Printf.printf "backends: %s\n"
+      (String.concat ", " Mm_workloads.System.Registry.names)
+  end
   else begin
     let only =
       Option.map (String.split_on_char ',') (flag_value args "--only")

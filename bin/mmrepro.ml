@@ -6,7 +6,9 @@
      verify          run the full verification suite (protocol model
                      checking, refinement, exhaustive functional
                      correctness, linearizability)
-     sweep           one microbenchmark over a core sweep (quick look) *)
+     sweep           one microbenchmark over a core sweep (quick look)
+     trace           generate / replay MM operation traces
+     oracle          differential cross-backend oracle on one trace *)
 
 open Cmdliner
 
@@ -220,13 +222,9 @@ let sweep_cmd =
       if high then Mm_workloads.Micro.High else Mm_workloads.Micro.Low
     in
     let systems =
-      [
-        Mm_workloads.System.Linux;
-        Mm_workloads.System.Radixvm;
-        Mm_workloads.System.Nros;
-        Mm_workloads.System.Corten Cortenmm.Config.rw;
-        Mm_workloads.System.Corten Cortenmm.Config.adv;
-      ]
+      List.map
+        (fun e -> e.Mm_workloads.System.Registry.r_kind)
+        Mm_workloads.System.Registry.all
     in
     let header =
       "cores" :: List.map Mm_workloads.System.kind_name systems
@@ -289,13 +287,11 @@ let trace_cmd =
       value
       & opt
           (enum
-             [
-               ("cortenmm-adv", Mm_workloads.System.Corten Cortenmm.Config.adv);
-               ("cortenmm-rw", Mm_workloads.System.Corten Cortenmm.Config.rw);
-               ("linux", Mm_workloads.System.Linux);
-               ("radixvm", Mm_workloads.System.Radixvm);
-               ("nros", Mm_workloads.System.Nros);
-             ])
+             (List.map
+                (fun e ->
+                  ( e.Mm_workloads.System.Registry.r_name,
+                    e.Mm_workloads.System.Registry.r_kind ))
+                Mm_workloads.System.Registry.all))
           (Mm_workloads.System.Corten Cortenmm.Config.adv)
       & info [ "system" ] ~doc:"System to replay on.")
   in
@@ -326,9 +322,65 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ mode $ path $ profile $ ncpus $ ops $ seed $ system)
 
+let oracle_cmd =
+  let doc =
+    "Replay one trace on every registered backend and compare the observable \
+     state (per-page mappings, error outcomes, memory statistics). Exits \
+     non-zero on the first divergence, with the offending operation index."
+  in
+  let path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Saved trace to check; generated from the profile flags when \
+                omitted.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("churn", Mm_workloads.Trace.Churn);
+               ("faults", Mm_workloads.Trace.Faults);
+               ("mixed", Mm_workloads.Trace.Mixed);
+             ])
+          Mm_workloads.Trace.Mixed
+      & info [ "profile" ] ~doc:"Workload profile when generating.")
+  in
+  let ncpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Virtual CPUs.")
+  in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Ops per CPU.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let every =
+    Arg.(
+      value & opt int 16
+      & info [ "every" ] ~doc:"Snapshot-compare cadence in operations.")
+  in
+  let run path profile ncpus ops seed every =
+    let trace =
+      match path with
+      | Some p -> Mm_workloads.Trace.load p
+      | None ->
+        Mm_workloads.Trace.generate ~profile ~ncpus ~ops_per_cpu:ops ~seed
+    in
+    match Mm_workloads.Diff.run ~check_every:every trace with
+    | Ok n ->
+      Printf.printf "oracle: %d ops, %d backends, no divergence\n" n
+        (List.length Mm_workloads.System.Registry.all)
+    | Error d ->
+      Printf.printf "oracle: DIVERGENCE\n%s\n" (Mm_workloads.Diff.describe d);
+      exit 1
+  in
+  Cmd.v (Cmd.info "oracle" ~doc)
+    Term.(const run $ path $ profile $ ncpus $ ops $ seed $ every)
+
 let () =
   let doc = "CortenMM reproduction driver" in
   let info = Cmd.info "mmrepro" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd; oracle_cmd ]))

@@ -17,6 +17,10 @@ dune exec bench/main.exe -- --only fig13 --json /tmp/b.json \
   || { cat /tmp/check_bench.out; exit 1; }
 tail -n 3 /tmp/check_bench.out
 
+echo "== differential oracle: seeded traces across all backends =="
+dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 --seed 42
+dune exec bin/mmrepro.exe -- oracle --profile churn --cpus 2 --ops 150 --seed 7
+
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json

@@ -297,8 +297,9 @@ exception Fault of int (* vaddr that faulted with Sigsegv *)
 
 (* One user-level access. TLB hit: free. Miss: hardware page walk; if the
    translation is present and permits the access, install it; otherwise
-   take a page fault and retry once. *)
-let touch asp ~vaddr ~write =
+   take a page fault and retry once. The typed variant returns the fault
+   as a value so backends expose it at the interface boundary. *)
+let touch_r asp ~vaddr ~write =
   let t = Addr_space.tlb asp in
   let ps = Addr_space.page_size asp in
   let vpn = vaddr / ps in
@@ -311,7 +312,7 @@ let touch asp ~vaddr ~write =
   in
   match Mm_tlb.Tlb.lookup t ~cpu ~vpn ~write with
   | Some (_, key) ->
-    if pkru_denies key then raise (Fault vaddr)
+    if pkru_denies key then Error (Errno.SIGSEGV vaddr) else Ok ()
   | None ->
     (* Hardware walk: lock-free reads down the page table. *)
     let pt = Addr_space.pt asp in
@@ -324,26 +325,27 @@ let touch asp ~vaddr ~write =
           (vaddr mod Geometry.coverage geo ~level:node.Pt.level) / ps
         in
         (* COW pages are mapped read-only; a write access must fault. *)
-        if write && perm.Perm.cow then None
-        else if pkru_denies perm.Perm.mpk_key then raise (Fault vaddr)
+        if write && perm.Perm.cow then `Miss
+        else if pkru_denies perm.Perm.mpk_key then `Pkru
         else begin
           node.Pt.touched <- node.Pt.touched lor (1 lsl cpu);
           Pt.set_accessed pt node idx;
           Mm_tlb.Tlb.install t ~cpu ~vpn ~pfn:(pfn + off)
             ~writable:(perm.Perm.write && not perm.Perm.cow)
             ~key:perm.Perm.mpk_key ();
-          Some ()
+          `Hit
         end
-      | Pte.Leaf _ -> None
+      | Pte.Leaf _ -> `Miss
       | Pte.Table { pfn } -> (
         match Pt.node_of_pfn pt pfn with
         | Some child -> walk child
-        | None -> None)
-      | Pte.Absent -> None
+        | None -> `Miss)
+      | Pte.Absent -> `Miss
     in
     (match walk (Pt.root pt) with
-    | Some () -> ()
-    | None -> (
+    | `Hit -> Ok ()
+    | `Pkru -> Error (Errno.SIGSEGV vaddr)
+    | `Miss -> (
       match page_fault asp ~vaddr ~write with
       | Handled ->
         (* Auto-THP: when the fault filled its leaf PT page, promote the
@@ -351,18 +353,32 @@ let touch asp ~vaddr ~write =
         if
           (Addr_space.config asp).Config.thp
           && Addr_space.l1_full asp vaddr
-        then ignore (promote_huge asp ~vaddr)
-      | Sigsegv -> raise (Fault vaddr)))
+        then ignore (promote_huge asp ~vaddr);
+        Ok ()
+      | Sigsegv -> Error (Errno.SIGSEGV vaddr)))
 
-let touch_range asp ~addr ~len ~write =
+let touch asp ~vaddr ~write =
+  match touch_r asp ~vaddr ~write with
+  | Ok () -> ()
+  | Error (Errno.SIGSEGV v) -> raise (Fault v)
+  | Error _ -> raise (Fault vaddr)
+
+let touch_range_r asp ~addr ~len ~write =
   let ps = Addr_space.page_size asp in
   let rec go v =
-    if v < addr + len then begin
-      touch asp ~vaddr:v ~write;
-      go (v + ps)
-    end
+    if v >= addr + len then Ok ()
+    else
+      match touch_r asp ~vaddr:v ~write with
+      | Ok () -> go (v + ps)
+      | Error _ as e -> e
   in
   go addr
+
+let touch_range asp ~addr ~len ~write =
+  match touch_range_r asp ~addr ~len ~write with
+  | Ok () -> ()
+  | Error (Errno.SIGSEGV v) -> raise (Fault v)
+  | Error _ -> raise (Fault addr)
 
 (* -- fork (copy-on-write address-space duplication) -- *)
 
@@ -471,24 +487,76 @@ let timer_tick asp =
 
 (* -- Simulated user write: updates the data token for COW verification -- *)
 
+(* A page that vanishes between the touch and the locked query (another
+   thread's munmap winning the race) is the same observable outcome as a
+   fault on the access itself: a typed SIGSEGV, not a crash. *)
+
+let write_value_r asp ~vaddr ~value =
+  match touch_r asp ~vaddr ~write:true with
+  | Error _ as e -> e
+  | Ok () ->
+    let ps = Addr_space.page_size asp in
+    let page = Mm_util.Align.down vaddr ps in
+    Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
+        match Addr_space.query c page with
+        | Status.Mapped { pfn; _ } ->
+          let frame =
+            Mm_phys.Phys.frame (Addr_space.kernel asp).Kernel.phys pfn
+          in
+          frame.Mm_phys.Frame.contents <- value;
+          Ok ()
+        | _ -> Error (Errno.SIGSEGV page))
+
 let write_value asp ~vaddr ~value =
-  touch asp ~vaddr ~write:true;
-  let ps = Addr_space.page_size asp in
-  let page = Mm_util.Align.down vaddr ps in
-  Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
-      match Addr_space.query c page with
-      | Status.Mapped { pfn; _ } ->
-        let frame = Mm_phys.Phys.frame (Addr_space.kernel asp).Kernel.phys pfn in
-        frame.Mm_phys.Frame.contents <- value
-      | _ -> failwith "write_value: page vanished after touch")
+  match write_value_r asp ~vaddr ~value with
+  | Ok () -> ()
+  | Error (Errno.SIGSEGV v) -> raise (Fault v)
+  | Error _ -> raise (Fault vaddr)
+
+let read_value_r asp ~vaddr =
+  match touch_r asp ~vaddr ~write:false with
+  | Error e -> Error e
+  | Ok () ->
+    let ps = Addr_space.page_size asp in
+    let page = Mm_util.Align.down vaddr ps in
+    Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
+        match Addr_space.query c page with
+        | Status.Mapped { pfn; _ } ->
+          Ok
+            (Mm_phys.Phys.frame (Addr_space.kernel asp).Kernel.phys pfn)
+              .Mm_phys.Frame.contents
+        | _ -> Error (Errno.SIGSEGV page))
 
 let read_value asp ~vaddr =
-  touch asp ~vaddr ~write:false;
+  match read_value_r asp ~vaddr with
+  | Ok v -> v
+  | Error (Errno.SIGSEGV v) -> raise (Fault v)
+  | Error _ -> raise (Fault vaddr)
+
+(* -- The typed syscall surface -- *)
+
+(* Result-returning variants of the syscalls: malformed requests are
+   classified as EINVAL before any simulated work, exhaustion as ENOMEM.
+   All validation is host-side — a valid request charges exactly the
+   cycles the exception-style entry point does. *)
+
+let mmap_r asp ?addr ?backing ?policy ~len ~perm () =
   let ps = Addr_space.page_size asp in
-  let page = Mm_util.Align.down vaddr ps in
-  Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
-      match Addr_space.query c page with
-      | Status.Mapped { pfn; _ } ->
-        (Mm_phys.Phys.frame (Addr_space.kernel asp).Kernel.phys pfn)
-          .Mm_phys.Frame.contents
-      | _ -> failwith "read_value: page vanished after touch")
+  let bad_addr =
+    match addr with Some a -> a < 0 || a mod ps <> 0 | None -> false
+  in
+  if len <= 0 || bad_addr then Error Errno.EINVAL
+  else
+    try Ok (mmap asp ?addr ?backing ?policy ~len ~perm ())
+    with Enomem | Mm_phys.Buddy.Out_of_memory | Va_alloc.Va_exhausted ->
+      Error Errno.ENOMEM
+
+let munmap_r asp ~addr ~len =
+  let ps = Addr_space.page_size asp in
+  if len <= 0 || addr < 0 || addr mod ps <> 0 then Error Errno.EINVAL
+  else Ok (munmap asp ~addr ~len)
+
+let mprotect_r asp ~addr ~len ~perm =
+  let ps = Addr_space.page_size asp in
+  if len <= 0 || addr < 0 || addr mod ps <> 0 then Error Errno.EINVAL
+  else Ok (mprotect asp ~addr ~len ~perm)

@@ -93,3 +93,52 @@ val write_value : Addr_space.t -> vaddr:int -> value:int -> unit
 (** Simulated user store of a verification token (drives COW/swap tests). *)
 
 val read_value : Addr_space.t -> vaddr:int -> int
+
+(** {2 Typed-error variants}
+
+    Result-returning forms of the operations above: faults and malformed
+    requests come back as {!Mm_hal.Errno.t} values instead of exceptions,
+    which is what the backend interface ({!Mm_workloads.Backend.S}) and
+    the differential oracle consume. Validation is host-side — a valid
+    request charges exactly the cycles its exception-style twin does. *)
+
+val mmap_r :
+  Addr_space.t ->
+  ?addr:int ->
+  ?backing:backing ->
+  ?policy:Numa.policy ->
+  len:int ->
+  perm:Mm_hal.Perm.t ->
+  unit ->
+  (int, Mm_hal.Errno.t) result
+(** [Error EINVAL] for an empty range or an unaligned/negative explicit
+    address; [Error ENOMEM] when frames or virtual space run out. *)
+
+val munmap_r :
+  Addr_space.t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+
+val mprotect_r :
+  Addr_space.t ->
+  addr:int ->
+  len:int ->
+  perm:Mm_hal.Perm.t ->
+  (unit, Mm_hal.Errno.t) result
+
+val touch_r :
+  Addr_space.t -> vaddr:int -> write:bool -> (unit, Mm_hal.Errno.t) result
+(** [Error (SIGSEGV vaddr)] where {!touch} raises {!Fault}. *)
+
+val touch_range_r :
+  Addr_space.t ->
+  addr:int ->
+  len:int ->
+  write:bool ->
+  (unit, Mm_hal.Errno.t) result
+(** Stops at the first faulting page. *)
+
+val write_value_r :
+  Addr_space.t -> vaddr:int -> value:int -> (unit, Mm_hal.Errno.t) result
+(** Like {!write_value}, but a page that vanishes between the touch and
+    the locked store surfaces as [Error (SIGSEGV page)]. *)
+
+val read_value_r : Addr_space.t -> vaddr:int -> (int, Mm_hal.Errno.t) result

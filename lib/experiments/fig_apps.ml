@@ -131,7 +131,7 @@ let fig18 () =
             let (_ : Mm_workloads.Runner.result), (sys : System.t) =
               run ~alloc_kind:alloc
             in
-            let m = sys.System.mem_stats () in
+            let m = System.mem_stats sys in
             [
               name;
               Alloc_model.kind_name alloc;

@@ -76,7 +76,7 @@ let fig22 () =
         let (_ : Mm_workloads.Runner.result), (sys : System.t) =
           Apps.metis ~kind ~ncpus:16 ()
         in
-        let m = sys.System.mem_stats () in
+        let m = System.mem_stats sys in
         let resident = float_of_int (max 1 m.System.resident_bytes) in
         let base =
           [

@@ -1,0 +1,38 @@
+(* Typed error values for the MM operation surface. The backends signal
+   failure as data ([result]) at the interface boundary instead of ad-hoc
+   exceptions, which is what lets the differential oracle compare error
+   outcomes across systems deterministically. *)
+
+type t =
+  | EINVAL (* malformed request: empty range, unaligned address *)
+  | ENOMEM (* out of physical frames or virtual address space *)
+  | EACCES (* permission denied at syscall level *)
+  | ENOSYS (* the backend does not implement this operation *)
+  | SIGSEGV of int (* access faulted; carries the faulting vaddr *)
+
+exception Error of t
+
+let to_string = function
+  | EINVAL -> "EINVAL"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | ENOSYS -> "ENOSYS"
+  | SIGSEGV vaddr -> Printf.sprintf "SIGSEGV@0x%x" vaddr
+
+(* Class label, without payloads: two backends faulting at different
+   virtual addresses for the same logical access still agree. *)
+let label = function
+  | EINVAL -> "EINVAL"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | ENOSYS -> "ENOSYS"
+  | SIGSEGV _ -> "SIGSEGV"
+
+let same_class a b = label a = label b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Mm_hal.Errno.Error " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,26 @@
+(** Typed error values for the MM operation surface: backends return
+    these as data ([('a, Errno.t) result]) instead of raising, so
+    workloads and the differential oracle observe failure outcomes
+    deterministically. *)
+
+type t =
+  | EINVAL  (** malformed request: empty range, unaligned address *)
+  | ENOMEM  (** out of physical frames or virtual address space *)
+  | EACCES  (** permission denied at syscall level *)
+  | ENOSYS  (** the backend does not implement this operation *)
+  | SIGSEGV of int  (** access faulted; carries the faulting vaddr *)
+
+exception Error of t
+(** Bridge for callers that prefer exceptions ({!System} [_exn]
+    wrappers raise this). *)
+
+val to_string : t -> string
+
+val label : t -> string
+(** Constructor name without payloads — [SIGSEGV _] compares equal
+    across backends whose VA allocators place regions differently. *)
+
+val same_class : t -> t -> bool
+(** [same_class a b] compares by {!label}. *)
+
+val pp : Format.formatter -> t -> unit

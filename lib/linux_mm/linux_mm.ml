@@ -463,4 +463,26 @@ let read_value t ~vaddr =
   touch t ~vaddr ~write:false;
   with_pfn t ~vaddr (fun f -> f.Mm_phys.Frame.contents)
 
+(* Normalized observation of one page for the differential oracle: VMA
+   lookup for mapped-ness and the would-be protection, raw (uncharged)
+   PT descent for residency. COW counts as writable — the store succeeds
+   after the break. *)
+let page_state t ~vaddr =
+  match Vma.find t.vmas vaddr with
+  | None -> `Unmapped
+  | Some vma ->
+    let rec down (node : unit Pt.node) =
+      let idx = Pt.index t.pt ~level:node.Pt.level ~vaddr in
+      if node.Pt.level = 1 then
+        match Pt.get_uncharged t.pt node idx with
+        | Pte.Leaf { perm; _ } ->
+          `Resident (perm.Perm.write || perm.Perm.cow)
+        | Pte.Absent | Pte.Table _ -> `Lazy vma.Vma.perm.Perm.write
+      else
+        match Pt.child t.pt node idx with
+        | Some c -> down c
+        | None -> `Lazy vma.Vma.perm.Perm.write
+    in
+    down (Pt.root t.pt)
+
 let check_well_formed t = Pt.check_well_formed t.pt

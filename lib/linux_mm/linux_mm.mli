@@ -37,6 +37,12 @@ val fork : t -> t
 (** VMA-list enumeration + streaming page-table copy with COW. *)
 
 val destroy : t -> unit
+
+val page_state : t -> vaddr:int -> [ `Unmapped | `Lazy of bool | `Resident of bool ]
+(** Observation of one page for the differential oracle: [`Lazy w] =
+    VMA present but no frame yet, [`Resident w] = frame installed; [w]
+    is the logical writability (COW counts as writable). *)
+
 val write_value : t -> vaddr:int -> value:int -> unit
 val read_value : t -> vaddr:int -> int
 val check_well_formed : t -> unit

@@ -232,3 +232,17 @@ let replicated_pt_bytes t =
     0 t.replicas
 
 let log_length t = t.log_len
+
+(* Normalized observation of one page for the differential oracle: catch
+   the observing CPU's replica up with the log (what any real NrOS read
+   must do) and read its page table. NrOS has no demand paging, so a
+   page is either absent or resident. *)
+let page_state t ~vaddr =
+  let cpu = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.cpu_id () else 0 in
+  with_replica t ~cpu (fun rep ->
+      let node = Pt.walk_opt rep.pt ~to_level:1 vaddr in
+      if node.Pt.level <> 1 then `Unmapped
+      else
+        match Pt.get_uncharged rep.pt node (Pt.index rep.pt ~level:1 ~vaddr) with
+        | Pte.Leaf { perm; _ } -> `Resident perm.Perm.write
+        | Pte.Absent | Pte.Table _ -> `Unmapped)

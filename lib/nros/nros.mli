@@ -25,3 +25,7 @@ val touch : t -> vaddr:int -> write:bool -> unit
 val touch_range : t -> addr:int -> len:int -> write:bool -> unit
 val replicated_pt_bytes : t -> int
 val log_length : t -> int
+
+val page_state : t -> vaddr:int -> [ `Unmapped | `Lazy of bool | `Resident of bool ]
+(** Observation of one page for the differential oracle. NrOS backs
+    eagerly, so [`Lazy _] never occurs. *)

@@ -331,3 +331,24 @@ let replicated_pt_bytes t =
     0 t.pts
 
 let radix_bytes t = t.radix_nodes * radix_node_bytes
+
+(* Normalized observation of one page for the differential oracle: a
+   pure (uncharged, lock-free) descent of the radix tree. The radix
+   entry is the authoritative state — per-core page tables are derived
+   caches of it. *)
+let page_state t ~vaddr =
+  let vpn = vaddr / page_size t in
+  let rec go node =
+    if node.level = 1 then Some node
+    else
+      match node.children.(index ~level:node.level ~vpn) with
+      | Some c -> go c
+      | None -> None
+  in
+  match go t.root with
+  | None -> `Unmapped
+  | Some leaf -> (
+    match leaf.entries.(entry_idx ~vpn) with
+    | R_empty -> `Unmapped
+    | R_reserved perm -> `Lazy perm.Perm.write
+    | R_mapped { perm; _ } -> `Resident perm.Perm.write)

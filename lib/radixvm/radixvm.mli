@@ -24,3 +24,7 @@ val replicated_pt_bytes : t -> int
     memory cost (Fig 22). *)
 
 val radix_bytes : t -> int
+
+val page_state : t -> vaddr:int -> [ `Unmapped | `Lazy of bool | `Resident of bool ]
+(** Observation of one page for the differential oracle, read from the
+    radix tree (the authoritative state; per-core PTs are caches). *)

@@ -1,0 +1,18 @@
+(** Binary min-heap of scheduler events keyed by (time, sequence number).
+    The sequence number makes the ordering total, which makes the whole
+    simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val min_time : 'a t -> int
+(** Earliest queued time, [max_int] when empty. Allocation-free peek for
+    the scheduler's serialize fast path. *)
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest entry (its time and value). *)

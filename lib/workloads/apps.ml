@@ -30,13 +30,12 @@ let jvm_thread_creation ?(isa = Mm_hal.Isa.x86_64) ~kind ~nthreads () =
   let spawn_thread () =
     (* Thread spawn: map a stack, guard page, touch the hot pages, and
        run a bit of runtime initialization. *)
-    let stack = sys.System.mmap ~len:stack_len ~perm:Perm.rw () in
-    (match sys.System.mprotect with
-    | Some mprotect ->
-      mprotect ~addr:stack ~len:sys.System.page_size ~perm:Perm.none
-    | None -> ());
-    if sys.System.demand_paging then
-      sys.System.touch_range
+    let stack = System.mmap_exn sys ~len:stack_len ~perm:Perm.rw () in
+    if System.has_mprotect sys then
+      System.mprotect_exn sys ~addr:stack ~len:sys.System.page_size
+        ~perm:Perm.none;
+    if System.demand_paging sys then
+      System.touch_range_exn sys
         ~addr:(stack + sys.System.page_size)
         ~len:(touched * sys.System.page_size)
         ~write:true;
@@ -50,7 +49,7 @@ let jvm_thread_creation ?(isa = Mm_hal.Isa.x86_64) ~kind ~nthreads () =
     ~prep:(fun cpu ->
       System.warm sys ~cpu;
       let stack = spawn_thread () in
-      sys.System.munmap ~addr:stack ~len:stack_len)
+      System.munmap_exn sys ~addr:stack ~len:stack_len)
     ~measure:(fun _ -> ignore (spawn_thread ()))
     ()
 
@@ -71,7 +70,8 @@ let metis ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ?(chunks_per_thread = 6) () =
   let all_chunks = Array.make (ncpus * chunks_per_thread) 0 in
   let cycles =
     Runner.run_phases ~ncpus
-      ~setup:(fun () -> input := sys.System.mmap ~len:input_len ~perm:Perm.r ())
+      ~setup:(fun () ->
+        input := System.mmap_exn sys ~len:input_len ~perm:Perm.r ())
       ~prep:(fun cpu -> System.warm sys ~cpu)
       ()
       ~measure:(fun cpu ->
@@ -80,8 +80,9 @@ let metis ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ?(chunks_per_thread = 6) () =
         let step = 8 * ps in
         let rec scan v =
           if v < my_lo + slice then begin
-            (if sys.System.demand_paging then
-               try sys.System.touch ~vaddr:v ~write:false with _ -> ());
+            (if System.demand_paging sys then
+               match System.touch sys ~vaddr:v ~write:false with
+               | Ok () | Error _ -> ());
             Engine.tick 2_000 (* hashing the records in these pages *);
             scan (v + step)
           end
@@ -89,11 +90,11 @@ let metis ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ?(chunks_per_thread = 6) () =
         scan my_lo;
         (* Map-output phase: allocate 8 MiB result chunks, never freed. *)
         for k = 0 to chunks_per_thread - 1 do
-          let addr = sys.System.mmap ~len:chunk_len ~perm:Perm.rw () in
+          let addr = System.mmap_exn sys ~len:chunk_len ~perm:Perm.rw () in
           all_chunks.((cpu * chunks_per_thread) + k) <- addr;
-          if sys.System.demand_paging then
+          if System.demand_paging sys then
             for p = 0 to pages_touched_per_chunk - 1 do
-              sys.System.touch
+              System.touch_exn sys
                 ~vaddr:(addr + (p * (chunk_len / pages_touched_per_chunk)))
                 ~write:true
             done;
@@ -106,8 +107,10 @@ let metis ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ?(chunks_per_thread = 6) () =
           (fun addr ->
             if addr <> 0 then begin
               for p = 0 to 7 do
-                try sys.System.touch ~vaddr:(addr + (p * 16 * ps)) ~write:false
-                with _ -> ()
+                match
+                  System.touch sys ~vaddr:(addr + (p * 16 * ps)) ~write:false
+                with
+                | Ok () | Error _ -> ()
               done;
               Engine.tick 4_000 (* merging *)
             end)
@@ -145,7 +148,7 @@ let dedup ?(isa = Mm_hal.Isa.x86_64) ~kind ~alloc_kind ~ncpus
           Alloc_model.free allocator ~addr:small ~size:(kib 8);
           Alloc_model.free allocator ~addr:buf ~size:(kib 64);
           Alloc_model.free allocator ~addr:data ~size:(kib 256);
-          if i mod 8 = 0 then sys.System.timer_tick ()
+          if i mod 8 = 0 then System.timer_tick sys
         done)
   in
   (Runner.result ~ops:(ncpus * iters_per_thread) ~cycles, sys)
@@ -165,11 +168,11 @@ let psearchy ?(isa = Mm_hal.Isa.x86_64) ~kind ~alloc_kind ~ncpus
         let allocator = Alloc_model.create ~kind:alloc_kind ~sys in
         for i = 0 to files_per_thread - 1 do
           (* Map a file chunk, read every page, index the words. *)
-          let addr = sys.System.mmap ~len:file_chunk ~perm:Perm.r () in
-          (if sys.System.demand_paging then
+          let addr = System.mmap_exn sys ~len:file_chunk ~perm:Perm.r () in
+          (if System.demand_paging sys then
              let rec go v =
                if v < addr + file_chunk then begin
-                 sys.System.touch ~vaddr:v ~write:false;
+                 System.touch_exn sys ~vaddr:v ~write:false;
                  Engine.tick 1_500 (* tokenizing this page *);
                  go (v + ps)
                end
@@ -179,8 +182,8 @@ let psearchy ?(isa = Mm_hal.Isa.x86_64) ~kind ~alloc_kind ~ncpus
           let postings = Alloc_model.alloc allocator ~size:(kib 192) in
           Engine.tick 25_000 (* sorting/merging *);
           Alloc_model.free allocator ~addr:postings ~size:(kib 192);
-          sys.System.munmap ~addr ~len:file_chunk;
-          if i mod 8 = 0 then sys.System.timer_tick ()
+          System.munmap_exn sys ~addr ~len:file_chunk;
+          if i mod 8 = 0 then System.timer_tick sys
         done)
   in
   (Runner.result ~ops:(ncpus * files_per_thread) ~cycles, sys)
@@ -217,13 +220,13 @@ let run_parsec ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus (p : parsec) =
   let ps = sys.System.page_size in
   let base = ref 0 in
   let setup () =
-    base := sys.System.mmap ~len:(p.resident * ncpus) ~perm:Perm.rw ();
-    if sys.System.demand_paging then begin
+    base := System.mmap_exn sys ~len:(p.resident * ncpus) ~perm:Perm.rw ();
+    if System.demand_paging sys then begin
       (* Touch a fraction of the resident set up front. *)
       let step = 8 * ps in
       let rec go v =
         if v < !base + min (p.resident * ncpus) (mib 4) then begin
-          sys.System.touch ~vaddr:v ~write:true;
+          System.touch_exn sys ~vaddr:v ~write:true;
           go (v + step)
         end
       in
@@ -234,9 +237,11 @@ let run_parsec ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus (p : parsec) =
     Runner.run_phases ~ncpus ~setup
       ~prep:(fun cpu ->
         System.warm sys ~cpu;
-        if sys.System.demand_paging then
-          try sys.System.touch ~vaddr:(!base + (cpu * p.resident)) ~write:true
-          with _ -> ())
+        if System.demand_paging sys then
+          match
+            System.touch sys ~vaddr:(!base + (cpu * p.resident)) ~write:true
+          with
+          | Ok () | Error _ -> ())
       ()
       ~measure:(fun cpu ->
         let my = !base + (cpu * p.resident) in
@@ -245,7 +250,8 @@ let run_parsec ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus (p : parsec) =
           Engine.tick p.work_cycles;
           for _ = 1 to p.reuse_pages do
             let off = Mm_util.Rng.int rng (p.resident / ps) * ps in
-            try sys.System.touch ~vaddr:(my + off) ~write:true with _ -> ()
+            match System.touch sys ~vaddr:(my + off) ~write:true with
+            | Ok () | Error _ -> ()
           done
         done)
   in

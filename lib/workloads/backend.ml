@@ -1,0 +1,105 @@
+(* The first-class backend signature: the typed boundary between the
+   benchmark/oracle drivers and the five evaluated MM systems.
+
+   The paper's central claim is that one interface can serve every MM
+   design it evaluates; this module is our statement of that interface.
+   Three deliberate choices:
+
+   - capabilities are *data* ([caps]), not option-typed closures, so
+     drivers and the differential oracle reason about what a backend
+     supports without probing it;
+   - errors are *values* ([Mm_hal.Errno.t] results), not exceptions, so
+     two backends replaying one trace produce comparable outcome
+     streams;
+   - [page_state] is a normalized per-page observation (mapped?
+     logically writable? resident?) every backend can answer, which is
+     what the oracle diffs. *)
+
+module Errno = Mm_hal.Errno
+
+type kind =
+  | Corten of Cortenmm.Config.t
+  | Linux
+  | Radixvm
+  | Nros
+
+let kind_name = function
+  | Corten cfg -> Cortenmm.Config.name cfg
+  | Linux -> "linux"
+  | Radixvm -> "radixvm"
+  | Nros -> "nros"
+
+type caps = {
+  demand_paging : bool; (* mmap is virtual; frames arrive at fault time *)
+  has_mprotect : bool; (* mprotect implemented (RadixVM/NrOS: no) *)
+}
+
+type mem_stats = {
+  pt_bytes : int; (* page tables, all replicas *)
+  kernel_bytes : int; (* VMAs, metadata arrays, radix nodes... *)
+  resident_bytes : int; (* user data frames, now *)
+  peak_resident_bytes : int; (* user data frames, high-water mark *)
+}
+
+(* Normalized observation of one page. [writable] is the *logical*
+   writability the MM would resolve for a store (a COW-protected page
+   counts as writable: the write succeeds after the break). [resident]
+   is whether a physical frame currently backs the page. *)
+type page_state =
+  | P_unmapped
+  | P_mapped of { writable : bool; resident : bool }
+
+module type S = sig
+  type t
+
+  val name : string
+  val kind : kind
+  val caps : caps
+  val create : ?isa:Mm_hal.Isa.t -> ncpus:int -> unit -> t
+  val page_size : t -> int
+
+  val mmap :
+    t ->
+    ?addr:int ->
+    len:int ->
+    perm:Mm_hal.Perm.t ->
+    unit ->
+    (int, Errno.t) result
+
+  val munmap : t -> addr:int -> len:int -> (unit, Errno.t) result
+
+  val mprotect :
+    t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> (unit, Errno.t) result
+  (** [Error ENOSYS] when [caps.has_mprotect] is false. *)
+
+  val touch : t -> vaddr:int -> write:bool -> (unit, Errno.t) result
+  (** One user access; [Error (SIGSEGV vaddr)] when it faults fatally. *)
+
+  val touch_range : t -> addr:int -> len:int -> write:bool -> (unit, Errno.t) result
+  (** Touch every page of the range; stops at the first faulting page. *)
+
+  val page_state : t -> vaddr:int -> page_state
+  (** Observation for the oracle; must not disturb the cost model's
+      bookkeeping beyond what an inspection transaction legitimately
+      charges in its own world. *)
+
+  val timer_tick : t -> unit
+  val mem_stats : t -> mem_stats
+end
+
+type b = (module S)
+
+(* Uniform request validation shared by the adapters, so every backend
+   classifies malformed requests identically (host-side checks: no
+   simulated cycles are charged). *)
+
+let check_mmap ~page_size ?addr ~len () =
+  if len <= 0 then Error Errno.EINVAL
+  else
+    match addr with
+    | Some a when a < 0 || a mod page_size <> 0 -> Error Errno.EINVAL
+    | _ -> Ok ()
+
+let check_range ~page_size ~addr ~len =
+  if len <= 0 || addr < 0 || addr mod page_size <> 0 then Error Errno.EINVAL
+  else Ok ()

@@ -1,0 +1,76 @@
+(* CortenMM adapter: packs one [Cortenmm.Config.t] variant (adv, rw, or
+   an ablation) behind {!Backend.S}. The typed error path goes straight
+   through [Cortenmm.Mm]'s [_r] operations — CortenMM is the one system
+   whose core already speaks [Errno.t]. *)
+
+module Errno = Mm_hal.Errno
+module Perm = Mm_hal.Perm
+
+type state = {
+  kernel : Cortenmm.Kernel.t;
+  asp : Cortenmm.Addr_space.t;
+}
+
+let make cfg : Backend.b =
+  (module struct
+    type t = state
+
+    let name = Cortenmm.Config.name cfg
+    let kind = Backend.Corten cfg
+    let caps = { Backend.demand_paging = true; has_mprotect = true }
+
+    let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () =
+      let kernel = Cortenmm.Kernel.create ~isa ~ncpus () in
+      let asp = Cortenmm.Addr_space.create kernel cfg in
+      { kernel; asp }
+
+    let page_size t = Cortenmm.Addr_space.page_size t.asp
+
+    let mmap t ?addr ~len ~perm () =
+      Cortenmm.Mm.mmap_r t.asp ?addr ~len ~perm ()
+
+    let munmap t ~addr ~len = Cortenmm.Mm.munmap_r t.asp ~addr ~len
+
+    let mprotect t ~addr ~len ~perm =
+      Cortenmm.Mm.mprotect_r t.asp ~addr ~len ~perm
+
+    let touch t ~vaddr ~write = Cortenmm.Mm.touch_r t.asp ~vaddr ~write
+
+    let touch_range t ~addr ~len ~write =
+      Cortenmm.Mm.touch_range_r t.asp ~addr ~len ~write
+
+    (* One inspection transaction over the page's slot. Logical
+       writability: a COW-protected resident page counts as writable
+       (the store succeeds after the break); virtually-allocated and
+       swapped pages report their stored protection. *)
+    let page_state t ~vaddr =
+      let ps = Cortenmm.Addr_space.page_size t.asp in
+      let page = Mm_util.Align.down vaddr ps in
+      Cortenmm.Addr_space.with_lock t.asp ~lo:page ~hi:(page + ps) (fun c ->
+          match Cortenmm.Addr_space.query c page with
+          | Cortenmm.Status.Invalid -> Backend.P_unmapped
+          | Cortenmm.Status.Mapped { perm; _ } ->
+            Backend.P_mapped
+              {
+                writable = perm.Perm.write || perm.Perm.cow;
+                resident = true;
+              }
+          | Cortenmm.Status.Private_anon perm
+          | Cortenmm.Status.Private_file { perm; _ }
+          | Cortenmm.Status.Shared_anon { perm; _ }
+          | Cortenmm.Status.Swapped { perm; _ } ->
+            Backend.P_mapped { writable = perm.Perm.write; resident = false })
+
+    let timer_tick t = Cortenmm.Mm.timer_tick t.asp
+
+    let mem_stats t =
+      let s = Cortenmm.Addr_space.mem_stats t.asp in
+      let u = Mm_phys.Phys.usage t.kernel.Cortenmm.Kernel.phys in
+      {
+        Backend.pt_bytes = s.Cortenmm.Addr_space.pt_bytes;
+        kernel_bytes = s.Cortenmm.Addr_space.meta_bytes;
+        resident_bytes = u.Mm_phys.Phys.anon_bytes;
+        peak_resident_bytes =
+          Mm_phys.Phys.peak_data_bytes t.kernel.Cortenmm.Kernel.phys;
+      }
+  end : Backend.S)

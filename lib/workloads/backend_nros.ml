@@ -1,0 +1,58 @@
+(* NrOS adapter. NrOS (OSDI'21) backs mappings eagerly through the
+   replication log — no demand paging — and has no mprotect; both are
+   capability facts the drivers and the oracle consume as data. *)
+
+module Errno = Mm_hal.Errno
+module N = Mm_nros.Nros
+
+let backend : Backend.b =
+  (module struct
+    type t = N.t
+
+    let name = "nros"
+    let kind = Backend.Nros
+    let caps = { Backend.demand_paging = false; has_mprotect = false }
+    let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () = N.create ~isa ~ncpus ()
+    let page_size = N.page_size
+
+    let mmap t ?addr ~len ~perm () =
+      match Backend.check_mmap ~page_size:(N.page_size t) ?addr ~len () with
+      | Error _ as e -> e
+      | Ok () -> (
+        try Ok (N.mmap t ?addr ~len ~perm ())
+        with
+        | Mm_phys.Buddy.Out_of_memory | Cortenmm.Va_alloc.Va_exhausted ->
+          Error Errno.ENOMEM)
+
+    let munmap t ~addr ~len =
+      match Backend.check_range ~page_size:(N.page_size t) ~addr ~len with
+      | Error _ as e -> e
+      | Ok () -> Ok (N.munmap t ~addr ~len)
+
+    let mprotect _ ~addr:_ ~len:_ ~perm:_ = Error Errno.ENOSYS
+
+    let touch t ~vaddr ~write =
+      try Ok (N.touch t ~vaddr ~write)
+      with N.Fault v -> Error (Errno.SIGSEGV v)
+
+    let touch_range t ~addr ~len ~write =
+      try Ok (N.touch_range t ~addr ~len ~write)
+      with N.Fault v -> Error (Errno.SIGSEGV v)
+
+    let page_state t ~vaddr =
+      match N.page_state t ~vaddr with
+      | `Unmapped -> Backend.P_unmapped
+      | `Lazy w -> Backend.P_mapped { writable = w; resident = false }
+      | `Resident w -> Backend.P_mapped { writable = w; resident = true }
+
+    let timer_tick _ = ()
+
+    let mem_stats t =
+      let u = Mm_phys.Phys.usage (N.phys t) in
+      {
+        Backend.pt_bytes = N.replicated_pt_bytes t;
+        kernel_bytes = u.Mm_phys.Phys.kernel_bytes;
+        resident_bytes = u.Mm_phys.Phys.anon_bytes;
+        peak_resident_bytes = Mm_phys.Phys.peak_data_bytes (N.phys t);
+      }
+  end : Backend.S)

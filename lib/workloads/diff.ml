@@ -1,0 +1,320 @@
+(* The differential cross-backend oracle.
+
+   One trace is replayed on every registered backend, each in its own
+   simulation world, in sequential global op order. After every op the
+   replayer records the typed outcome and checks per-op postconditions
+   (mmap Ok => every page mapped; munmap Ok => every page unmapped —
+   these catch a broken munmap that a later snapshot would miss, since
+   an unmapped region leaves the region table). Every [check_every] ops
+   and at the end it snapshots the observable state: per-page
+   {!Backend.page_state} over all live regions, plus {!System.mem_stats}
+   invariants. The logs are then compared pairwise against the first
+   backend; the first difference is reported with its op index.
+
+   What is compared is masked by capability facts, never by timing:
+   - mapped-ness of every page: always;
+   - error outcomes: by {!Mm_hal.Errno.same_class} (VA allocators place
+     regions differently, so SIGSEGV payloads legitimately differ);
+   - writability (and touch outcomes): only between backends that both
+     applied every mprotect of the trace — a backend without mprotect
+     legitimately keeps the original protection;
+   - residency: only between backends with equal [demand_paging] (and
+     mprotect parity, since a denied touch populates nothing). *)
+
+module Errno = Mm_hal.Errno
+module Perm = Mm_hal.Perm
+
+type outcome = O_ok | O_err of Errno.t | O_skip
+
+let outcome_to_string = function
+  | O_ok -> "ok"
+  | O_err e -> Errno.to_string e
+  | O_skip -> "skip"
+
+type divergence = {
+  d_op : int; (* index into the trace's entries *)
+  d_backend_a : string;
+  d_backend_b : string; (* equal to [d_backend_a] for a solo invariant *)
+  d_what : string;
+}
+
+let describe d =
+  if d.d_backend_a = d.d_backend_b then
+    Printf.sprintf "op %d: [%s] %s" d.d_op d.d_backend_a d.d_what
+  else
+    Printf.sprintf "op %d: %s vs %s: %s" d.d_op d.d_backend_a d.d_backend_b
+      d.d_what
+
+type snapshot = {
+  s_regions : (int * Backend.page_state array) list; (* sorted by id *)
+}
+
+type run_log = {
+  l_name : string;
+  l_caps : System.caps;
+  l_skipped_mprotect : bool; (* at least one trace mprotect not applied *)
+  l_outcomes : outcome array;
+  l_violations : (int * string) list; (* op index, broken invariant *)
+  l_snapshots : (int * snapshot) list; (* taken after this op index *)
+}
+
+let page = 4096
+
+(* Replay the whole trace on one backend, inside a single fiber of a
+   private world (sequential global op order: the oracle checks
+   functional equivalence, not interleavings). *)
+let replay_one ?isa ~check_every (b : System.backend) trace =
+  let sys = System.of_backend ?isa b ~ncpus:1 in
+  let ps = sys.System.page_size in
+  let entries = trace.Trace.entries in
+  let nops = Array.length entries in
+  let regions : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let outcomes = Array.make nops O_skip in
+  let violations = ref [] in
+  let snapshots = ref [] in
+  let skipped_mprotect = ref false in
+  let violate i what = violations := (i, what) :: !violations in
+  let probe_region (addr, len) =
+    Array.init (len / ps) (fun i -> System.page_state sys ~vaddr:(addr + (i * ps)))
+  in
+  let check_stats i =
+    let m = System.mem_stats sys in
+    if m.System.resident_bytes < 0 then
+      violate i
+        (Printf.sprintf "mem_stats: negative resident_bytes %d"
+           m.System.resident_bytes);
+    if m.System.peak_resident_bytes < m.System.resident_bytes then
+      violate i
+        (Printf.sprintf "mem_stats: peak %d below resident %d"
+           m.System.peak_resident_bytes m.System.resident_bytes);
+    if m.System.pt_bytes < 0 || m.System.kernel_bytes < 0 then
+      violate i "mem_stats: negative pt/kernel bytes"
+  in
+  let snapshot i =
+    let ids =
+      List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) regions [])
+    in
+    let s_regions =
+      List.map
+        (fun id ->
+          let r = Hashtbl.find regions id in
+          let states = probe_region r in
+          (* Eager backends have no lazy pages: mapped implies resident. *)
+          if not sys.System.caps.System.demand_paging then
+            Array.iteri
+              (fun p st ->
+                match st with
+                | Backend.P_mapped { resident = false; _ } ->
+                  violate i
+                    (Printf.sprintf
+                       "eager backend holds non-resident page %d of region %d"
+                       p id)
+                | Backend.P_mapped _ | Backend.P_unmapped -> ())
+              states;
+          (id, states))
+        ids
+    in
+    check_stats i;
+    snapshots := (i, { s_regions }) :: !snapshots
+  in
+  let run_op i =
+    match entries.(i).Trace.op with
+    | Trace.T_mmap { id; len; writable } -> (
+      let perm = if writable then Perm.rw else Perm.r in
+      match System.mmap sys ~len ~perm () with
+      | Error e -> outcomes.(i) <- O_err e
+      | Ok addr ->
+        outcomes.(i) <- O_ok;
+        Hashtbl.replace regions id (addr, len);
+        for p = 0 to (len / ps) - 1 do
+          match System.page_state sys ~vaddr:(addr + (p * ps)) with
+          | Backend.P_unmapped ->
+            violate i
+              (Printf.sprintf "page %d of region %d unmapped after mmap" p id)
+          | Backend.P_mapped _ -> ()
+        done)
+    | Trace.T_munmap { id } -> (
+      match Hashtbl.find_opt regions id with
+      | None -> outcomes.(i) <- O_skip
+      | Some (addr, len) -> (
+        match System.munmap sys ~addr ~len with
+        | Error e -> outcomes.(i) <- O_err e
+        | Ok () ->
+          outcomes.(i) <- O_ok;
+          Hashtbl.remove regions id;
+          for p = 0 to (len / ps) - 1 do
+            match System.page_state sys ~vaddr:(addr + (p * ps)) with
+            | Backend.P_mapped _ ->
+              violate i
+                (Printf.sprintf "page %d of region %d mapped after munmap" p
+                   id)
+            | Backend.P_unmapped -> ()
+          done))
+    | Trace.T_touch { id; page = p; write } -> (
+      match Hashtbl.find_opt regions id with
+      | Some (addr, len) when p * page < len ->
+        outcomes.(i) <-
+          (match System.touch sys ~vaddr:(addr + (p * page)) ~write with
+          | Ok () -> O_ok
+          | Error e -> O_err e)
+      | Some _ | None -> outcomes.(i) <- O_skip)
+    | Trace.T_mprotect { id; writable } -> (
+      match Hashtbl.find_opt regions id with
+      | None -> outcomes.(i) <- O_skip
+      | Some (addr, len) ->
+        if not (System.has_mprotect sys) then begin
+          skipped_mprotect := true;
+          outcomes.(i) <- O_skip
+        end
+        else
+          let perm = if writable then Perm.rw else Perm.r in
+          outcomes.(i) <-
+            (match System.mprotect sys ~addr ~len ~perm with
+            | Ok () -> O_ok
+            | Error e -> O_err e))
+  in
+  let w = Mm_sim.Engine.create ~ncpus:1 in
+  Mm_sim.Engine.spawn w ~cpu:0 (fun () ->
+      for i = 0 to nops - 1 do
+        run_op i;
+        if (i + 1) mod check_every = 0 then snapshot i
+      done;
+      if nops > 0 then snapshot (nops - 1));
+  Mm_sim.Engine.run w;
+  {
+    l_name = sys.System.name;
+    l_caps = sys.System.caps;
+    l_skipped_mprotect = !skipped_mprotect;
+    l_outcomes = outcomes;
+    l_violations = List.rev !violations;
+    l_snapshots = List.rev !snapshots;
+  }
+
+(* -- Pairwise comparison against the reference (first) backend -- *)
+
+let compare_outcomes trace (a : run_log) (b : run_log) =
+  let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
+  let divs = ref [] in
+  Array.iteri
+    (fun i oa ->
+      let ob = b.l_outcomes.(i) in
+      let is_touch =
+        match trace.Trace.entries.(i).Trace.op with
+        | Trace.T_touch _ -> true
+        | _ -> false
+      in
+      let mismatch what =
+        divs :=
+          {
+            d_op = i;
+            d_backend_a = a.l_name;
+            d_backend_b = b.l_name;
+            d_what = what;
+          }
+          :: !divs
+      in
+      match (oa, ob) with
+      | O_skip, _ | _, O_skip -> ()
+      | O_ok, O_ok -> ()
+      | O_err ea, O_err eb ->
+        if not (Errno.same_class ea eb) then
+          mismatch
+            (Printf.sprintf "outcome %s vs %s" (Errno.to_string ea)
+               (Errno.to_string eb))
+      | (O_ok, O_err _ | O_err _, O_ok) when is_touch && not parity ->
+        (* A skipped mprotect legitimately changes later touch results. *)
+        ()
+      | (O_ok | O_err _), (O_ok | O_err _) ->
+        mismatch
+          (Printf.sprintf "outcome %s vs %s" (outcome_to_string oa)
+             (outcome_to_string ob)))
+    a.l_outcomes;
+  !divs
+
+let compare_snapshots (a : run_log) (b : run_log) =
+  let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
+  let dp_eq =
+    a.l_caps.System.demand_paging = b.l_caps.System.demand_paging
+  in
+  let divs = ref [] in
+  List.iter2
+    (fun (i, sa) (j, sb) ->
+      assert (i = j);
+      let mismatch what =
+        divs :=
+          {
+            d_op = i;
+            d_backend_a = a.l_name;
+            d_backend_b = b.l_name;
+            d_what = what;
+          }
+          :: !divs
+      in
+      let ids s = List.map fst s.s_regions in
+      if ids sa <> ids sb then
+        mismatch
+          (Printf.sprintf "live region ids differ ([%s] vs [%s])"
+             (String.concat ";" (List.map string_of_int (ids sa)))
+             (String.concat ";" (List.map string_of_int (ids sb))))
+      else
+        List.iter2
+          (fun (id, pa) (_, pb) ->
+            Array.iteri
+              (fun p st_a ->
+                let st_b = pb.(p) in
+                match (st_a, st_b) with
+                | Backend.P_unmapped, Backend.P_unmapped -> ()
+                | Backend.P_unmapped, Backend.P_mapped _
+                | Backend.P_mapped _, Backend.P_unmapped ->
+                  mismatch
+                    (Printf.sprintf
+                       "page %d of region %d: mapped on one side only" p id)
+                | ( Backend.P_mapped { writable = wa; resident = ra },
+                    Backend.P_mapped { writable = wb; resident = rb } ) ->
+                  if parity && wa <> wb then
+                    mismatch
+                      (Printf.sprintf
+                         "page %d of region %d: writable %b vs %b" p id wa wb);
+                  if parity && dp_eq && ra <> rb then
+                    mismatch
+                      (Printf.sprintf
+                         "page %d of region %d: resident %b vs %b" p id ra rb))
+              pa)
+          sa.s_regions sb.s_regions)
+    a.l_snapshots b.l_snapshots;
+  !divs
+
+let default_backends () =
+  List.map (fun e -> e.System.Registry.r_backend) System.Registry.all
+
+(* Replay [trace] on every backend and report the earliest divergence
+   (by op index), or [Ok nops]. *)
+let run ?isa ?(check_every = 16) ?backends trace =
+  let backends =
+    match backends with Some l -> l | None -> default_backends ()
+  in
+  if check_every <= 0 then invalid_arg "Diff.run: check_every";
+  let logs = List.map (fun b -> replay_one ?isa ~check_every b trace) backends in
+  let solo =
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun (i, what) ->
+            { d_op = i; d_backend_a = l.l_name; d_backend_b = l.l_name; d_what = what })
+          l.l_violations)
+      logs
+  in
+  let cross =
+    match logs with
+    | [] | [ _ ] -> []
+    | reference :: rest ->
+      List.concat_map
+        (fun l ->
+          compare_outcomes trace reference l @ compare_snapshots reference l)
+        rest
+  in
+  match
+    List.sort (fun x y -> compare x.d_op y.d_op) (solo @ cross)
+  with
+  | [] -> Ok (Array.length trace.Trace.entries)
+  | d :: _ -> Error d

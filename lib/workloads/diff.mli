@@ -1,0 +1,34 @@
+(** Differential cross-backend oracle: replay one {!Trace.t} on every
+    registered backend in separate simulation worlds and compare the
+    observable state — per-page {!Backend.page_state} over live regions,
+    typed error outcomes, per-op postconditions and {!System.mem_stats}
+    invariants — after every [check_every] ops. Capability differences
+    (no mprotect, eager backing) mask exactly the observations they
+    legitimately change; everything else must agree. *)
+
+type outcome = O_ok | O_err of Mm_hal.Errno.t | O_skip
+
+val outcome_to_string : outcome -> string
+
+type divergence = {
+  d_op : int;  (** index of the offending op in the trace *)
+  d_backend_a : string;
+  d_backend_b : string;  (** equals [d_backend_a] for a solo invariant *)
+  d_what : string;
+}
+
+val describe : divergence -> string
+
+val default_backends : unit -> System.backend list
+(** All of {!System.Registry.all}, in registry order. *)
+
+val run :
+  ?isa:Mm_hal.Isa.t ->
+  ?check_every:int ->
+  ?backends:System.backend list ->
+  Trace.t ->
+  (int, divergence) result
+(** [Ok nops] when every backend agrees on the whole trace; otherwise
+    the earliest divergence by op index. [check_every] defaults to 16;
+    [backends] to {!default_backends} (the first entry is the
+    reference). *)

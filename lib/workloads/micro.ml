@@ -75,8 +75,8 @@ let warm_shared_blocks (sys : System.t) ~cpu ~ncpus =
   let b = ref cpu in
   while !b < nblocks do
     let addr = shared_arena + (!b * block) + block - page in
-    ignore (sys.System.mmap ~addr ~len:page ~perm:Perm.rw ());
-    sys.System.munmap ~addr ~len:page;
+    ignore (System.mmap_exn sys ~addr ~len:page ~perm:Perm.rw ());
+    System.munmap_exn sys ~addr ~len:page;
     b := !b + ncpus
   done
 
@@ -88,29 +88,31 @@ let run ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ~bench ~contention ~iters () =
   else begin
     let sys = System.make ~isa kind ~ncpus in
     let chunks = schedule ~contention ~ncpus ~iters ~seed:42 in
-    let tick i = if i mod timer_period = 0 then sys.System.timer_tick () in
+    let tick i = if i mod timer_period = 0 then System.timer_tick sys in
     let op cpu i =
       let chunk = chunks.(cpu).(i) in
       (match bench with
       | Mmap -> (
         match contention with
-        | Low -> ignore (sys.System.mmap ~len:region_len ~perm:Perm.rw ())
+        | Low -> ignore (System.mmap_exn sys ~len:region_len ~perm:Perm.rw ())
         | High ->
-          ignore (sys.System.mmap ~addr:chunk ~len:region_len ~perm:Perm.rw ()))
+          ignore
+            (System.mmap_exn sys ~addr:chunk ~len:region_len ~perm:Perm.rw ()))
       | Mmap_pf ->
         let addr =
           match contention with
-          | Low -> sys.System.mmap ~len:region_len ~perm:Perm.rw ()
+          | Low -> System.mmap_exn sys ~len:region_len ~perm:Perm.rw ()
           | High ->
-            sys.System.mmap ~addr:chunk ~len:region_len ~perm:Perm.rw ()
+            System.mmap_exn sys ~addr:chunk ~len:region_len ~perm:Perm.rw ()
         in
         (* NrOS backs pages eagerly in mmap itself. *)
-        if sys.System.demand_paging then
-          sys.System.touch_range ~addr ~len:region_len ~write:true
-      | Unmap_virt | Unmap -> sys.System.munmap ~addr:chunk ~len:region_len
+        if System.demand_paging sys then
+          System.touch_range_exn sys ~addr ~len:region_len ~write:true
+      | Unmap_virt | Unmap -> System.munmap_exn sys ~addr:chunk ~len:region_len
       | Pf -> (
-        try sys.System.touch_range ~addr:chunk ~len:region_len ~write:true
-        with _ -> () (* high contention: chunk may have been unmapped *)));
+        (* High contention: the chunk may have been unmapped. *)
+        match System.touch_range sys ~addr:chunk ~len:region_len ~write:true with
+        | Ok () | Error _ -> ()));
       tick i
     in
     let setup () =
@@ -118,11 +120,11 @@ let run ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ~bench ~contention ~iters () =
       | (Mmap | Mmap_pf), _ -> ()
       | (Unmap_virt | Unmap | Pf), High ->
         ignore
-          (sys.System.mmap ~addr:shared_arena ~len:arena_size ~perm:Perm.rw ())
+          (System.mmap_exn sys ~addr:shared_arena ~len:arena_size ~perm:Perm.rw ())
       | (Unmap_virt | Unmap | Pf), Low ->
         for cpu = 0 to ncpus - 1 do
           ignore
-            (sys.System.mmap ~addr:(private_arena ~cpu) ~len:arena_size
+            (System.mmap_exn sys ~addr:(private_arena ~cpu) ~len:arena_size
                ~perm:Perm.rw ())
         done
     in
@@ -134,8 +136,10 @@ let run ?(isa = Mm_hal.Isa.x86_64) ~kind ~ncpus ~bench ~contention ~iters () =
       if bench = Unmap then
         Array.iter
           (fun chunk ->
-            try sys.System.touch_range ~addr:chunk ~len:region_len ~write:true
-            with _ -> ())
+            match
+              System.touch_range sys ~addr:chunk ~len:region_len ~write:true
+            with
+            | Ok () | Error _ -> ())
           chunks.(cpu);
       (* Warmup operations (not measured). *)
       if contention = Low then

@@ -1,163 +1,148 @@
 (* A uniform façade over the five evaluated systems (CortenMM_adv,
-   CortenMM_rw and its ablations, Linux, RadixVM, NrOS) so the benchmark
-   drivers are system-agnostic. Instances are records of closures; the
-   [kind] is retained for capability checks (Table 2) and for workloads
-   that need fork. *)
+   CortenMM_rw and its ablations, Linux, RadixVM, NrOS). An instance
+   packs a first-class {!Backend.S} module with its state; the data
+   fields ([kind], [caps], [page_size]...) stay plain record fields so
+   drivers read capabilities without unpacking. *)
 
 module Perm = Mm_hal.Perm
+module Errno = Mm_hal.Errno
 
-type kind =
+(* Re-exports: [Backend] owns the interface types; [System] remains the
+   name the drivers use. *)
+
+type kind = Backend.kind =
   | Corten of Cortenmm.Config.t
   | Linux
   | Radixvm
   | Nros
 
-let kind_name = function
-  | Corten cfg -> Cortenmm.Config.name cfg
-  | Linux -> "linux"
-  | Radixvm -> "radixvm"
-  | Nros -> "nros"
+let kind_name = Backend.kind_name
 
-type mem_stats = {
-  pt_bytes : int; (* page tables, all replicas *)
-  kernel_bytes : int; (* VMAs, metadata arrays, radix nodes... *)
-  resident_bytes : int; (* user data frames, now *)
-  peak_resident_bytes : int; (* user data frames, high-water mark *)
+type caps = Backend.caps = {
+  demand_paging : bool;
+  has_mprotect : bool;
 }
+
+type mem_stats = Backend.mem_stats = {
+  pt_bytes : int;
+  kernel_bytes : int;
+  resident_bytes : int;
+  peak_resident_bytes : int;
+}
+
+type page_state = Backend.page_state =
+  | P_unmapped
+  | P_mapped of { writable : bool; resident : bool }
+
+module type BACKEND = Backend.S
+
+type backend = Backend.b
+
+let backend_of_kind : kind -> backend = function
+  | Corten cfg -> Backend_corten.make cfg
+  | Linux -> Backend_linux.backend
+  | Radixvm -> Backend_radixvm.backend
+  | Nros -> Backend_nros.backend
+
+(* The named-backend registry: the one list the drivers (bench --list,
+   mmrepro sweep/trace/oracle, the differential oracle's default set)
+   derive the evaluated systems from. *)
+module Registry = struct
+  type entry = {
+    r_name : string;
+    r_kind : kind;
+    r_backend : backend;
+  }
+
+  let entry k =
+    { r_name = kind_name k; r_kind = k; r_backend = backend_of_kind k }
+
+  let all =
+    [
+      entry Linux;
+      entry Radixvm;
+      entry Nros;
+      entry (Corten Cortenmm.Config.rw);
+      entry (Corten Cortenmm.Config.adv);
+    ]
+
+  let names = List.map (fun e -> e.r_name) all
+  let find name = List.find_opt (fun e -> e.r_name = name) all
+end
+
+(* An instance: the backend module packed with its state. *)
+type instance =
+  | Instance : (module Backend.S with type t = 's) * 's -> instance
 
 type t = {
   kind : kind;
   name : string;
   ncpus : int;
   page_size : int;
-  demand_paging : bool;
-  mmap : ?addr:int -> len:int -> perm:Perm.t -> unit -> int;
-  munmap : addr:int -> len:int -> unit;
-  touch : vaddr:int -> write:bool -> unit; (* raises on SIGSEGV *)
-  touch_range : addr:int -> len:int -> write:bool -> unit;
-  mprotect : (addr:int -> len:int -> perm:Perm.t -> unit) option;
-  timer_tick : unit -> unit;
-  mem_stats : unit -> mem_stats;
+  caps : caps;
+  instance : instance;
 }
 
-let make ?(isa = Mm_hal.Isa.x86_64) kind ~ncpus =
-  let ps = Mm_hal.Geometry.page_size isa.Mm_hal.Isa.geo in
-  match kind with
-  | Corten cfg ->
-    let kernel = Cortenmm.Kernel.create ~isa ~ncpus () in
-    let asp = Cortenmm.Addr_space.create kernel cfg in
-    {
-      kind;
-      name = Cortenmm.Config.name cfg;
-      ncpus;
-      page_size = ps;
-      demand_paging = true;
-      mmap =
-        (fun ?addr ~len ~perm () -> Cortenmm.Mm.mmap asp ?addr ~len ~perm ());
-      munmap = (fun ~addr ~len -> Cortenmm.Mm.munmap asp ~addr ~len);
-      touch = (fun ~vaddr ~write -> Cortenmm.Mm.touch asp ~vaddr ~write);
-      touch_range =
-        (fun ~addr ~len ~write -> Cortenmm.Mm.touch_range asp ~addr ~len ~write);
-      mprotect =
-        Some (fun ~addr ~len ~perm -> Cortenmm.Mm.mprotect asp ~addr ~len ~perm);
-      timer_tick = (fun () -> Cortenmm.Mm.timer_tick asp);
-      mem_stats =
-        (fun () ->
-          let s = Cortenmm.Addr_space.mem_stats asp in
-          let u = Mm_phys.Phys.usage kernel.Cortenmm.Kernel.phys in
-          {
-            pt_bytes = s.Cortenmm.Addr_space.pt_bytes;
-            kernel_bytes = s.Cortenmm.Addr_space.meta_bytes;
-            resident_bytes = u.Mm_phys.Phys.anon_bytes;
-            peak_resident_bytes =
-              Mm_phys.Phys.peak_data_bytes kernel.Cortenmm.Kernel.phys;
-          });
-    }
-  | Linux ->
-    let t = Mm_linux.Linux_mm.create ~isa ~ncpus () in
-    {
-      kind;
-      name = "linux";
-      ncpus;
-      page_size = ps;
-      demand_paging = true;
-      mmap =
-        (fun ?addr ~len ~perm () -> Mm_linux.Linux_mm.mmap t ?addr ~len ~perm ());
-      munmap = (fun ~addr ~len -> Mm_linux.Linux_mm.munmap t ~addr ~len);
-      touch = (fun ~vaddr ~write -> Mm_linux.Linux_mm.touch t ~vaddr ~write);
-      touch_range =
-        (fun ~addr ~len ~write ->
-          Mm_linux.Linux_mm.touch_range t ~addr ~len ~write);
-      mprotect =
-        Some
-          (fun ~addr ~len ~perm ->
-            Mm_linux.Linux_mm.mprotect t ~addr ~len ~perm);
-      timer_tick = (fun () -> ());
-      mem_stats =
-        (fun () ->
-          let u = Mm_phys.Phys.usage (Mm_linux.Linux_mm.phys t) in
-          {
-            pt_bytes = Mm_linux.Linux_mm.pt_page_count t * ps;
-            kernel_bytes = u.Mm_phys.Phys.kernel_bytes;
-            resident_bytes = u.Mm_phys.Phys.anon_bytes;
-            peak_resident_bytes =
-              Mm_phys.Phys.peak_data_bytes (Mm_linux.Linux_mm.phys t);
-          });
-    }
-  | Radixvm ->
-    let t = Mm_radixvm.Radixvm.create ~isa ~ncpus () in
-    {
-      kind;
-      name = "radixvm";
-      ncpus;
-      page_size = ps;
-      demand_paging = true;
-      mmap =
-        (fun ?addr ~len ~perm () -> Mm_radixvm.Radixvm.mmap t ?addr ~len ~perm ());
-      munmap = (fun ~addr ~len -> Mm_radixvm.Radixvm.munmap t ~addr ~len);
-      touch = (fun ~vaddr ~write -> Mm_radixvm.Radixvm.touch t ~vaddr ~write);
-      touch_range =
-        (fun ~addr ~len ~write ->
-          Mm_radixvm.Radixvm.touch_range t ~addr ~len ~write);
-      mprotect = None;
-      timer_tick = (fun () -> ());
-      mem_stats =
-        (fun () ->
-          let u = Mm_phys.Phys.usage (Mm_radixvm.Radixvm.phys t) in
-          {
-            pt_bytes = Mm_radixvm.Radixvm.replicated_pt_bytes t;
-            kernel_bytes = Mm_radixvm.Radixvm.radix_bytes t;
-            resident_bytes = u.Mm_phys.Phys.anon_bytes;
-            peak_resident_bytes =
-              Mm_phys.Phys.peak_data_bytes (Mm_radixvm.Radixvm.phys t);
-          });
-    }
-  | Nros ->
-    let t = Mm_nros.Nros.create ~isa ~ncpus () in
-    {
-      kind;
-      name = "nros";
-      ncpus;
-      page_size = ps;
-      demand_paging = false;
-      mmap = (fun ?addr ~len ~perm () -> Mm_nros.Nros.mmap t ?addr ~len ~perm ());
-      munmap = (fun ~addr ~len -> Mm_nros.Nros.munmap t ~addr ~len);
-      touch = (fun ~vaddr ~write -> Mm_nros.Nros.touch t ~vaddr ~write);
-      touch_range =
-        (fun ~addr ~len ~write -> Mm_nros.Nros.touch_range t ~addr ~len ~write);
-      mprotect = None;
-      timer_tick = (fun () -> ());
-      mem_stats =
-        (fun () ->
-          let u = Mm_phys.Phys.usage (Mm_nros.Nros.phys t) in
-          {
-            pt_bytes = Mm_nros.Nros.replicated_pt_bytes t;
-            kernel_bytes = u.Mm_phys.Phys.kernel_bytes;
-            resident_bytes = u.Mm_phys.Phys.anon_bytes;
-            peak_resident_bytes =
-              Mm_phys.Phys.peak_data_bytes (Mm_nros.Nros.phys t);
-          });
-    }
+let of_backend ?isa (b : backend) ~ncpus =
+  let module B = (val b) in
+  let st = B.create ?isa ~ncpus () in
+  {
+    kind = B.kind;
+    name = B.name;
+    ncpus;
+    page_size = B.page_size st;
+    caps = B.caps;
+    instance = Instance ((module B), st);
+  }
+
+let make ?isa kind ~ncpus = of_backend ?isa (backend_of_kind kind) ~ncpus
+let demand_paging t = t.caps.demand_paging
+let has_mprotect t = t.caps.has_mprotect
+
+(* -- The typed operation surface -- *)
+
+let mmap t ?addr ~len ~perm () =
+  let (Instance ((module B), st)) = t.instance in
+  B.mmap st ?addr ~len ~perm ()
+
+let munmap t ~addr ~len =
+  let (Instance ((module B), st)) = t.instance in
+  B.munmap st ~addr ~len
+
+let mprotect t ~addr ~len ~perm =
+  let (Instance ((module B), st)) = t.instance in
+  B.mprotect st ~addr ~len ~perm
+
+let touch t ~vaddr ~write =
+  let (Instance ((module B), st)) = t.instance in
+  B.touch st ~vaddr ~write
+
+let touch_range t ~addr ~len ~write =
+  let (Instance ((module B), st)) = t.instance in
+  B.touch_range st ~addr ~len ~write
+
+let page_state t ~vaddr =
+  let (Instance ((module B), st)) = t.instance in
+  B.page_state st ~vaddr
+
+let timer_tick t =
+  let (Instance ((module B), st)) = t.instance in
+  B.timer_tick st
+
+let mem_stats t =
+  let (Instance ((module B), st)) = t.instance in
+  B.mem_stats st
+
+(* -- Exception bridges for drivers that treat failure as fatal -- *)
+
+let ok_exn = function Ok v -> v | Error e -> raise (Errno.Error e)
+let mmap_exn t ?addr ~len ~perm () = ok_exn (mmap t ?addr ~len ~perm ())
+let munmap_exn t ~addr ~len = ok_exn (munmap t ~addr ~len)
+let mprotect_exn t ~addr ~len ~perm = ok_exn (mprotect t ~addr ~len ~perm)
+let touch_exn t ~vaddr ~write = ok_exn (touch t ~vaddr ~write)
+
+let touch_range_exn t ~addr ~len ~write =
+  ok_exn (touch_range t ~addr ~len ~write)
 
 (* The feature matrix of the paper's Table 2 (claims of the respective
    papers/systems, reproduced verbatim). *)
@@ -202,8 +187,8 @@ let implemented_features =
    keeps the covering page of later transactions at the leaf level rather
    than the root). Application drivers call this in their prep phase —
    real processes run in address spaces warmed by their startup. *)
-let warm (t : t) ~cpu:_ =
-  let a = t.mmap ~len:t.page_size ~perm:Mm_hal.Perm.rw () in
-  (if t.demand_paging then
-     try t.touch ~vaddr:a ~write:true with _ -> ());
-  t.munmap ~addr:a ~len:t.page_size
+let warm t ~cpu:_ =
+  let a = mmap_exn t ~len:t.page_size ~perm:Mm_hal.Perm.rw () in
+  (if demand_paging t then
+     match touch t ~vaddr:a ~write:true with Ok () | Error _ -> ());
+  munmap_exn t ~addr:a ~len:t.page_size

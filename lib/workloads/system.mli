@@ -1,8 +1,9 @@
 (** A uniform façade over the evaluated systems (CortenMM and its
-    ablations, Linux, RadixVM, NrOS) so benchmark drivers are
-    system-agnostic. *)
+    ablations, Linux, RadixVM, NrOS): a first-class {!Backend.S} module
+    packed with its state, plus a named registry the drivers dispatch
+    through. *)
 
-type kind =
+type kind = Backend.kind =
   | Corten of Cortenmm.Config.t
   | Linux
   | Radixvm
@@ -10,29 +11,101 @@ type kind =
 
 val kind_name : kind -> string
 
-type mem_stats = {
-  pt_bytes : int; (** page tables, all replicas *)
-  kernel_bytes : int; (** VMAs, metadata arrays, radix nodes *)
-  resident_bytes : int; (** user data frames, now *)
-  peak_resident_bytes : int; (** user data frames, high-water mark *)
+type caps = Backend.caps = {
+  demand_paging : bool;  (** mmap is virtual; frames arrive at fault time *)
+  has_mprotect : bool;  (** mprotect implemented (RadixVM/NrOS: no) *)
 }
 
-type t = {
+type mem_stats = Backend.mem_stats = {
+  pt_bytes : int;  (** page tables, all replicas *)
+  kernel_bytes : int;  (** VMAs, metadata arrays, radix nodes *)
+  resident_bytes : int;  (** user data frames, now *)
+  peak_resident_bytes : int;  (** user data frames, high-water mark *)
+}
+
+type page_state = Backend.page_state =
+  | P_unmapped
+  | P_mapped of { writable : bool; resident : bool }
+
+module type BACKEND = Backend.S
+(** The backend signature (see {!Backend.S}). *)
+
+type backend = Backend.b
+
+val backend_of_kind : kind -> backend
+
+(** The named-backend registry: the single list the drivers (bench
+    [--list], mmrepro subcommands, the differential oracle's default
+    backend set) derive the evaluated systems from. *)
+module Registry : sig
+  type entry = {
+    r_name : string;  (** e.g. ["linux"], ["cortenmm-adv"] *)
+    r_kind : kind;
+    r_backend : backend;
+  }
+
+  val all : entry list
+  (** In evaluation order: linux, radixvm, nros, cortenmm-rw,
+      cortenmm-adv. *)
+
+  val names : string list
+  val find : string -> entry option
+end
+
+type t = private {
   kind : kind;
   name : string;
   ncpus : int;
   page_size : int;
-  demand_paging : bool;
-  mmap : ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int;
-  munmap : addr:int -> len:int -> unit;
-  touch : vaddr:int -> write:bool -> unit;
-  touch_range : addr:int -> len:int -> write:bool -> unit;
-  mprotect : (addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit) option;
-  timer_tick : unit -> unit;
-  mem_stats : unit -> mem_stats;
+  caps : caps;
+  instance : instance;
 }
 
+and instance =
+  | Instance : (module Backend.S with type t = 's) * 's -> instance
+
 val make : ?isa:Mm_hal.Isa.t -> kind -> ncpus:int -> t
+val of_backend : ?isa:Mm_hal.Isa.t -> backend -> ncpus:int -> t
+val demand_paging : t -> bool
+val has_mprotect : t -> bool
+
+(** {2 Typed operations}
+
+    Failures come back as {!Mm_hal.Errno.t} values; the [_exn] bridges
+    below raise {!Mm_hal.Errno.Error} for drivers that treat them as
+    fatal. *)
+
+val mmap :
+  t ->
+  ?addr:int ->
+  len:int ->
+  perm:Mm_hal.Perm.t ->
+  unit ->
+  (int, Mm_hal.Errno.t) result
+
+val munmap : t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+
+val mprotect :
+  t -> addr:int -> len:int -> perm:Mm_hal.Perm.t ->
+  (unit, Mm_hal.Errno.t) result
+(** [Error ENOSYS] when [caps.has_mprotect] is false. *)
+
+val touch : t -> vaddr:int -> write:bool -> (unit, Mm_hal.Errno.t) result
+
+val touch_range :
+  t -> addr:int -> len:int -> write:bool -> (unit, Mm_hal.Errno.t) result
+
+val page_state : t -> vaddr:int -> page_state
+val timer_tick : t -> unit
+val mem_stats : t -> mem_stats
+
+val mmap_exn :
+  t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
+
+val munmap_exn : t -> addr:int -> len:int -> unit
+val mprotect_exn : t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit
+val touch_exn : t -> vaddr:int -> write:bool -> unit
+val touch_range_exn : t -> addr:int -> len:int -> write:bool -> unit
 
 val warm : t -> cpu:int -> unit
 (** One throwaway mapping on the calling CPU's fiber, materializing its

@@ -39,13 +39,20 @@ let entry_to_string { cpu; op } =
 
 exception Parse_error of int * string
 
+let max_cpus = 4096
+
 let entry_of_string ~line s =
   let fail msg = raise (Parse_error (line, msg)) in
   let int_of s = try int_of_string s with _ -> fail ("bad integer " ^ s) in
+  let cpu_of s =
+    let c = int_of s in
+    if c < 0 || c >= max_cpus then fail (Printf.sprintf "cpu id %d out of range" c)
+    else c
+  in
   match String.split_on_char ' ' (String.trim s) with
   | [ cpu; "mmap"; id; len; prot ] ->
     {
-      cpu = int_of cpu;
+      cpu = cpu_of cpu;
       op =
         T_mmap
           {
@@ -59,10 +66,10 @@ let entry_of_string ~line s =
           };
     }
   | [ cpu; "munmap"; id ] ->
-    { cpu = int_of cpu; op = T_munmap { id = int_of id } }
+    { cpu = cpu_of cpu; op = T_munmap { id = int_of id } }
   | [ cpu; "touch"; id; page; rw ] ->
     {
-      cpu = int_of cpu;
+      cpu = cpu_of cpu;
       op =
         T_touch
           {
@@ -77,7 +84,7 @@ let entry_of_string ~line s =
     }
   | [ cpu; "mprotect"; id; prot ] ->
     {
-      cpu = int_of cpu;
+      cpu = cpu_of cpu;
       op =
         T_mprotect
           {
@@ -252,28 +259,29 @@ let replay ?(isa = Mm_hal.Isa.x86_64) ~kind trace =
             | T_mmap { id; len; writable } ->
               incr mmaps;
               let perm = if writable then Perm.rw else Perm.r in
-              let addr = sys.System.mmap ~len ~perm () in
+              let addr = System.mmap_exn sys ~len ~perm () in
               Hashtbl.replace regions id (addr, len)
             | T_munmap { id } -> (
               match Hashtbl.find_opt regions id with
               | Some (addr, len) ->
                 incr munmaps;
                 Hashtbl.remove regions id;
-                sys.System.munmap ~addr ~len
+                System.munmap_exn sys ~addr ~len
               | None -> ())
             | T_touch { id; page; write } -> (
               match Hashtbl.find_opt regions id with
               | Some (addr, len) when page * 4096 < len -> (
                 incr touches;
-                try sys.System.touch ~vaddr:(addr + (page * 4096)) ~write
-                with _ -> incr denied)
+                match System.touch sys ~vaddr:(addr + (page * 4096)) ~write with
+                | Ok () -> ()
+                | Error _ -> incr denied)
               | Some _ | None -> ())
             | T_mprotect { id; writable } -> (
-              match (Hashtbl.find_opt regions id, sys.System.mprotect) with
-              | Some (addr, len), Some mprotect ->
-                mprotect ~addr ~len
+              match Hashtbl.find_opt regions id with
+              | Some (addr, len) when System.has_mprotect sys ->
+                System.mprotect_exn sys ~addr ~len
                   ~perm:(if writable then Perm.rw else Perm.r)
-              | _ -> ()))
+              | Some _ | None -> ()))
           per_cpu.(cpu))
   in
   {

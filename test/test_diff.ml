@@ -1,0 +1,164 @@
+(* The differential cross-backend oracle: seeded traces must replay with
+   zero divergences across all registered backends, and injected
+   semantic mutations (a munmap that does nothing, an mprotect that lies,
+   mem_stats that violate their invariants) must be caught with the
+   offending op index. *)
+
+module System = Mm_workloads.System
+module Backend = Mm_workloads.Backend
+module Trace = Mm_workloads.Trace
+module Diff = Mm_workloads.Diff
+module Errno = Mm_hal.Errno
+
+let check = Alcotest.check
+
+let assert_clean ~profile ~ncpus ~ops ~seed =
+  let trace = Trace.generate ~profile ~ncpus ~ops_per_cpu:ops ~seed in
+  match Diff.run trace with
+  | Ok n ->
+    check Alcotest.bool
+      (Printf.sprintf "%s/%d checked some ops" (Trace.profile_name profile)
+         seed)
+      true (n > 0)
+  | Error d ->
+    Alcotest.failf "%s/%d diverged: %s" (Trace.profile_name profile) seed
+      (Diff.describe d)
+
+let test_churn_clean () = assert_clean ~profile:Trace.Churn ~ncpus:4 ~ops:120 ~seed:42
+let test_faults_clean () = assert_clean ~profile:Trace.Faults ~ncpus:2 ~ops:150 ~seed:7
+let test_mixed_clean () = assert_clean ~profile:Trace.Mixed ~ncpus:4 ~ops:120 ~seed:11
+
+(* Fine-grained checking must agree with the default cadence. *)
+let test_check_every_1_clean () =
+  let trace = Trace.generate ~profile:Trace.Mixed ~ncpus:2 ~ops_per_cpu:60 ~seed:3 in
+  match Diff.run ~check_every:1 trace with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "diverged: %s" (Diff.describe d)
+
+(* -- Injected mutations -- *)
+
+let linux = System.backend_of_kind System.Linux
+
+(* A munmap that reports success without unmapping anything. *)
+let broken_munmap (b : System.backend) : System.backend =
+  let module B = (val b) in
+  (module struct
+    include B
+
+    let name = B.name ^ "-broken-munmap"
+    let munmap _ ~addr:_ ~len:_ = Ok ()
+  end)
+
+let test_broken_munmap_caught () =
+  let trace = Trace.generate ~profile:Trace.Churn ~ncpus:2 ~ops_per_cpu:80 ~seed:42 in
+  let first_munmap =
+    let rec go i =
+      if i >= Array.length trace.Trace.entries then
+        Alcotest.fail "trace has no munmap"
+      else
+        match trace.Trace.entries.(i).Trace.op with
+        | Trace.T_munmap _ -> i
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  match Diff.run ~check_every:1 ~backends:[ linux; broken_munmap linux ] trace with
+  | Ok _ -> Alcotest.fail "broken munmap not caught"
+  | Error d ->
+    check Alcotest.int "attributed to the first munmap" first_munmap d.Diff.d_op;
+    check Alcotest.string "solo invariant on the mutant"
+      "linux-broken-munmap" d.Diff.d_backend_a
+
+(* An mprotect that reports success but changes nothing: caught through
+   the downstream observables (a write that should fault succeeding, or
+   a page still writable in a snapshot). *)
+let silent_mprotect (b : System.backend) : System.backend =
+  let module B = (val b) in
+  (module struct
+    include B
+
+    let name = B.name ^ "-silent-mprotect"
+    let mprotect _ ~addr:_ ~len:_ ~perm:_ = Ok ()
+  end)
+
+let test_silent_mprotect_caught () =
+  let e cpu op = { Trace.cpu; op } in
+  let trace =
+    {
+      Trace.ncpus = 1;
+      entries =
+        [|
+          e 0 (Trace.T_mmap { id = 1; len = 16384; writable = true });
+          e 0 (Trace.T_touch { id = 1; page = 0; write = true });
+          e 0 (Trace.T_mprotect { id = 1; writable = false });
+          e 0 (Trace.T_touch { id = 1; page = 0; write = true });
+          e 0 (Trace.T_munmap { id = 1 });
+        |];
+    }
+  in
+  match
+    Diff.run ~check_every:1 ~backends:[ linux; silent_mprotect linux ] trace
+  with
+  | Ok _ -> Alcotest.fail "silent mprotect not caught"
+  | Error d ->
+    (* With per-op snapshots the lie surfaces at the mprotect itself:
+       the page stays writable on the mutant. *)
+    check Alcotest.int "attributed to the mprotect" 2 d.Diff.d_op
+
+(* mem_stats whose high-water mark lags behind the current residency. *)
+let lying_stats (b : System.backend) : System.backend =
+  let module B = (val b) in
+  (module struct
+    include B
+
+    let name = B.name ^ "-lying-stats"
+
+    let mem_stats t =
+      let m = B.mem_stats t in
+      { m with Backend.peak_resident_bytes = m.Backend.resident_bytes - 1 }
+  end)
+
+let test_stats_invariant_caught () =
+  let trace = Trace.generate ~profile:Trace.Churn ~ncpus:1 ~ops_per_cpu:30 ~seed:5 in
+  match Diff.run ~check_every:1 ~backends:[ lying_stats linux ] trace with
+  | Ok _ -> Alcotest.fail "stats invariant violation not caught"
+  | Error d ->
+    check Alcotest.string "solo violation" d.Diff.d_backend_a d.Diff.d_backend_b;
+    check Alcotest.bool "blames mem_stats" true
+      (String.length d.Diff.d_what >= 9
+      && String.sub d.Diff.d_what 0 9 = "mem_stats")
+
+(* The masking rules: backends without mprotect legitimately diverge on
+   post-mprotect writability, so a Mixed trace across the full registry
+   (which pairs linux with radixvm/nros) must still be clean — covered by
+   [test_mixed_clean] — while two mprotect-capable backends must agree
+   exactly. *)
+let test_corten_vs_linux_mixed () =
+  let trace = Trace.generate ~profile:Trace.Mixed ~ncpus:2 ~ops_per_cpu:100 ~seed:23 in
+  let corten = System.backend_of_kind (System.Corten Cortenmm.Config.adv) in
+  match Diff.run ~backends:[ linux; corten ] trace with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "diverged: %s" (Diff.describe d)
+
+let () =
+  Alcotest.run "diff-oracle"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "churn across registry" `Quick test_churn_clean;
+          Alcotest.test_case "faults across registry" `Quick test_faults_clean;
+          Alcotest.test_case "mixed across registry" `Quick test_mixed_clean;
+          Alcotest.test_case "check_every=1" `Quick test_check_every_1_clean;
+          Alcotest.test_case "corten vs linux, mixed" `Quick
+            test_corten_vs_linux_mixed;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "broken munmap caught at op" `Quick
+            test_broken_munmap_caught;
+          Alcotest.test_case "silent mprotect caught" `Quick
+            test_silent_mprotect_caught;
+          Alcotest.test_case "stats invariant caught" `Quick
+            test_stats_invariant_caught;
+        ] );
+    ]

@@ -50,15 +50,15 @@ let test_system_smoke () =
       let cycles =
         Runner.run_phases ~ncpus:2 ()
           ~measure:(fun _ ->
-            let a = sys.System.mmap ~len:16384 ~perm:Perm.rw () in
-            (if sys.System.demand_paging then
-               sys.System.touch_range ~addr:a ~len:16384 ~write:true);
-            sys.System.munmap ~addr:a ~len:16384)
+            let a = System.mmap_exn sys ~len:16384 ~perm:Perm.rw () in
+            (if System.demand_paging sys then
+               System.touch_range_exn sys ~addr:a ~len:16384 ~write:true);
+            System.munmap_exn sys ~addr:a ~len:16384)
       in
       check Alcotest.bool
         (sys.System.name ^ " does work")
         true (cycles > 0);
-      let m = sys.System.mem_stats () in
+      let m = System.mem_stats sys in
       check Alcotest.bool (sys.System.name ^ " pt bytes sane") true
         (m.System.pt_bytes >= 0))
     all_kinds
@@ -262,12 +262,34 @@ let test_trace_roundtrip () =
   check Alcotest.bool "entries preserved" true (t.Trace.entries = t'.Trace.entries)
 
 let test_trace_parse_errors () =
-  Alcotest.(check bool)
-    "bad line raises" true
-    (try
-       ignore (Trace.entry_of_string ~line:3 "0 frobnicate 1");
-       false
-     with Trace.Parse_error (3, _) -> true)
+  let rejects name s =
+    Alcotest.(check bool)
+      (name ^ " raises") true
+      (try
+         ignore (Trace.entry_of_string ~line:3 s);
+         false
+       with Trace.Parse_error (3, _) -> true)
+  in
+  rejects "unknown op" "0 frobnicate 1";
+  rejects "missing fields" "0 mmap 1";
+  rejects "trailing garbage" "0 munmap 1 2";
+  rejects "bad integer" "x mmap 1 4096 rw";
+  rejects "bad protection" "0 mmap 1 4096 rx";
+  rejects "bad access" "0 touch 1 0 x";
+  rejects "negative cpu" "-1 munmap 1";
+  rejects "cpu out of range" "70000 munmap 1";
+  rejects "empty line" ""
+
+(* Every line the serializer emits must parse back to the same entry. *)
+let test_trace_line_roundtrip () =
+  let t = Trace.generate ~profile:Trace.Mixed ~ncpus:4 ~ops_per_cpu:60 ~seed:13 in
+  Array.iter
+    (fun e ->
+      let s = Trace.entry_to_string e in
+      Alcotest.(check bool)
+        (s ^ " roundtrips") true
+        (Trace.entry_of_string ~line:1 s = e))
+    t.Trace.entries
 
 let test_trace_generate_deterministic () =
   let a = Trace.generate ~profile:Trace.Churn ~ncpus:2 ~ops_per_cpu:40 ~seed:5 in
@@ -309,7 +331,7 @@ let test_trace_replay_corten_faster_on_churn () =
 let test_radixvm_memory_overhead () =
   let pt_of kind =
     let _, (sys : System.t) = Apps.metis ~kind ~ncpus:8 () in
-    (sys.System.mem_stats ()).System.pt_bytes
+    (System.mem_stats sys).System.pt_bytes
   in
   let corten = pt_of corten_adv in
   let radix = pt_of System.Radixvm in
@@ -380,6 +402,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_trace_parse_errors;
+          Alcotest.test_case "line roundtrip" `Quick test_trace_line_roundtrip;
           Alcotest.test_case "deterministic gen" `Quick
             test_trace_generate_deterministic;
           Alcotest.test_case "consistent across systems" `Quick
