@@ -70,10 +70,12 @@ let bechamel_suite () =
                  Cortenmm.Addr_space.create kernel Cortenmm.Config.adv
                in
                let a =
-                 Cortenmm.Mm.mmap asp ~len:16384 ~perm:Mm_hal.Perm.rw ()
+                 match Cortenmm.Mm.mmap_r asp ~len:16384 ~perm:Mm_hal.Perm.rw () with
+                 | Ok a -> a
+                 | Error e -> raise (Mm_hal.Errno.Error e)
                in
                Cortenmm.Mm.touch_range asp ~addr:a ~len:16384 ~write:true;
-               Cortenmm.Mm.munmap asp ~addr:a ~len:16384);
+               ignore (Cortenmm.Mm.munmap_r asp ~addr:a ~len:16384));
            Mm_sim.Engine.run w))
   in
   let maple_ops =
@@ -227,15 +229,9 @@ let () =
         List.map
           (fun id ->
             match Mm_experiments.Registry.find id with
-            | Some e -> e
-            | None ->
-              Printf.eprintf "bench: unknown experiment id %S\nvalid ids:\n"
-                id;
-              List.iter
-                (fun e ->
-                  Printf.eprintf "  %-8s %s\n" e.Mm_experiments.Registry.id
-                    e.Mm_experiments.Registry.title)
-                Mm_experiments.Registry.all;
+            | Ok e -> e
+            | Error msg ->
+              Printf.eprintf "bench: %s\n" msg;
               exit 1)
           ids
       in

@@ -74,14 +74,13 @@ let run_cmd =
           List.iter
             (fun id ->
               match Mm_experiments.Registry.find id with
-              | Some e ->
+              | Ok e ->
                 Printf.printf "=== %s: %s ===\n\n%!"
                   e.Mm_experiments.Registry.id e.Mm_experiments.Registry.title;
                 e.Mm_experiments.Registry.run ();
                 print_newline ()
-              | None ->
-                Printf.eprintf
-                  "unknown experiment %S (try `mmrepro list`)\n" id;
+              | Error msg ->
+                Printf.eprintf "mmrepro: %s\n" msg;
                 exit 1)
             ids)
   in
@@ -199,6 +198,29 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ const ())
 
+(* --systems NAME,NAME...: subset of the registered systems, resolved
+   through the result-returning registry lookup so a typo prints the
+   valid-name listing and exits. *)
+let systems_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "systems" ] ~docv:"NAMES"
+        ~doc:"Comma-separated subset of the registered systems to include \
+              (default: all).")
+
+let resolve_systems = function
+  | None -> Mm_workloads.System.Registry.all
+  | Some s ->
+    List.map
+      (fun name ->
+        match Mm_workloads.System.Registry.find name with
+        | Ok e -> e
+        | Error msg ->
+          Printf.eprintf "mmrepro: %s\n" msg;
+          exit 1)
+      (String.split_on_char ',' s)
+
 let sweep_cmd =
   let doc = "Run one microbenchmark over a core sweep." in
   let bench =
@@ -216,7 +238,7 @@ let sweep_cmd =
   let high =
     Arg.(value & flag & info [ "high" ] ~doc:"High-contention variant.")
   in
-  let run bench high trace report =
+  let run bench high systems trace report =
     with_obs ~trace ~report @@ fun () ->
     let contention =
       if high then Mm_workloads.Micro.High else Mm_workloads.Micro.Low
@@ -224,7 +246,7 @@ let sweep_cmd =
     let systems =
       List.map
         (fun e -> e.Mm_workloads.System.Registry.r_kind)
-        Mm_workloads.System.Registry.all
+        (resolve_systems systems)
     in
     let header =
       "cores" :: List.map Mm_workloads.System.kind_name systems
@@ -248,7 +270,7 @@ let sweep_cmd =
     Mm_util.Tablefmt.print ~header rows
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ bench $ high $ obs_trace $ obs_report)
+    Term.(const run $ bench $ high $ systems_arg $ obs_trace $ obs_report)
 
 let trace_cmd =
   let doc =
@@ -359,23 +381,167 @@ let oracle_cmd =
       value & opt int 16
       & info [ "every" ] ~doc:"Snapshot-compare cadence in operations.")
   in
-  let run path profile ncpus ops seed every =
+  let run path profile ncpus ops seed every systems =
     let trace =
       match path with
       | Some p -> Mm_workloads.Trace.load p
       | None ->
         Mm_workloads.Trace.generate ~profile ~ncpus ~ops_per_cpu:ops ~seed
     in
-    match Mm_workloads.Diff.run ~check_every:every trace with
+    let entries = resolve_systems systems in
+    let backends =
+      List.map (fun e -> e.Mm_workloads.System.Registry.r_backend) entries
+    in
+    match Mm_workloads.Diff.run ~check_every:every ~backends trace with
     | Ok n ->
       Printf.printf "oracle: %d ops, %d backends, no divergence\n" n
-        (List.length Mm_workloads.System.Registry.all)
+        (List.length entries)
     | Error d ->
       Printf.printf "oracle: DIVERGENCE\n%s\n" (Mm_workloads.Diff.describe d);
       exit 1
   in
   Cmd.v (Cmd.info "oracle" ~doc)
-    Term.(const run $ path $ profile $ ncpus $ ops $ seed $ every)
+    Term.(
+      const run $ path $ profile $ ncpus $ ops $ seed $ every $ systems_arg)
+
+let schedcheck_cmd =
+  let doc =
+    "Explore schedules of the concurrent core: run small concurrent cursor \
+     workloads under seeded-random tie-break policies, checking protocol \
+     invariants live (mutual exclusion, transaction exclusivity, RCU grace \
+     periods, deadlock-freedom) and the final address-space state against a \
+     sequential reference replay. On violation, shrinks the schedule and \
+     writes a minimal deterministic replay file. Exits non-zero on \
+     violation."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("adv", `Adv); ("rw", `Rw); ("both", `Both) ]) `Both
+      & info [ "protocol" ] ~doc:"Locking protocol to check: adv, rw, both.")
+  in
+  let cpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Virtual CPUs.")
+  in
+  let ops = Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Ops per CPU.") in
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "seeds" ] ~doc:"Schedule seeds to try per protocol.")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed0" ] ~doc:"First schedule seed.")
+  in
+  let wseed =
+    Arg.(value & opt int 42 & info [ "workload-seed" ] ~doc:"Workload seed.")
+  in
+  let amplitude =
+    Arg.(
+      value & opt int 8
+      & info [ "amplitude" ] ~doc:"Tie-break key range (permutation width).")
+  in
+  let mutant =
+    Arg.(
+      value & opt string "none"
+      & info [ "mutant" ]
+          ~doc:
+            "Inject a synchronization bug the harness must catch: none, \
+             rw-skip-handoff, rcu-no-gp.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the minimized schedule of a violation here.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a saved schedule file instead of exploring (all other \
+             workload flags are taken from the file).")
+  in
+  let run protocol cpus ops seeds seed0 wseed amplitude mutant out replay =
+    let module S = Mm_schedcheck.Schedcheck in
+    let module Sched_file = Mm_schedcheck.Schedule in
+    let die msg =
+      Printf.eprintf "mmrepro: %s\n" msg;
+      exit 2
+    in
+    match replay with
+    | Some path -> (
+      let s =
+        match Sched_file.load path with Ok s -> s | Error msg -> die msg
+      in
+      match S.replay_schedule s with
+      | Error msg -> die msg
+      | Ok [] ->
+        Printf.printf
+          "schedcheck: replay %s (%s, %d cpus, %d ops/cpu, mutant %s): clean\n"
+          path s.Sched_file.protocol s.Sched_file.cpus s.Sched_file.ops
+          s.Sched_file.mutant
+      | Ok violations ->
+        Printf.printf
+          "schedcheck: replay %s (%s, %d cpus, %d ops/cpu, mutant %s): %d \
+           violation(s)\n"
+          path s.Sched_file.protocol s.Sched_file.cpus s.Sched_file.ops
+          s.Sched_file.mutant (List.length violations);
+        List.iter (fun v -> Printf.printf "  %s\n" v) violations;
+        exit 1)
+    | None ->
+      let mutant =
+        match S.mutant_of_string mutant with
+        | Ok m -> m
+        | Error msg -> die msg
+      in
+      let protocols =
+        match protocol with
+        | `Adv -> [ Cortenmm.Config.adv ]
+        | `Rw -> [ Cortenmm.Config.rw ]
+        | `Both -> [ Cortenmm.Config.rw; Cortenmm.Config.adv ]
+      in
+      let violated = ref false in
+      List.iter
+        (fun protocol ->
+          let cfg =
+            {
+              S.protocol;
+              cpus;
+              ops_per_cpu = ops;
+              workload_seed = wseed;
+              mutant;
+            }
+          in
+          match S.explore ~amplitude ~seed0 ~seeds cfg with
+          | S.Clean { seeds } ->
+            Printf.printf
+              "schedcheck: %s: %d seeds clean (%d cpus, %d ops/cpu, mutant \
+               %s)\n"
+              (Cortenmm.Config.name protocol)
+              seeds cpus ops (S.mutant_name mutant)
+          | S.Violation { sched_seed; keys; violations; shrink_runs } ->
+            violated := true;
+            Printf.printf
+              "schedcheck: %s: VIOLATION at seed %d (shrunk to %d keys in \
+               %d replays)\n"
+              (Cortenmm.Config.name protocol)
+              sched_seed (Array.length keys) shrink_runs;
+            List.iter (fun v -> Printf.printf "  %s\n" v) violations;
+            match out with
+            | None -> ()
+            | Some path ->
+              Sched_file.save (S.schedule_of cfg keys) path;
+              Printf.printf "  minimal schedule written to %s\n" path)
+        protocols;
+      if !violated then exit 1
+  in
+  Cmd.v (Cmd.info "schedcheck" ~doc)
+    Term.(
+      const run $ protocol $ cpus $ ops $ seeds $ seed0 $ wseed $ amplitude
+      $ mutant $ out $ replay)
 
 let () =
   let doc = "CortenMM reproduction driver" in
@@ -383,4 +549,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd; oracle_cmd ]))
+          [
+            list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd; oracle_cmd;
+            schedcheck_cmd;
+          ]))

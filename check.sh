@@ -21,6 +21,32 @@ echo "== differential oracle: seeded traces across all backends =="
 dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 --seed 42
 dune exec bin/mmrepro.exe -- oracle --profile churn --cpus 2 --ops 150 --seed 7
 
+echo "== schedcheck: fixed-seed schedule exploration smoke (both protocols) =="
+dune exec bin/mmrepro.exe -- schedcheck --protocol both --cpus 4 --ops 10 \
+  --seeds 5 --seed0 1 --workload-seed 42
+
+echo "== schedcheck: injected mutants are caught and shrink to a replay =="
+if dune exec bin/mmrepro.exe -- schedcheck --protocol rw \
+     --mutant rw-skip-handoff --seeds 10 --out /tmp/schedcheck_rw.sched \
+     > /dev/null 2>&1; then
+  echo "schedcheck: rw-skip-handoff mutant NOT caught"; exit 1
+fi
+if dune exec bin/mmrepro.exe -- schedcheck --protocol adv \
+     --mutant rcu-no-gp --seeds 10 --out /tmp/schedcheck_rcu.sched \
+     > /dev/null 2>&1; then
+  echo "schedcheck: rcu-no-gp mutant NOT caught"; exit 1
+fi
+if dune exec bin/mmrepro.exe -- schedcheck --replay /tmp/schedcheck_rw.sched \
+     > /dev/null 2>&1; then
+  echo "schedcheck: minimized schedule replayed clean"; exit 1
+fi
+
+echo "== schedcheck: committed minimal schedule still reproduces =="
+if dune exec bin/mmrepro.exe -- schedcheck \
+     --replay test/schedules/rw_skip_handoff.sched > /dev/null 2>&1; then
+  echo "schedcheck: committed schedule replayed clean"; exit 1
+fi
+
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json

@@ -30,7 +30,11 @@ let () =
   let parent = Addr_space.create kernel Config.adv in
   let w = Engine.create ~ncpus:1 in
   Engine.spawn w ~cpu:0 (fun () ->
-      let addr = Mm.mmap parent ~len:4096 ~perm:Perm.rw () in
+      let addr =
+        match Mm.mmap_r parent ~len:4096 ~perm:Perm.rw () with
+        | Ok a -> a
+        | Error e -> raise (Mm_hal.Errno.Error e)
+      in
       Mm.write_value parent ~vaddr:addr ~value:42;
       Printf.printf "== before fork\n";
       show kernel parent "parent" addr;

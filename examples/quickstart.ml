@@ -12,13 +12,17 @@ open Cortenmm
 
 let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
 
+(* The MM operations return typed errors; these examples only issue valid
+   requests, so unwrap. *)
+let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
+
 let () =
   let kernel = Kernel.create ~ncpus:4 () in
   let asp = Addr_space.create kernel Config.adv in
   let w = Engine.create ~ncpus:4 in
   Engine.spawn w ~cpu:0 (fun () ->
       step "mmap 64 KiB of anonymous memory (rw)";
-      let addr = Mm.mmap asp ~len:(64 * 1024) ~perm:Perm.rw () in
+      let addr = ok (Mm.mmap_r asp ~len:(64 * 1024) ~perm:Perm.rw ()) in
       Printf.printf "   -> %#x (no physical pages yet: on-demand paging)\n"
         addr;
       Printf.printf "   PT pages so far: %d\n"
@@ -37,13 +41,13 @@ let () =
             (Status.to_string (Addr_space.query c addr)));
 
       step "mprotect the region read-only";
-      Mm.mprotect asp ~addr ~len:(64 * 1024) ~perm:Perm.r;
+      ok (Mm.mprotect_r asp ~addr ~len:(64 * 1024) ~perm:Perm.r);
       (match Mm.page_fault asp ~vaddr:addr ~write:true with
       | Mm.Sigsegv -> Printf.printf "   write fault -> SIGSEGV (as expected)\n"
       | Mm.Handled -> Printf.printf "   write fault unexpectedly handled!\n");
 
       step "munmap everything";
-      Mm.munmap asp ~addr ~len:(64 * 1024);
+      ok (Mm.munmap_r asp ~addr ~len:(64 * 1024));
       Addr_space.with_lock asp ~lo:addr ~hi:(addr + 4096) (fun c ->
           Printf.printf "   status(%#x) = %s\n" addr
             (Status.to_string (Addr_space.query c addr)));

@@ -15,6 +15,8 @@ let status_at asp addr =
   Addr_space.with_lock asp ~lo:addr ~hi:(addr + 4096) (fun c ->
       Status.to_string (Addr_space.query c addr))
 
+let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
+
 let () =
   let kernel = Kernel.create ~ncpus:1 () in
   let asp = Addr_space.create kernel Config.adv in
@@ -22,7 +24,7 @@ let () =
   Engine.spawn w ~cpu:0 (fun () ->
       Printf.printf "== swapping ==\n";
       let dev = Blockdev.create ~name:"nvme0swap" () in
-      let a = Mm.mmap asp ~len:4096 ~perm:Perm.rw () in
+      let a = ok (Mm.mmap_r asp ~len:4096 ~perm:Perm.rw ()) in
       Mm.write_value asp ~vaddr:a ~value:777;
       Printf.printf "   before swap-out: %s\n" (status_at asp a);
       ignore (Mm.swap_out asp ~vaddr:a ~dev);
@@ -36,8 +38,9 @@ let () =
       Printf.printf "\n== private file mapping (COW against the page cache) ==\n";
       let file = File.regular ~name:"libc.so" ~size:(64 * 1024) in
       let m =
-        Mm.mmap asp ~backing:(Mm.File_private (file, 0)) ~len:(16 * 1024)
-          ~perm:Perm.rw ()
+        ok
+          (Mm.mmap_r asp ~backing:(Mm.File_private (file, 0)) ~len:(16 * 1024)
+             ~perm:Perm.rw ())
       in
       Printf.printf "   first read faults the page cache in: value %d\n"
         (Mm.read_value asp ~vaddr:m);
@@ -52,8 +55,9 @@ let () =
       Printf.printf "\n== shared mapping + msync ==\n";
       let log = File.regular ~name:"journal.dat" ~size:(16 * 1024) in
       let s =
-        Mm.mmap asp ~backing:(Mm.Shared (log, 0)) ~len:(16 * 1024)
-          ~perm:Perm.rw ()
+        ok
+          (Mm.mmap_r asp ~backing:(Mm.Shared (log, 0)) ~len:(16 * 1024)
+             ~perm:Perm.rw ())
       in
       Mm.write_value asp ~vaddr:s ~value:31337;
       Printf.printf "   wrote through the shared mapping; msync wrote back %d page(s)\n"

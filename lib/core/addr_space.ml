@@ -324,6 +324,10 @@ let lock t ~lo ~hi =
       (Mm_obs.Event.Cursor_lock
          { lo; hi; locked = List.length c.locked; span })
   end;
+  if Mm_sim.Monitor.on () && Mm_sim.Engine.in_fiber () then
+    Mm_sim.Monitor.emit
+      (Mm_sim.Monitor.Txn_locked
+         { asp = t.id; cpu = Mm_sim.Engine.cpu_id (); lo; hi });
   c
 
 (* -- Commit (RCursor Drop, Fig 4 L23) -- *)
@@ -334,6 +338,17 @@ let commit c =
   if c.committed then invalid_arg "Addr_space.commit: cursor already dropped";
   c.committed <- true;
   let t = c.asp in
+  (* Announced before the unlocks: releasing a contended lock yields to
+     the scheduler ([serialize] inside the lock model), so a fiber
+     waiting on this range can acquire it — and emit its Txn_locked —
+     while we are still mid-release. The transaction performs no cursor
+     operations after this point, so ending its monitored lifetime here
+     keeps the overlap check sound without false positives on legal
+     handoffs. *)
+  if Mm_sim.Monitor.on () && Mm_sim.Engine.in_fiber () then
+    Mm_sim.Monitor.emit
+      (Mm_sim.Monitor.Txn_committed
+         { asp = t.id; cpu = Mm_sim.Engine.cpu_id (); lo = c.lo; hi = c.hi });
   (* Batched TLB shootdown for everything this transaction invalidated. *)
   (match c.tlb_pending with
   | [] -> ()
@@ -846,7 +861,7 @@ let rec mark_range c (node : node) ~lo ~hi ~base ~origin ~perm ~policy =
           let child = ensure_child c node idx in
           mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy)
 
-let mark ?(policy = Numa.Default) c ~lo ~hi status =
+let mark c ~lo ~hi status =
   in_range c ~lo ~hi;
   let origin = origin_of_status status in
   let perm =
@@ -854,9 +869,11 @@ let mark ?(policy = Numa.Default) c ~lo ~hi status =
     | Some p -> p
     | None -> invalid_arg "mark: status without permissions"
   in
-  mark_range c c.covering ~lo ~hi ~base:lo ~origin ~perm ~policy
+  mark_range c c.covering ~lo ~hi ~base:lo ~origin ~perm
+    ~policy:Numa.Default
 
-(* Rewrite the NUMA policy of existing marks over a range (mbind). Only
+(* Rewrite the NUMA policy of existing marks over a range — the single
+   policy-update path, shared by mmap-with-policy and mbind. Only
    virtually-allocated slots carry a policy; resident pages are left
    where they are (no migration), as Linux's default mbind does. *)
 let rec set_policy_range c (node : node) ~lo ~hi policy =
@@ -882,7 +899,7 @@ let rec set_policy_range c (node : node) ~lo ~hi policy =
         | Status.M_resident _ ->
           failwith "set_policy: resident metadata under an absent PTE"))
 
-let set_policy c ~lo ~hi policy =
+let update_policy c ~lo ~hi policy =
   in_range c ~lo ~hi;
   set_policy_range c c.covering ~lo ~hi policy
 

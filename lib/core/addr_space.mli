@@ -40,17 +40,50 @@ val page_size : t -> int
 val stale_retries : t -> int
 (** How many times the adv protocol's retry loop fired (Fig 6 L10-13). *)
 
-(** {2 Transactions} *)
+(** {2 Transactions}
+
+    A transaction's lifecycle is [lock] → cursor operations → [commit],
+    and every mutation of the address space happens inside one:
+
+    {ol
+    {- [lock t ~lo ~hi] runs the configured locking protocol over the
+       page-table hierarchy and returns a {!cursor}. On return the
+       calling CPU has exclusive ownership of every PT page that can
+       affect [lo, hi): no other transaction whose range overlaps can
+       complete its own [lock] until this cursor commits (the protocols'
+       property P1 — checked abstractly by [Mm_verif.Rw_model] /
+       [Adv_model] and at runtime by [Mm_verif.Live]). [lock] may park
+       the calling fiber while it waits for conflicting transactions.}
+    {- Cursor operations ([query], [map], [mark], [unmap], …) apply
+       under those locks. They may be freely mixed and see each other's
+       effects; TLB invalidations they cause are *recorded*, not yet
+       performed.}
+    {- [commit c] performs the batched TLB shootdown (targeting exactly
+       the CPUs recorded as touchers of the affected PT pages), releases
+       every lock in reverse acquisition order, and invalidates the
+       cursor.}}
+
+    Rules: a cursor must be committed exactly once ([commit] on an
+    already-committed cursor raises [Invalid_argument]); a committed
+    cursor must not be used again; operations must stay within
+    [lo, hi) (they raise {!Bad_range} otherwise). A fiber may nest
+    transactions on *different* address spaces (fork holds a parent and
+    a child cursor); nesting two overlapping transactions on the same
+    space self-deadlocks.
+
+    Prefer {!with_lock}, which commits on both normal return and
+    exception — an exception raised mid-transaction still releases the
+    locks and flushes the recorded invalidations, leaving the protocol
+    state clean. *)
 
 type cursor
 
 val lock : t -> lo:int -> hi:int -> cursor
-(** Run the locking protocol for [lo, hi) (page-aligned, non-empty).
-    Raises {!Bad_range} otherwise. *)
+(** Run the locking protocol for [lo, hi) (page-aligned, non-empty;
+    raises {!Bad_range} otherwise) and return the transaction's cursor. *)
 
 val commit : cursor -> unit
-(** The RCursor Drop (Fig 4 L23): batched TLB shootdown targeting exactly
-    the CPUs recorded as touchers of the affected PT pages, then release
+(** The RCursor Drop (Fig 4 L23): batched TLB shootdown, then release
     all locks in reverse order. A cursor must be committed exactly once. *)
 
 val with_lock : t -> lo:int -> hi:int -> (cursor -> 'a) -> 'a
@@ -77,15 +110,19 @@ val map :
     replacing any existing leaf; records the reverse mapping and installs
     the caller's TLB entry. *)
 
-val mark : ?policy:Numa.policy -> cursor -> lo:int -> hi:int -> Status.t -> unit
+val mark : cursor -> lo:int -> hi:int -> Status.t -> unit
 (** Set the status of a range (virtually allocate it), clearing whatever
     was there — one upper-level metadata entry can stand for a whole
-    aligned slot. The status must be a virtually-allocated one; the NUMA
-    policy is stored alongside it in the metadata (paper §4.5). *)
+    aligned slot. The status must be a virtually-allocated one. Marks
+    carry the default NUMA policy; use {!update_policy} to attach a
+    different one. *)
 
-val set_policy : cursor -> lo:int -> hi:int -> Numa.policy -> unit
-(** Rewrite the NUMA policy of the virtually-allocated slots in the range
-    (mbind semantics: resident pages are not migrated). *)
+val update_policy : cursor -> lo:int -> hi:int -> Numa.policy -> unit
+(** The single policy-update path: rewrite the NUMA policy stored in the
+    virtually-allocated slots of the range (paper §4.5). Used both by
+    mmap-with-policy (a [mark] followed by [update_policy]) and by mbind;
+    mbind semantics throughout — resident pages are not migrated, and
+    slots that are not virtually allocated are left untouched. *)
 
 val policy_at : cursor -> int -> Numa.policy
 (** The policy recorded for an unmapped page (the fault path's input). *)

@@ -44,7 +44,12 @@ let mmap asp ?addr ?(backing = Anon) ?(policy = Numa.Default) ~len ~perm () =
       (match addr with
       | Some _ -> ignore (Addr_space.query c lo)
       | None -> ());
-      Addr_space.mark ~policy c ~lo ~hi (status_of_backing backing perm));
+      Addr_space.mark c ~lo ~hi (status_of_backing backing perm);
+      (* A non-default placement policy goes through the single policy
+         update path (same one mbind uses); the common default-policy
+         mmap pays nothing extra. *)
+      if policy <> Numa.Default then
+        Addr_space.update_policy c ~lo ~hi policy);
   lo
 
 (* -- munmap -- *)
@@ -477,7 +482,7 @@ let pkey_mprotect asp ~addr ~len ~perm ~key =
 let mbind asp ~addr ~len ~policy =
   charge Mm_sim.Cost.syscall;
   Addr_space.with_lock asp ~lo:addr ~hi:(addr + len) (fun c ->
-      Addr_space.set_policy c ~lo:addr ~hi:(addr + len) policy)
+      Addr_space.update_policy c ~lo:addr ~hi:(addr + len) policy)
 
 (* -- Timer tick: drains the LATR buffers (paper §4.5) -- *)
 

@@ -22,12 +22,21 @@ val mmap :
   perm:Mm_hal.Perm.t ->
   unit ->
   int
+[@@ocaml.deprecated "use Mm.mmap_r (typed errors) instead"]
 (** Virtually allocate [len] bytes (page-rounded); on-demand paging backs
     them at fault time. Explicit [addr] replaces existing mappings
-    (POSIX fixed semantics). Returns the start address. *)
+    (POSIX fixed semantics). Returns the start address.
+
+    @deprecated Exception-style wrapper kept for the legacy tests;
+    new code uses {!mmap_r}. *)
 
 val munmap : Addr_space.t -> addr:int -> len:int -> unit
+[@@ocaml.deprecated "use Mm.munmap_r (typed errors) instead"]
+(** @deprecated Exception-style wrapper; new code uses {!munmap_r}. *)
+
 val mprotect : Addr_space.t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit
+[@@ocaml.deprecated "use Mm.mprotect_r (typed errors) instead"]
+(** @deprecated Exception-style wrapper; new code uses {!mprotect_r}. *)
 
 exception Mremap_failed of string
 

@@ -9,6 +9,7 @@ open Cortenmm
 
 let page = 4096
 let mib n = n * 1024 * 1024
+let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
 
 (* -- ext-numa: fault cost under each policy on a 2-node machine -- *)
 
@@ -24,7 +25,7 @@ let ext_numa () =
     let w = Engine.create ~ncpus:2 in
     Engine.spawn w ~cpu:0 (fun () ->
         let len = 256 * page in
-        let addr = Mm.mmap asp ~policy ~len ~perm:Perm.rw () in
+        let addr = ok (Mm.mmap_r asp ~policy ~len ~perm:Perm.rw ()) in
         let t0 = Engine.now () in
         Mm.touch_range asp ~addr ~len ~write:true;
         out := (Engine.now () - t0) / 256);
@@ -59,7 +60,7 @@ let ext_thp () =
     let w = Engine.create ~ncpus:1 in
     Engine.spawn w ~cpu:0 (fun () ->
         let len = mib 16 in
-        let addr = Mm.mmap asp ~addr:(mib 512) ~len ~perm:Perm.rw () in
+        let addr = ok (Mm.mmap_r asp ~addr:(mib 512) ~len ~perm:Perm.rw ()) in
         Mm.touch_range asp ~addr ~len ~write:true;
         pt_pages := Mm_pt.Pt.pt_page_count (Addr_space.pt asp);
         (* Flush the TLB, then re-walk every 64th page. *)
@@ -104,7 +105,7 @@ let ext_swapd () =
   let w = Engine.create ~ncpus:1 in
   Engine.spawn w ~cpu:0 (fun () ->
       let len = 256 * page in
-      let addr = Mm.mmap asp ~len ~perm:Perm.rw () in
+      let addr = ok (Mm.mmap_r asp ~len ~perm:Perm.rw ()) in
       Mm.touch_range asp ~addr ~len ~write:true;
       (* Age everything once, then keep 32 pages hot. *)
       ignore (Swapd.run_once ~stats asp ~dev ~target:0);

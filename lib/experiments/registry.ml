@@ -30,7 +30,17 @@ let all =
     { id = "ext-trace"; title = "extension: trace replay across systems"; run = Fig_ext.ext_trace };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+let ids = List.map (fun e -> e.id) all
+
+(* Same shape as [System.Registry.find]: the error is a ready-to-print
+   message embedding the valid ids. *)
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown experiment id %S (valid: %s)" id
+         (String.concat ", " ids))
 
 let run_all () =
   List.iter

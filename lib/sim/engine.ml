@@ -48,6 +48,7 @@ type stats = {
 
 type world = {
   ncpus : int;
+  sched : Sched.t; (* tie-break policy: one key per event push *)
   mutable seq : int;
   mutable next_fiber_id : int;
   queue : (unit -> unit) Pqueue.t;
@@ -62,10 +63,11 @@ exception Deadlock of string
 
 let cur_world : world option ref = ref None
 
-let create ~ncpus =
+let create_sched ~sched ~ncpus =
   if ncpus <= 0 then invalid_arg "Engine.create: ncpus";
   {
     ncpus;
+    sched;
     seq = 0;
     next_fiber_id = 0;
     queue = Pqueue.create ();
@@ -83,6 +85,8 @@ let create ~ncpus =
         max_ready_queue = 0;
       };
   }
+
+let create ~ncpus = create_sched ~sched:(Sched.fifo ()) ~ncpus
 
 let world () =
   match !cur_world with
@@ -112,7 +116,7 @@ let advance_to t =
 
 let push_event w ~time run =
   w.seq <- w.seq + 1;
-  Pqueue.push w.queue ~time ~seq:w.seq run
+  Pqueue.push w.queue ~time ~key:(Sched.next_key w.sched) ~seq:w.seq run
 
 let park register = Effect.perform (Park register)
 
@@ -140,13 +144,14 @@ let parked_cpu p = p.pk_fiber.f_cpu
 (* Re-enter the event queue at the current virtual time so that shared-state
    operations apply in global time order.
 
-   Fast path: parking would push an event at (f_time, fresh seq) with a seq
-   greater than every queued event's, so the scheduler would pop us straight
-   back unless some queued event has time <= f_time. When none does, skip
-   the park entirely — the execution order (and therefore every simulated
-   result) is identical, without capturing a continuation or touching the
-   event queue. This removes the dominant host-side cost of uncontended
-   simulated lock and cache-line operations. *)
+   Fast path: parking would push an event at time f_time; when every queued
+   event has a strictly later time, that event pops first no matter what tie
+   key the policy would assign (keys only order equal times), so the
+   scheduler would resume us straight away. Skip the park entirely — under
+   any policy the execution order (and therefore every simulated result) is
+   identical, without capturing a continuation or touching the event queue.
+   This removes the dominant host-side cost of uncontended simulated lock
+   and cache-line operations. *)
 let serialize () =
   let w = world () in
   let f = fiber () in

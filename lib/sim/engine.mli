@@ -27,6 +27,15 @@ type stats = {
 exception Deadlock of string
 
 val create : ncpus:int -> world
+(** A world with the {!Sched.fifo} tie-break policy: the historical
+    deterministic order, bit-for-bit. *)
+
+val create_sched : sched:Sched.t -> ncpus:int -> world
+(** A world with an explicit tie-break policy. The policy is consulted
+    once per event push and orders same-time events (ready fibers,
+    [serialize] re-entries) — nothing across distinct virtual times.
+    Policies are stateful: pass a fresh one per world. *)
+
 val spawn : world -> cpu:int -> (unit -> unit) -> unit
 
 val run : world -> unit

@@ -1,0 +1,35 @@
+(* Synchronization-event monitor hook.
+
+   The simulated lock models (Mutex_s, Rwlock_s, Rcu_s) and the address
+   space's cursor transactions announce their state transitions here so a
+   runtime checker (lib/verif Live, driven by lib/schedcheck) can validate
+   mutual-exclusion and grace-period invariants against the live engine
+   state. Events are emitted synchronously by the fiber performing the
+   transition, after it has resumed — so the emission order is the global
+   execution order. Emitting never parks, ticks, or touches the event
+   queue, so monitored and unmonitored runs are bit-identical. *)
+
+type event =
+  | Mutex_acquired of { lock : int; cpu : int }
+  | Mutex_released of { lock : int; cpu : int }
+  | Read_acquired of { lock : int; cpu : int }
+  | Read_released of { lock : int; cpu : int }
+  | Write_acquired of { lock : int; cpu : int }
+  | Write_released of { lock : int; cpu : int }
+  | Rcu_enter of { cpu : int }
+  | Rcu_exit of { cpu : int }
+  | Rcu_defer of { cb : int; waiting : bool array }
+      (* [waiting.(c)]: cpu [c] was inside a read-side section when the
+         callback was deferred; the grace period must wait for it. *)
+  | Rcu_fire of { cb : int }
+  | Txn_locked of { asp : int; cpu : int; lo : int; hi : int }
+  | Txn_committed of { asp : int; cpu : int; lo : int; hi : int }
+
+let hook : (event -> unit) option ref = ref None
+let set f = hook := Some f
+let clear () = hook := None
+let on () = !hook <> None
+
+(* Call sites guard with [on ()] so event payloads are never allocated
+   when no checker is installed. *)
+let emit ev = match !hook with Some f -> f ev | None -> ()

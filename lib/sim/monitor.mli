@@ -1,0 +1,39 @@
+(** Synchronization-event monitor hook.
+
+    The simulated lock models and the address space's cursor transactions
+    announce their state transitions here so a runtime checker can
+    validate mutual-exclusion and grace-period invariants against live
+    engine state (see [Mm_verif.Live] and [lib/schedcheck]).
+
+    Events are emitted synchronously by the fiber performing the
+    transition — acquisition events after the acquiring fiber resumes —
+    so emission order is the global execution order. Emitting never
+    advances virtual time or touches the event queue: monitored and
+    unmonitored runs are bit-identical. *)
+
+type event =
+  | Mutex_acquired of { lock : int; cpu : int }
+  | Mutex_released of { lock : int; cpu : int }
+  | Read_acquired of { lock : int; cpu : int }
+  | Read_released of { lock : int; cpu : int }
+  | Write_acquired of { lock : int; cpu : int }
+  | Write_released of { lock : int; cpu : int }
+  | Rcu_enter of { cpu : int }
+  | Rcu_exit of { cpu : int }
+  | Rcu_defer of { cb : int; waiting : bool array }
+      (** [waiting.(c)]: cpu [c] was inside a read-side section when the
+          callback was deferred; the grace period must wait for it. *)
+  | Rcu_fire of { cb : int }
+  | Txn_locked of { asp : int; cpu : int; lo : int; hi : int }
+  | Txn_committed of { asp : int; cpu : int; lo : int; hi : int }
+
+val set : (event -> unit) -> unit
+(** Install the (single) checker callback. *)
+
+val clear : unit -> unit
+
+val on : unit -> bool
+(** Whether a checker is installed. Emission sites guard with this so
+    payloads are never allocated when monitoring is off. *)
+
+val emit : event -> unit

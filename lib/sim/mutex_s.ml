@@ -53,7 +53,9 @@ let note_acquired t ~wait =
     Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.wait_cycles") wait;
     Engine.obs
       (Mm_obs.Event.Lock_acquire { lock = t.id; kind = Mm_obs.Event.Mutex; wait })
-  end
+  end;
+  if Monitor.on () then
+    Monitor.emit (Monitor.Mutex_acquired { lock = t.id; cpu = t.holder })
 
 let lock t =
   Engine.Line.rmw t.line;
@@ -98,6 +100,8 @@ let unlock t =
     Engine.obs
       (Mm_obs.Event.Lock_release { lock = t.id; kind = Mm_obs.Event.Mutex; held })
   end;
+  if Monitor.on () then
+    Monitor.emit (Monitor.Mutex_released { lock = t.id; cpu = t.holder });
   match Queue.take_opt t.waiters with
   | None ->
     t.locked <- false;

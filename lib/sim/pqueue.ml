@@ -1,8 +1,11 @@
-(* Binary min-heap of scheduler events keyed by (time, sequence number).
-   The sequence number makes the ordering total, which makes the whole
-   simulation deterministic. *)
+(* Binary min-heap of scheduler events keyed by (time, tie key, sequence
+   number). The tie key is a scheduler-policy knob that reorders events
+   pushed for the same virtual time — with all keys 0 the ordering
+   degenerates to (time, seq), the historical order. The sequence number
+   makes the ordering total, which makes the whole simulation
+   deterministic for any fixed key assignment. *)
 
-type 'a entry = { time : int; seq : int; value : 'a }
+type 'a entry = { time : int; key : int; seq : int; value : 'a }
 
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
@@ -15,7 +18,10 @@ let is_empty t = t.size = 0
    scheduler's serialize fast path. *)
 let min_time t = if t.size = 0 then max_int else t.data.(0).time
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+     && (a.key < b.key || (a.key = b.key && a.seq < b.seq)))
 
 let grow t =
   let cap = Array.length t.data in
@@ -26,8 +32,8 @@ let grow t =
     t.data <- nd
   end
 
-let push t ~time ~seq value =
-  let e = { time; seq; value } in
+let push t ~time ~key ~seq value =
+  let e = { time; key; seq; value } in
   if Array.length t.data = 0 then t.data <- Array.make 16 e;
   grow t;
   t.data.(t.size) <- e;

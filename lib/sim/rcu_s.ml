@@ -11,10 +11,25 @@
    waits for its own exit too. *)
 
 type callback = {
+  cb_id : int; (* monitor correlation id (Rcu_defer -> Rcu_fire) *)
   waiting_on : bool array; (* per-CPU: still inside its read section *)
   mutable remaining : int;
   fn : unit -> unit;
 }
+
+(* Monitor correlation ids, global so they stay unique across RCU
+   instances within one monitored run. *)
+let next_cb_id = ref 0
+
+let fresh_cb_id () =
+  incr next_cb_id;
+  !next_cb_id
+
+(* Fault injection for schedcheck's mutant-catching harness: run every
+   deferred callback immediately, ignoring the grace period — the
+   use-after-free class of RCU bug. Never set outside the harness. *)
+let mutant_no_grace_period = ref false
+let set_mutant_no_grace_period v = mutant_no_grace_period := v
 
 type t = {
   nesting : int array;
@@ -38,8 +53,10 @@ let read_lock t =
   Engine.tick Cost.rcu_toggle;
   let c = Engine.cpu_id () in
   t.nesting.(c) <- t.nesting.(c) + 1;
-  if t.nesting.(c) = 1 && Mm_obs.Trace.on () then
-    Engine.obs Mm_obs.Event.Rcu_enter
+  if t.nesting.(c) = 1 then begin
+    if Mm_obs.Trace.on () then Engine.obs Mm_obs.Event.Rcu_enter;
+    if Monitor.on () then Monitor.emit (Monitor.Rcu_enter { cpu = c })
+  end
 
 let in_read_section t ~cpu = t.nesting.(cpu) > 0
 
@@ -66,6 +83,7 @@ let quiesce t cpu =
   List.iter
     (fun cb ->
       t.completed <- t.completed + 1;
+      if Monitor.on () then Monitor.emit (Monitor.Rcu_fire { cb = cb.cb_id });
       cb.fn ())
     ready
 
@@ -77,6 +95,9 @@ let read_unlock t =
   t.nesting.(c) <- t.nesting.(c) - 1;
   if t.nesting.(c) = 0 then begin
     if Mm_obs.Trace.on () then Engine.obs Mm_obs.Event.Rcu_exit;
+    (* Exit is announced before [quiesce] so callbacks firing in this
+       very quiescent state observe the reader as already gone. *)
+    if Monitor.on () then Monitor.emit (Monitor.Rcu_exit { cpu = c });
     quiesce t c
   end
 
@@ -97,12 +118,16 @@ let defer t fn =
   Engine.tick Cost.cache_hit;
   t.deferred <- t.deferred + 1;
   let waiting, remaining = snapshot_readers t in
-  if remaining = 0 then begin
+  let cb_id = if Monitor.on () then fresh_cb_id () else 0 in
+  if Monitor.on () then
+    Monitor.emit (Monitor.Rcu_defer { cb = cb_id; waiting = Array.copy waiting });
+  if remaining = 0 || !mutant_no_grace_period then begin
     t.immediate <- t.immediate + 1;
     t.completed <- t.completed + 1;
+    if Monitor.on () then Monitor.emit (Monitor.Rcu_fire { cb = cb_id });
     fn ()
   end
-  else t.pending <- { waiting_on = waiting; remaining; fn } :: t.pending;
+  else t.pending <- { cb_id; waiting_on = waiting; remaining; fn } :: t.pending;
   if Mm_obs.Trace.on () then begin
     Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "rcu.deferred");
     Engine.obs (Mm_obs.Event.Rcu_defer { pending = List.length t.pending })
@@ -118,6 +143,7 @@ let synchronize t =
         else
           t.pending <-
             {
+              cb_id = (if Monitor.on () then fresh_cb_id () else 0);
               waiting_on = waiting;
               remaining;
               fn = (fun () -> Engine.unpark p ~at:(Engine.now ()));

@@ -21,3 +21,9 @@ val pending_callbacks : t -> int
 val deferred : t -> int
 val completed : t -> int
 val immediate : t -> int
+
+val set_mutant_no_grace_period : bool -> unit
+(** Fault injection for the schedcheck harness (global, default off):
+    [defer] runs its callback immediately, ignoring the grace period —
+    the use-after-free class of RCU bug. Only the schedule explorer
+    should ever set this; it must reset it before returning. *)

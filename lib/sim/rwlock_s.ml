@@ -72,6 +72,13 @@ let note_acquired t ~kind ~wait =
     Mm_obs.Contention.acquired (profile t) ~wait;
     Mm_obs.Metrics.observe (Mm_obs.Metrics.histogram "lock.wait_cycles") wait;
     Engine.obs (Mm_obs.Event.Lock_acquire { lock = t.id; kind; wait })
+  end;
+  if Monitor.on () then begin
+    let cpu = Engine.cpu_id () in
+    Monitor.emit
+      (match kind with
+      | Mm_obs.Event.Rw_write -> Monitor.Write_acquired { lock = t.id; cpu }
+      | _ -> Monitor.Read_acquired { lock = t.id; cpu })
   end
 
 let note_contend t ~kind =
@@ -125,6 +132,9 @@ let read_unlock t =
     Engine.obs
       (Mm_obs.Event.Lock_release
          { lock = t.id; kind = Mm_obs.Event.Rw_read; held = 0 });
+  if Monitor.on () then
+    Monitor.emit
+      (Monitor.Read_released { lock = t.id; cpu = Engine.cpu_id () });
   if t.readers = 0 && not t.writer then wake_next_writer t
 
 let write_lock t =
@@ -175,6 +185,14 @@ let note_writer_release t =
          { lock = t.id; kind = Mm_obs.Event.Rw_write; held })
   end
 
+(* Fault injection for schedcheck's mutant-catching harness: a buggy
+   write_unlock that forgets to hand the lock to the next queued writer
+   (waiting readers are still admitted). Parked writers then starve —
+   exactly the class of omitted-wakeup bug the schedule explorer exists
+   to catch. Never set outside the harness. *)
+let mutant_skip_writer_handoff = ref false
+let set_mutant_skip_writer_handoff v = mutant_skip_writer_handoff := v
+
 let write_unlock t =
   Engine.serialize ();
   if not t.writer then failwith "Rwlock_s.write_unlock: no writer";
@@ -184,8 +202,11 @@ let write_unlock t =
   note_writer_release t;
   t.writer <- false;
   t.writer_cpu <- -1;
+  if Monitor.on () then
+    Monitor.emit
+      (Monitor.Write_released { lock = t.id; cpu = Engine.cpu_id () });
   if not (Queue.is_empty t.rwait) then wake_reader_phase t
-  else wake_next_writer t
+  else if not !mutant_skip_writer_handoff then wake_next_writer t
 
 let downgrade t =
   Engine.serialize ();
@@ -197,6 +218,11 @@ let downgrade t =
   t.writer <- false;
   t.writer_cpu <- -1;
   t.readers <- t.readers + 1;
+  if Monitor.on () then begin
+    let cpu = Engine.cpu_id () in
+    Monitor.emit (Monitor.Write_released { lock = t.id; cpu });
+    Monitor.emit (Monitor.Read_acquired { lock = t.id; cpu })
+  end;
   (* Phase-fair: the waiting reader phase joins us. *)
   if not (Queue.is_empty t.rwait) then wake_reader_phase t
 

@@ -1,0 +1,185 @@
+(* Runtime invariant checker over live engine state.
+
+   The model checkers in this library (Rw_model, Adv_model) explore hand
+   written abstractions of the two locking protocols; this module checks
+   the same safety properties against the *implemented* protocols while
+   they run, by consuming the synchronization events the simulated lock
+   models and the cursor layer emit through Mm_sim.Monitor:
+
+   - mutual exclusion of each simulated mutex, and release-by-holder;
+   - writer exclusion and reader counting of each rwlock (phase-fair
+     admission must never let a reader and a writer, or two writers,
+     hold the lock at once);
+   - the protocols' transaction property (paper P1, checked abstractly
+     by Rw_model/Adv_model.check): no two cursor transactions over
+     overlapping ranges of the same address space are ever active
+     simultaneously;
+   - RCU grace periods: a deferred callback must not fire until every
+     CPU that was inside a read-side critical section at defer time has
+     exited it (tracked with per-CPU quiescence epochs).
+
+   Violations are *sticky* — recorded, never raised — so a schedule
+   explorer can finish the run, collect every violation, and still
+   compare final states. The checker is pure host-side bookkeeping: it
+   never touches virtual time, so checked runs remain bit-identical to
+   unchecked ones. *)
+
+type txn = { t_asp : int; t_cpu : int; t_lo : int; t_hi : int }
+
+type rw_state = { mutable w_cpu : int (* -1: none *); mutable n_readers : int }
+
+type t = {
+  ncpus : int;
+  mutexes : (int, int) Hashtbl.t; (* lock id -> holder cpu *)
+  rwlocks : (int, rw_state) Hashtbl.t;
+  rcu_epoch : int array; (* per-CPU count of read-section exits *)
+  rcu_in_rs : bool array;
+  rcu_defers : (int, (int * int) list) Hashtbl.t;
+      (* cb id -> [(cpu, epoch at defer)] still required to advance *)
+  mutable txns : txn list;
+  mutable violations : string list; (* newest first *)
+  mutable events : int;
+}
+
+let max_violations = 64
+
+let create ~ncpus =
+  {
+    ncpus;
+    mutexes = Hashtbl.create 64;
+    rwlocks = Hashtbl.create 64;
+    rcu_epoch = Array.make ncpus 0;
+    rcu_in_rs = Array.make ncpus false;
+    rcu_defers = Hashtbl.create 64;
+    txns = [];
+    violations = [];
+    events = 0;
+  }
+
+let violate t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if List.length t.violations < max_violations then
+        t.violations <- msg :: t.violations)
+    fmt
+
+let rw_state t lock =
+  match Hashtbl.find_opt t.rwlocks lock with
+  | Some s -> s
+  | None ->
+    let s = { w_cpu = -1; n_readers = 0 } in
+    Hashtbl.add t.rwlocks lock s;
+    s
+
+let observe t (ev : Mm_sim.Monitor.event) =
+  t.events <- t.events + 1;
+  match ev with
+  | Mutex_acquired { lock; cpu } -> (
+    match Hashtbl.find_opt t.mutexes lock with
+    | Some holder ->
+      violate t "mutex#%d: cpu %d acquired while cpu %d holds it" lock cpu
+        holder
+    | None -> Hashtbl.replace t.mutexes lock cpu)
+  | Mutex_released { lock; cpu } -> (
+    match Hashtbl.find_opt t.mutexes lock with
+    | Some holder when holder = cpu -> Hashtbl.remove t.mutexes lock
+    | Some holder ->
+      violate t "mutex#%d: released by cpu %d but held by cpu %d" lock cpu
+        holder
+    | None -> violate t "mutex#%d: released by cpu %d while free" lock cpu)
+  | Read_acquired { lock; cpu } ->
+    let s = rw_state t lock in
+    if s.w_cpu >= 0 then
+      violate t "rwlock#%d: cpu %d read-acquired while cpu %d writes" lock cpu
+        s.w_cpu;
+    s.n_readers <- s.n_readers + 1
+  | Read_released { lock; cpu } ->
+    let s = rw_state t lock in
+    if s.n_readers <= 0 then
+      violate t "rwlock#%d: cpu %d read-released with no readers" lock cpu
+    else s.n_readers <- s.n_readers - 1
+  | Write_acquired { lock; cpu } ->
+    let s = rw_state t lock in
+    if s.w_cpu >= 0 then
+      violate t "rwlock#%d: cpu %d write-acquired while cpu %d writes" lock
+        cpu s.w_cpu;
+    if s.n_readers > 0 then
+      violate t "rwlock#%d: cpu %d write-acquired with %d readers inside"
+        lock cpu s.n_readers;
+    s.w_cpu <- cpu
+  | Write_released { lock; cpu } ->
+    let s = rw_state t lock in
+    if s.w_cpu <> cpu then
+      violate t "rwlock#%d: write-released by cpu %d but writer is %d" lock
+        cpu s.w_cpu;
+    s.w_cpu <- -1
+  | Rcu_enter { cpu } -> t.rcu_in_rs.(cpu) <- true
+  | Rcu_exit { cpu } ->
+    t.rcu_in_rs.(cpu) <- false;
+    t.rcu_epoch.(cpu) <- t.rcu_epoch.(cpu) + 1
+  | Rcu_defer { cb; waiting } ->
+    let need = ref [] in
+    Array.iteri
+      (fun cpu w -> if w then need := (cpu, t.rcu_epoch.(cpu)) :: !need)
+      waiting;
+    Hashtbl.replace t.rcu_defers cb !need
+  | Rcu_fire { cb } -> (
+    match Hashtbl.find_opt t.rcu_defers cb with
+    | None -> () (* synchronize()'s internal callback: no defer event *)
+    | Some need ->
+      List.iter
+        (fun (cpu, epoch_at_defer) ->
+          if t.rcu_epoch.(cpu) = epoch_at_defer then
+            violate t
+              "rcu: callback #%d fired before cpu %d left the read-side \
+               section it was in at defer time (grace period violated)"
+              cb cpu)
+        need;
+      Hashtbl.remove t.rcu_defers cb)
+  | Txn_locked { asp; cpu; lo; hi } ->
+    List.iter
+      (fun o ->
+        if o.t_asp = asp && lo < o.t_hi && o.t_lo < hi then
+          violate t
+            "asp#%d: cpu %d locked [0x%x,0x%x) while cpu %d holds \
+             overlapping transaction [0x%x,0x%x)"
+            asp cpu lo hi o.t_cpu o.t_lo o.t_hi)
+      t.txns;
+    t.txns <- { t_asp = asp; t_cpu = cpu; t_lo = lo; t_hi = hi } :: t.txns
+  | Txn_committed { asp; cpu; lo = _; hi = _ } ->
+    let found = ref false in
+    t.txns <-
+      List.filter
+        (fun o ->
+          if (not !found) && o.t_asp = asp && o.t_cpu = cpu then begin
+            found := true;
+            false
+          end
+          else true)
+        t.txns;
+    if not !found then
+      violate t "asp#%d: cpu %d committed a transaction it never locked" asp
+        cpu
+
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+let events_seen t = t.events
+
+(* Post-run checks: everything should have been released. *)
+let check_quiescent t =
+  Hashtbl.iter
+    (fun lock cpu -> violate t "mutex#%d: still held by cpu %d at end" lock cpu)
+    t.mutexes;
+  Hashtbl.iter
+    (fun lock s ->
+      if s.w_cpu >= 0 then
+        violate t "rwlock#%d: writer cpu %d still inside at end" lock s.w_cpu;
+      if s.n_readers > 0 then
+        violate t "rwlock#%d: %d readers still inside at end" lock s.n_readers)
+    t.rwlocks;
+  List.iter
+    (fun o ->
+      violate t "asp#%d: cpu %d transaction [0x%x,0x%x) never committed"
+        o.t_asp o.t_cpu o.t_lo o.t_hi)
+    t.txns;
+  t.txns <- []

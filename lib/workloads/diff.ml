@@ -231,6 +231,45 @@ let compare_outcomes trace (a : run_log) (b : run_log) =
     a.l_outcomes;
   !divs
 
+(* The per-page comparison shared by the oracle's snapshot check and the
+   schedule-exploration harness's final-state check (schedcheck compares
+   a concurrent run against its own sequential replay, so it passes both
+   flags as [true]). Returns human-readable mismatch descriptions. *)
+let compare_page_states ?(check_writable = true) ?(check_resident = true)
+    ~region (pa : Backend.page_state array) (pb : Backend.page_state array) =
+  if Array.length pa <> Array.length pb then
+    [
+      Printf.sprintf "%s: %d pages vs %d pages" region (Array.length pa)
+        (Array.length pb);
+    ]
+  else begin
+    let mismatches = ref [] in
+    Array.iteri
+      (fun p st_a ->
+        let st_b = pb.(p) in
+        match (st_a, st_b) with
+        | Backend.P_unmapped, Backend.P_unmapped -> ()
+        | Backend.P_unmapped, Backend.P_mapped _
+        | Backend.P_mapped _, Backend.P_unmapped ->
+          mismatches :=
+            Printf.sprintf "page %d of %s: mapped on one side only" p region
+            :: !mismatches
+        | ( Backend.P_mapped { writable = wa; resident = ra },
+            Backend.P_mapped { writable = wb; resident = rb } ) ->
+          if check_writable && wa <> wb then
+            mismatches :=
+              Printf.sprintf "page %d of %s: writable %b vs %b" p region wa
+                wb
+              :: !mismatches;
+          if check_resident && ra <> rb then
+            mismatches :=
+              Printf.sprintf "page %d of %s: resident %b vs %b" p region ra
+                rb
+              :: !mismatches)
+      pa;
+    List.rev !mismatches
+  end
+
 let compare_snapshots (a : run_log) (b : run_log) =
   let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
   let dp_eq =
@@ -259,27 +298,11 @@ let compare_snapshots (a : run_log) (b : run_log) =
       else
         List.iter2
           (fun (id, pa) (_, pb) ->
-            Array.iteri
-              (fun p st_a ->
-                let st_b = pb.(p) in
-                match (st_a, st_b) with
-                | Backend.P_unmapped, Backend.P_unmapped -> ()
-                | Backend.P_unmapped, Backend.P_mapped _
-                | Backend.P_mapped _, Backend.P_unmapped ->
-                  mismatch
-                    (Printf.sprintf
-                       "page %d of region %d: mapped on one side only" p id)
-                | ( Backend.P_mapped { writable = wa; resident = ra },
-                    Backend.P_mapped { writable = wb; resident = rb } ) ->
-                  if parity && wa <> wb then
-                    mismatch
-                      (Printf.sprintf
-                         "page %d of region %d: writable %b vs %b" p id wa wb);
-                  if parity && dp_eq && ra <> rb then
-                    mismatch
-                      (Printf.sprintf
-                         "page %d of region %d: resident %b vs %b" p id ra rb))
-              pa)
+            List.iter mismatch
+              (compare_page_states ~check_writable:parity
+                 ~check_resident:(parity && dp_eq)
+                 ~region:(Printf.sprintf "region %d" id)
+                 pa pb))
           sa.s_regions sb.s_regions)
     a.l_snapshots b.l_snapshots;
   !divs

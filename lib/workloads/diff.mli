@@ -22,6 +22,20 @@ val describe : divergence -> string
 val default_backends : unit -> System.backend list
 (** All of {!System.Registry.all}, in registry order. *)
 
+val compare_page_states :
+  ?check_writable:bool ->
+  ?check_resident:bool ->
+  region:string ->
+  Backend.page_state array ->
+  Backend.page_state array ->
+  string list
+(** [compare_page_states ~region a b] describes every per-page mismatch
+    between two equally sized probes of the same region ([region] labels
+    the messages). [check_writable] / [check_resident] (both default
+    [true]) mask the comparisons that capability differences legitimately
+    change; callers comparing the same backend against itself — the
+    schedule-exploration harness — keep both on. *)
+
 val run :
   ?isa:Mm_hal.Isa.t ->
   ?check_every:int ->

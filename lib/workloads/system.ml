@@ -67,7 +67,16 @@ module Registry = struct
     ]
 
   let names = List.map (fun e -> e.r_name) all
-  let find name = List.find_opt (fun e -> e.r_name = name) all
+
+  (* Lookup failures carry the valid-name listing so every driver reports
+     the same actionable message without reimplementing it. *)
+  let find name =
+    match List.find_opt (fun e -> e.r_name = name) all with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (Printf.sprintf "unknown system %S (valid: %s)" name
+           (String.concat ", " names))
 end
 
 (* An instance: the backend module packed with its state. *)

@@ -49,7 +49,11 @@ module Registry : sig
       cortenmm-adv. *)
 
   val names : string list
-  val find : string -> entry option
+
+  val find : string -> (entry, string) result
+  (** [find name] is the entry named [name], or [Error msg] where [msg]
+      already includes the valid-name listing — drivers print it
+      verbatim. *)
 end
 
 type t = private {

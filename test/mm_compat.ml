@@ -1,0 +1,15 @@
+(* Exception-style convenience shims over the typed [Mm.*_r] API, shared
+   by the test suite.  Tests here only issue requests they expect to
+   succeed, so an [Error _] is a test bug and raising is the right
+   failure mode.  The deprecated exception wrappers in [Mm] itself are
+   exercised only by test_core's legacy-wrapper test. *)
+
+let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
+
+let mmap asp ?addr ?backing ?policy ~len ~perm () =
+  ok (Cortenmm.Mm.mmap_r asp ?addr ?backing ?policy ~len ~perm ())
+
+let munmap asp ~addr ~len = ok (Cortenmm.Mm.munmap_r asp ~addr ~len)
+
+let mprotect asp ~addr ~len ~perm =
+  ok (Cortenmm.Mm.mprotect_r asp ~addr ~len ~perm)

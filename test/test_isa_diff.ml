@@ -28,15 +28,15 @@ let observable_trace isa =
       let asp = Addr_space.create kernel Config.adv in
       let log = Buffer.create 256 in
       let obs fmt = Printf.ksprintf (fun s -> Buffer.add_string log (s ^ ";")) fmt in
-      let a = Mm.mmap asp ~addr:0x4000_0000 ~len:(16 * page) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~addr:0x4000_0000 ~len:(16 * page) ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:a ~value:11;
       obs "w11";
       obs "r%d" (Mm.read_value asp ~vaddr:a);
-      Mm.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.r;
+      Mm_compat.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.r;
       (match Mm.page_fault asp ~vaddr:a ~write:true with
       | Mm.Sigsegv -> obs "segv"
       | Mm.Handled -> obs "handled");
-      Mm.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.rw;
+      Mm_compat.mprotect asp ~addr:a ~len:(16 * page) ~perm:Perm.rw;
       let child = Mm.fork asp in
       Mm.write_value child ~vaddr:a ~value:22;
       obs "parent=%d child=%d" (Mm.read_value asp ~vaddr:a)
@@ -45,7 +45,7 @@ let observable_trace isa =
       Mm.write_value asp ~vaddr:(a + page) ~value:33;
       ignore (Mm.swap_out asp ~vaddr:(a + page) ~dev);
       obs "swapback=%d" (Mm.read_value asp ~vaddr:(a + page));
-      Mm.munmap asp ~addr:a ~len:(8 * page);
+      Mm_compat.munmap asp ~addr:a ~len:(8 * page);
       Addr_space.with_lock asp ~lo:a ~hi:(a + (16 * page)) (fun c ->
           for i = 0 to 15 do
             obs "%s"
@@ -89,10 +89,10 @@ let test_arm_bbm_costs_more () =
     in_sim (fun () ->
         let kernel = Kernel.create ~isa ~ncpus:1 () in
         let asp = Addr_space.create kernel Config.adv in
-        let a = Mm.mmap asp ~addr:0x4000_0000 ~len:(32 * page) ~perm:Perm.rw () in
+        let a = Mm_compat.mmap asp ~addr:0x4000_0000 ~len:(32 * page) ~perm:Perm.rw () in
         Mm.touch_range asp ~addr:a ~len:(32 * page) ~write:true;
         let t0 = Engine.now () in
-        Mm.mprotect asp ~addr:a ~len:(32 * page) ~perm:Perm.r;
+        Mm_compat.mprotect asp ~addr:a ~len:(32 * page) ~perm:Perm.r;
         Engine.now () - t0)
   in
   let x86 = cost Mm_hal.Isa.x86_64 in

@@ -24,7 +24,7 @@ let setup () =
 let test_key_allows_by_default () =
   let _, asp = setup () in
   in_sim ~ncpus:2 (fun () ->
-      let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
       Mm.touch asp ~vaddr:addr ~write:true;
       Mm.pkey_mprotect asp ~addr ~len:(kib 16) ~perm:Perm.rw ~key:5;
       (* No PKRU denial set: access proceeds. *)
@@ -33,7 +33,7 @@ let test_key_allows_by_default () =
 let test_pkru_denies_access () =
   let kernel, asp = setup () in
   in_sim ~ncpus:2 (fun () ->
-      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.touch asp ~vaddr:addr ~write:true;
       Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:3;
       Kernel.wrpkru kernel ~cpu:0 ~key:3 ~deny_access:true ~deny_write:true;
@@ -47,7 +47,7 @@ let test_pkru_denies_access () =
 let test_pkru_write_only_denial () =
   let kernel, asp = setup () in
   in_sim ~ncpus:2 (fun () ->
-      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.touch asp ~vaddr:addr ~write:true;
       Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:2;
       Kernel.wrpkru kernel ~cpu:0 ~key:2 ~deny_access:false ~deny_write:true;
@@ -61,7 +61,7 @@ let test_pkru_checked_on_tlb_hit () =
      for translations already cached in the TLB. *)
   let kernel, asp = setup () in
   in_sim ~ncpus:2 (fun () ->
-      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:7;
       Mm.touch asp ~vaddr:addr ~write:true (* TLB now caches the entry *);
       Kernel.wrpkru kernel ~cpu:0 ~key:7 ~deny_access:true ~deny_write:true;
@@ -73,7 +73,7 @@ let test_pkru_per_cpu () =
   let kernel, asp = setup () in
   (* Deny key 4 on cpu 0 only; cpu 1 can still access. *)
   in_sim ~ncpus:2 ~cpu:0 (fun () ->
-      let addr = Mm.mmap asp ~addr:0x4000_0000 ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:0x4000_0000 ~len:page ~perm:Perm.rw () in
       Mm.touch asp ~vaddr:addr ~write:true;
       Mm.pkey_mprotect asp ~addr ~len:page ~perm:Perm.rw ~key:4;
       Kernel.wrpkru kernel ~cpu:0 ~key:4 ~deny_access:true ~deny_write:true);
@@ -98,7 +98,7 @@ let test_mpk_rejected_on_riscv () =
   let kernel = Kernel.create ~isa:Mm_hal.Isa.riscv_sv48 ~ncpus:1 () in
   let asp = Addr_space.create kernel Config.adv in
   in_sim (fun () ->
-      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Alcotest.(check bool)
         "pkey_mprotect raises on RISC-V" true
         (try

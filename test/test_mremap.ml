@@ -28,7 +28,7 @@ let status_at asp addr =
 let test_mremap_grow_moves_data () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
       for i = 0 to 3 do
         Mm.write_value asp ~vaddr:(a + (i * page)) ~value:(500 + i)
       done;
@@ -53,7 +53,7 @@ let test_mremap_grow_moves_data () =
 let test_mremap_old_tlb_flushed () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:a ~value:1 (* TLB caches the old vaddr *);
       let _ = Mm.mremap asp ~addr:a ~old_len:(kib 16) ~new_len:(kib 32) in
       Mm.timer_tick asp;
@@ -65,7 +65,7 @@ let test_mremap_old_tlb_flushed () =
 let test_mremap_shrink () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:(kib 64) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:(kib 64) ~perm:Perm.rw () in
       Mm.touch_range asp ~addr:a ~len:(kib 64) ~write:true;
       let b = Mm.mremap asp ~addr:a ~old_len:(kib 64) ~new_len:(kib 16) in
       check Alcotest.int "shrink in place" a b;
@@ -80,7 +80,7 @@ let test_mremap_moves_marks_and_swap () =
   in_sim (fun () ->
       let _, asp = make_asp () in
       let dev = Blockdev.create ~name:"swap" () in
-      let a = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
       (* Page 0 resident, page 1 swapped, pages 2-3 unfaulted marks. *)
       Mm.write_value asp ~vaddr:a ~value:1;
       Mm.write_value asp ~vaddr:(a + page) ~value:2;
@@ -96,7 +96,7 @@ let test_mremap_moves_marks_and_swap () =
 let test_mremap_preserves_cow () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:a ~value:77;
       let child = Mm.fork asp in
       (* Parent mremaps its COW-shared page. *)
@@ -116,7 +116,7 @@ let test_madvise_drops_frames () =
       let anon () =
         (Mm_phys.Phys.usage kernel.Kernel.phys).Mm_phys.Phys.anon_bytes
       in
-      let a = Mm.mmap asp ~len:(kib 64) ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:(kib 64) ~perm:Perm.rw () in
       Mm.touch_range asp ~addr:a ~len:(kib 64) ~write:true;
       let resident = anon () in
       Mm.madvise_dontneed asp ~addr:a ~len:(kib 64);
@@ -128,7 +128,7 @@ let test_madvise_drops_frames () =
 let test_madvise_data_gone () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:a ~value:123;
       Mm.madvise_dontneed asp ~addr:a ~len:page;
       check Alcotest.int "data discarded" 0 (Mm.read_value asp ~vaddr:a);
@@ -141,7 +141,7 @@ let test_madvise_spares_files () =
       let _, asp = make_asp () in
       let file = File.regular ~name:"data" ~size:(kib 16) in
       let a =
-        Mm.mmap asp ~backing:(Mm.File_private (file, 0)) ~len:(kib 16)
+        Mm_compat.mmap asp ~backing:(Mm.File_private (file, 0)) ~len:(kib 16)
           ~perm:Perm.r ()
       in
       let v = Mm.read_value asp ~vaddr:a in
@@ -152,7 +152,7 @@ let test_madvise_spares_files () =
 let test_madvise_cow_safe () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let a = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:a ~value:42;
       let child = Mm.fork asp in
       Mm.madvise_dontneed asp ~addr:a ~len:page;

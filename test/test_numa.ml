@@ -53,7 +53,7 @@ let test_default_allocates_local () =
   (* cpu 3 is on node 1: its faults must land on node 1. *)
   let node =
     in_sim ~ncpus:4 ~cpu:3 (fun () ->
-        let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+        let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
         Mm.touch asp ~vaddr:addr ~write:true;
         node_of kernel asp addr)
   in
@@ -65,7 +65,7 @@ let test_bind_policy () =
   let node =
     in_sim ~ncpus:4 ~cpu:3 (fun () ->
         let addr =
-          Mm.mmap asp ~policy:(Numa.Bind 0) ~len:(kib 16) ~perm:Perm.rw ()
+          Mm_compat.mmap asp ~policy:(Numa.Bind 0) ~len:(kib 16) ~perm:Perm.rw ()
         in
         Mm.touch asp ~vaddr:addr ~write:true;
         node_of kernel asp addr)
@@ -78,7 +78,7 @@ let test_interleave_policy () =
   let nodes =
     in_sim ~ncpus:2 ~cpu:0 (fun () ->
         let addr =
-          Mm.mmap asp
+          Mm_compat.mmap asp
             ~policy:(Numa.Interleave [ 0; 1 ])
             ~len:(kib 16) ~perm:Perm.rw ()
         in
@@ -98,7 +98,7 @@ let test_mbind_rewrites () =
   let asp = Addr_space.create kernel Config.adv in
   let node =
     in_sim ~ncpus:2 ~cpu:0 (fun () ->
-        let addr = Mm.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+        let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
         (* Rebind before faulting: pages must follow the new policy. *)
         Mm.mbind asp ~addr ~len:(kib 16) ~policy:(Numa.Bind 1);
         Mm.touch asp ~vaddr:addr ~write:true;
@@ -111,7 +111,7 @@ let test_mbind_does_not_migrate () =
   let asp = Addr_space.create kernel Config.adv in
   let node =
     in_sim ~ncpus:2 ~cpu:0 (fun () ->
-        let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+        let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
         Mm.touch asp ~vaddr:addr ~write:true (* resident on node 0 *);
         Mm.mbind asp ~addr ~len:page ~policy:(Numa.Bind 1);
         node_of kernel asp addr)
@@ -128,8 +128,8 @@ let test_policy_survives_split () =
         let addr = 1 lsl 30 in
         let len = 2 * 1024 * 1024 in
         ignore
-          (Mm.mmap asp ~addr ~policy:(Numa.Bind 1) ~len ~perm:Perm.rw ());
-        Mm.munmap asp ~addr:(addr + (64 * page)) ~len:page;
+          (Mm_compat.mmap asp ~addr ~policy:(Numa.Bind 1) ~len ~perm:Perm.rw ());
+        Mm_compat.munmap asp ~addr:(addr + (64 * page)) ~len:page;
         Mm.touch asp ~vaddr:addr ~write:true;
         node_of kernel asp addr)
   in
@@ -141,7 +141,7 @@ let test_policy_survives_fork () =
   let node =
     in_sim ~ncpus:2 ~cpu:0 (fun () ->
         let addr =
-          Mm.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
+          Mm_compat.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
         in
         let child = Mm.fork asp in
         Mm.touch child ~vaddr:addr ~write:true;
@@ -154,7 +154,7 @@ let test_remote_alloc_costs_more () =
     let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
     let asp = Addr_space.create kernel Config.adv in
     in_sim ~ncpus:2 ~cpu:0 (fun () ->
-        let addr = Mm.mmap asp ~policy ~len:(kib 64) ~perm:Perm.rw () in
+        let addr = Mm_compat.mmap asp ~policy ~len:(kib 64) ~perm:Perm.rw () in
         let t0 = Engine.now () in
         Mm.touch_range asp ~addr ~len:(kib 64) ~write:true;
         Engine.now () - t0)
@@ -170,7 +170,7 @@ let test_per_node_accounting () =
   let asp = Addr_space.create kernel Config.adv in
   in_sim ~ncpus:2 ~cpu:0 (fun () ->
       let addr =
-        Mm.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
+        Mm_compat.mmap asp ~policy:(Numa.Bind 1) ~len:(kib 16) ~perm:Perm.rw ()
       in
       Mm.touch_range asp ~addr ~len:(kib 16) ~write:true;
       (* All four frames must have come from node 1's pfn stripe. *)

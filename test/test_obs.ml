@@ -238,7 +238,7 @@ let test_stale_retries_agree () =
        ~setup:(fun () ->
          let kernel = Cortenmm.Kernel.create ~ncpus () in
          let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
-         ignore (Cortenmm.Mm.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ());
+         ignore (Mm_compat.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ());
          asp_box := Some asp)
        ~measure:(fun cpu ->
          let asp = Option.get !asp_box in
@@ -246,9 +246,9 @@ let test_stale_retries_agree () =
            (* Churn the window: each munmap empties the covering PT
               page(s), marking them stale under concurrent touchers. *)
            for _ = 1 to 20 do
-             Cortenmm.Mm.munmap asp ~addr:base ~len;
+             Mm_compat.munmap asp ~addr:base ~len;
              ignore
-               (Cortenmm.Mm.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ())
+               (Mm_compat.mmap asp ~addr:base ~len ~perm:Mm_hal.Perm.rw ())
            done
          else
            for i = 1 to 120 do

@@ -1,0 +1,218 @@
+(* Schedule-exploration harness: live checker units, schedule file
+   roundtrips, clean exploration on both protocols, and mutant
+   catching + shrinking + replay. *)
+
+open Mm_schedcheck.Schedcheck
+module Schedule = Mm_schedcheck.Schedule
+module Live = Mm_verif.Live
+module Monitor = Mm_sim.Monitor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* -- Live checker units (events fed by hand, no engine) -- *)
+
+let feed events =
+  let live = Live.create ~ncpus:4 in
+  List.iter (Live.observe live) events;
+  live
+
+let test_live_mutex_clean () =
+  let live =
+    feed
+      [
+        Monitor.Mutex_acquired { lock = 1; cpu = 0 };
+        Monitor.Mutex_released { lock = 1; cpu = 0 };
+        Monitor.Mutex_acquired { lock = 1; cpu = 2 };
+        Monitor.Mutex_released { lock = 1; cpu = 2 };
+      ]
+  in
+  Live.check_quiescent live;
+  check bool "clean" true (Live.ok live);
+  check int "events" 4 (Live.events_seen live)
+
+let test_live_mutex_double_acquire () =
+  let live =
+    feed
+      [
+        Monitor.Mutex_acquired { lock = 1; cpu = 0 };
+        Monitor.Mutex_acquired { lock = 1; cpu = 1 };
+      ]
+  in
+  check bool "violation recorded" false (Live.ok live)
+
+let test_live_txn_overlap () =
+  let live =
+    feed
+      [
+        Monitor.Txn_locked { asp = 1; cpu = 0; lo = 0x1000; hi = 0x5000 };
+        Monitor.Txn_locked { asp = 1; cpu = 1; lo = 0x4000; hi = 0x8000 };
+      ]
+  in
+  check bool "P1 violation recorded" false (Live.ok live)
+
+let test_live_txn_disjoint () =
+  let live =
+    feed
+      [
+        Monitor.Txn_locked { asp = 1; cpu = 0; lo = 0x1000; hi = 0x4000 };
+        Monitor.Txn_locked { asp = 1; cpu = 1; lo = 0x4000; hi = 0x8000 };
+        Monitor.Txn_committed { asp = 1; cpu = 0; lo = 0x1000; hi = 0x4000 };
+        (* same range again, now free *)
+        Monitor.Txn_locked { asp = 1; cpu = 2; lo = 0x1000; hi = 0x4000 };
+        Monitor.Txn_committed { asp = 1; cpu = 2; lo = 0x1000; hi = 0x4000 };
+        Monitor.Txn_committed { asp = 1; cpu = 1; lo = 0x4000; hi = 0x8000 };
+      ]
+  in
+  Live.check_quiescent live;
+  check bool "disjoint and sequential txns are clean" true (Live.ok live)
+
+let test_live_rcu_grace_period () =
+  let bad =
+    feed
+      [
+        Monitor.Rcu_enter { cpu = 1 };
+        Monitor.Rcu_defer { cb = 7; waiting = [| false; true; false; false |] };
+        Monitor.Rcu_fire { cb = 7 };
+      ]
+  in
+  check bool "fire before reader exits is a violation" false (Live.ok bad);
+  let good =
+    feed
+      [
+        Monitor.Rcu_enter { cpu = 1 };
+        Monitor.Rcu_defer { cb = 7; waiting = [| false; true; false; false |] };
+        Monitor.Rcu_exit { cpu = 1 };
+        Monitor.Rcu_fire { cb = 7 };
+      ]
+  in
+  check bool "fire after reader exits is clean" true (Live.ok good)
+
+let test_live_quiescent () =
+  let live = feed [ Monitor.Mutex_acquired { lock = 9; cpu = 3 } ] in
+  check bool "no violation yet" true (Live.ok live);
+  Live.check_quiescent live;
+  check bool "held lock flagged at quiescence" false (Live.ok live)
+
+(* -- Schedule files -- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_schedule_roundtrip () =
+  let s =
+    {
+      Schedule.protocol = "adv";
+      cpus = 4;
+      ops = 12;
+      workload_seed = 42;
+      mutant = "rw-skip-handoff";
+      keys = [| 0; 3; 1; 0; 7 |];
+    }
+  in
+  let path = tmp "schedcheck_roundtrip.sched" in
+  Schedule.save s path;
+  (match Schedule.load path with
+  | Ok s' -> check bool "roundtrip equal" true (s = s')
+  | Error msg -> Alcotest.fail msg);
+  let empty = { s with keys = [||]; mutant = "none" } in
+  Schedule.save empty path;
+  match Schedule.load path with
+  | Ok s' -> check bool "empty keys roundtrip" true (empty = s')
+  | Error msg -> Alcotest.fail msg
+
+let test_schedule_load_errors () =
+  (match Schedule.load (tmp "schedcheck_no_such_file.sched") with
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+  | Error _ -> ());
+  let path = tmp "schedcheck_bad_header.sched" in
+  let oc = open_out path in
+  output_string oc "not a schedule\n";
+  close_out oc;
+  match Schedule.load path with
+  | Ok _ -> Alcotest.fail "expected error for bad header"
+  | Error _ -> ()
+
+(* -- Exploration -- *)
+
+let cfg protocol mutant =
+  { protocol; cpus = 4; ops_per_cpu = 10; workload_seed = 42; mutant }
+
+let test_explore_clean () =
+  List.iter
+    (fun protocol ->
+      match explore ~seeds:3 (cfg protocol M_none) with
+      | Clean { seeds } -> check int "all seeds clean" 3 seeds
+      | Violation { violations; _ } ->
+          Alcotest.fail
+            ("unexpected violation: " ^ String.concat "; " violations))
+    [ Cortenmm.Config.adv; Cortenmm.Config.rw ]
+
+let test_mutant_caught protocol mutant () =
+  let c = { (cfg protocol mutant) with ops_per_cpu = 12 } in
+  match explore ~seeds:10 c with
+  | Clean _ -> Alcotest.fail "mutant not caught within 10 seeds"
+  | Violation { keys; violations; _ } ->
+      check bool "violations reported" false (violations = []);
+      (* The minimized schedule must reproduce through a file roundtrip. *)
+      let path = tmp ("schedcheck_" ^ mutant_name mutant ^ ".sched") in
+      Schedule.save (schedule_of c keys) path;
+      let s =
+        match Schedule.load path with
+        | Ok s -> s
+        | Error msg -> Alcotest.fail msg
+      in
+      (match replay_schedule s with
+      | Ok [] -> Alcotest.fail "replayed schedule came back clean"
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg)
+
+let test_replay_schedule_errors () =
+  let s =
+    {
+      Schedule.protocol = "linux";
+      cpus = 2;
+      ops = 4;
+      workload_seed = 1;
+      mutant = "none";
+      keys = [||];
+    }
+  in
+  (match replay_schedule s with
+  | Ok _ -> Alcotest.fail "expected unknown-protocol error"
+  | Error _ -> ());
+  match replay_schedule { s with protocol = "adv"; mutant = "chaos" } with
+  | Ok _ -> Alcotest.fail "expected unknown-mutant error"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "mm_schedcheck"
+    [
+      ( "live",
+        [
+          Alcotest.test_case "mutex clean" `Quick test_live_mutex_clean;
+          Alcotest.test_case "mutex double acquire" `Quick
+            test_live_mutex_double_acquire;
+          Alcotest.test_case "txn overlap" `Quick test_live_txn_overlap;
+          Alcotest.test_case "txn disjoint" `Quick test_live_txn_disjoint;
+          Alcotest.test_case "rcu grace period" `Quick
+            test_live_rcu_grace_period;
+          Alcotest.test_case "quiescence" `Quick test_live_quiescent;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "load errors" `Quick test_schedule_load_errors;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "clean on both protocols" `Quick
+            test_explore_clean;
+          Alcotest.test_case "rw mutant caught (rw)" `Quick
+            (test_mutant_caught Cortenmm.Config.rw M_rw_skip_handoff);
+          Alcotest.test_case "rcu mutant caught (adv)" `Quick
+            (test_mutant_caught Cortenmm.Config.adv M_rcu_no_gp);
+          Alcotest.test_case "replay errors" `Quick
+            test_replay_schedule_errors;
+        ] );
+    ]

@@ -416,10 +416,10 @@ let test_determinism () =
 
 let test_pqueue_order () =
   let q = Pqueue.create () in
-  Pqueue.push q ~time:5 ~seq:0 "c";
-  Pqueue.push q ~time:1 ~seq:1 "a";
-  Pqueue.push q ~time:5 ~seq:2 "d";
-  Pqueue.push q ~time:2 ~seq:3 "b";
+  Pqueue.push q ~time:5 ~key:0 ~seq:0 "c";
+  Pqueue.push q ~time:1 ~key:0 ~seq:1 "a";
+  Pqueue.push q ~time:5 ~key:0 ~seq:2 "d";
+  Pqueue.push q ~time:2 ~key:0 ~seq:3 "b";
   let out = ref [] in
   let rec drain () =
     match Pqueue.pop q with
@@ -437,13 +437,76 @@ let pqueue_prop =
     QCheck.(list (int_bound 10_000))
     (fun times ->
       let q = Pqueue.create () in
-      List.iteri (fun i t -> Pqueue.push q ~time:t ~seq:i t) times;
+      List.iteri (fun i t -> Pqueue.push q ~time:t ~key:0 ~seq:i t) times;
       let rec drain last =
         match Pqueue.pop q with
         | None -> true
         | Some (t, _) -> t >= last && drain t
       in
       drain min_int)
+
+(* -- Scheduler tie-break policies -- *)
+
+(* Four fibers contend for one mutex from time 0: every spawn event and
+   every serialize re-entry is a same-time tie, so the acquisition order
+   is decided purely by the policy. *)
+let run_tie_scenario sched =
+  let w = Engine.create_sched ~sched ~ncpus:4 in
+  let m = Mutex_s.make () in
+  let order = ref [] in
+  for c = 0 to 3 do
+    Engine.spawn w ~cpu:c (fun () ->
+        Mutex_s.lock m;
+        order := c :: !order;
+        Engine.tick 10;
+        Mutex_s.unlock m)
+  done;
+  Engine.run w;
+  List.rev !order
+
+(* Golden: the fifo policy must keep the engine's historical
+   deterministic order, bit for bit. If this changes, every golden
+   digest in the repository (fig1 etc.) changes with it — an intended
+   change must update both and say so in review. *)
+let test_sched_default_golden () =
+  Alcotest.(check (list int))
+    "default tie-break order" [ 0; 1; 2; 3 ]
+    (run_tie_scenario (Sched.fifo ()))
+
+let test_sched_random_permutes () =
+  let base = run_tie_scenario (Sched.fifo ()) in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let permuted =
+    List.exists
+      (fun seed -> run_tie_scenario (Sched.random ~seed ()) <> base)
+      seeds
+  in
+  check bool "some seed permutes the tie order" true permuted;
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        "same seed reproduces"
+        (run_tie_scenario (Sched.random ~seed ()))
+        (run_tie_scenario (Sched.random ~seed ())))
+    seeds
+
+let test_sched_replay_reproduces () =
+  List.iter
+    (fun seed ->
+      let recording = Sched.random ~seed () in
+      let order = run_tie_scenario recording in
+      let keys = Sched.recorded recording in
+      Alcotest.(check (list int))
+        "replayed keys give the same run" order
+        (run_tie_scenario (Sched.replay keys));
+      (* A truncated key array is still a valid (different or equal)
+         deterministic schedule: keys past the end default to 0. *)
+      let half = Array.sub keys 0 (Array.length keys / 2) in
+      Alcotest.(check (list int))
+        "truncated replay is deterministic"
+        (run_tie_scenario (Sched.replay half))
+        (run_tie_scenario (Sched.replay half)))
+    [ 1; 7; 42 ]
 
 let () =
   Alcotest.run "mm_sim"
@@ -494,6 +557,15 @@ let () =
         ] );
       ( "determinism",
         [ Alcotest.test_case "chaos runs repeat" `Quick test_determinism ] );
+      ( "sched",
+        [
+          Alcotest.test_case "default order golden" `Quick
+            test_sched_default_golden;
+          Alcotest.test_case "random permutes ties" `Quick
+            test_sched_random_permutes;
+          Alcotest.test_case "replay reproduces" `Quick
+            test_sched_replay_reproduces;
+        ] );
       ( "pqueue",
         [
           Alcotest.test_case "order" `Quick test_pqueue_order;

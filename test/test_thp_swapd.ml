@@ -32,7 +32,7 @@ let fill_2mib asp addr =
 let test_promote_basic () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let addr = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
       fill_2mib asp addr;
       Mm.write_value asp ~vaddr:(addr + (123 * page)) ~value:777;
       let pt_before = Mm_pt.Pt.pt_page_count (Addr_space.pt asp) in
@@ -48,7 +48,7 @@ let test_promote_basic () =
 let test_promote_rejects_partial () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let addr = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
       (* Only half the pages are resident. *)
       Mm.touch_range asp ~addr ~len:(mib 1) ~write:true;
       check Alcotest.bool "rejected" false (Mm.promote_huge asp ~vaddr:addr))
@@ -56,7 +56,7 @@ let test_promote_rejects_partial () =
 let test_promote_rejects_cow () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let addr = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
       fill_2mib asp addr;
       let child = Mm.fork asp in
       (* Shared COW pages must not be promoted out from under the child. *)
@@ -71,10 +71,10 @@ let test_promoted_page_unmaps () =
         (Mm_phys.Phys.usage kernel.Kernel.phys).Mm_phys.Phys.anon_bytes
       in
       let before = anon () in
-      let addr = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
       fill_2mib asp addr;
       ignore (Mm.promote_huge asp ~vaddr:addr);
-      Mm.munmap asp ~addr ~len:(mib 2);
+      Mm_compat.munmap asp ~addr ~len:(mib 2);
       (* The whole 512-frame huge block is released. *)
       check Alcotest.int "anon frames released" before (anon ());
       Addr_space.check_well_formed asp)
@@ -82,8 +82,8 @@ let test_promoted_page_unmaps () =
 let test_khugepaged_scans () =
   in_sim (fun () ->
       let _, asp = make_asp () in
-      let a1 = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
-      let a2 = Mm.mmap asp ~addr:(mib 1024) ~len:(mib 2) ~perm:Perm.rw () in
+      let a1 = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let a2 = Mm_compat.mmap asp ~addr:(mib 1024) ~len:(mib 2) ~perm:Perm.rw () in
       fill_2mib asp a1;
       fill_2mib asp a2;
       check Alcotest.int "promotes both regions" 2 (Mm.khugepaged asp);
@@ -93,7 +93,7 @@ let test_auto_thp () =
   in_sim (fun () ->
       let kernel = Kernel.create ~ncpus:1 () in
       let asp = Addr_space.create kernel (Config.with_thp Config.adv) in
-      let addr = Mm.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~addr:(mib 512) ~len:(mib 2) ~perm:Perm.rw () in
       (* Touching the last page completes the leaf: auto-promotion. *)
       fill_2mib asp addr;
       match status_at asp (addr + page) with
@@ -113,7 +113,7 @@ let test_swapd_reclaims_cold () =
   in_sim (fun () ->
       let _, asp = make_asp () in
       let dev = Blockdev.create ~name:"swap0" () in
-      let addr = Mm.mmap asp ~len:(64 * page) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:(64 * page) ~perm:Perm.rw () in
       Mm.touch_range asp ~addr ~len:(64 * page) ~write:true;
       (* Pass 1 strips accessed bits; pass 2 reclaims cold pages. *)
       let stats = Swapd.fresh_stats () in
@@ -127,7 +127,7 @@ let test_swapd_spares_hot () =
   in_sim (fun () ->
       let _, asp = make_asp () in
       let dev = Blockdev.create ~name:"swap0" () in
-      let addr = Mm.mmap asp ~len:(32 * page) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:(32 * page) ~perm:Perm.rw () in
       Mm.touch_range asp ~addr ~len:(32 * page) ~write:true;
       let hot = addr in
       (* Strip everyone's accessed bit, then re-touch only the hot page. *)
@@ -147,7 +147,7 @@ let test_swapd_roundtrip () =
   in_sim (fun () ->
       let _, asp = make_asp () in
       let dev = Blockdev.create ~name:"swap0" () in
-      let addr = Mm.mmap asp ~len:(16 * page) ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:(16 * page) ~perm:Perm.rw () in
       for i = 0 to 15 do
         Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(100 + i)
       done;
@@ -167,7 +167,7 @@ let test_swapd_skips_shared () =
   in_sim (fun () ->
       let _, asp = make_asp () in
       let dev = Blockdev.create ~name:"swap0" () in
-      let addr = Mm.mmap asp ~len:page ~perm:Perm.rw () in
+      let addr = Mm_compat.mmap asp ~len:page ~perm:Perm.rw () in
       Mm.write_value asp ~vaddr:addr ~value:1;
       let child = Mm.fork asp in
       (* COW-shared pages are unreclaimable by the simple daemon. *)

@@ -113,12 +113,12 @@ let test_no_stale_write_after_mprotect () =
   let w = Engine.create ~ncpus:2 in
   let faulted = ref false in
   Engine.spawn w ~cpu:1 (fun () ->
-      ignore (Cortenmm.Mm.mmap asp ~addr ~len:4096 ~perm:Perm.rw ());
+      ignore (Mm_compat.mmap asp ~addr ~len:4096 ~perm:Perm.rw ());
       Cortenmm.Mm.touch asp ~vaddr:addr ~write:true);
   Engine.run w;
   let w = Engine.create ~ncpus:2 in
   Engine.spawn w ~cpu:0 (fun () ->
-      Cortenmm.Mm.mprotect asp ~addr ~len:4096 ~perm:Perm.r);
+      Mm_compat.mprotect asp ~addr ~len:4096 ~perm:Perm.r);
   Engine.run w;
   let w = Engine.create ~ncpus:2 in
   Engine.spawn w ~cpu:1 (fun () ->
@@ -137,7 +137,7 @@ let test_unmap_invalidates_all_cpus () =
   let addr = 0x4000_0000 in
   let w = Engine.create ~ncpus in
   Engine.spawn w ~cpu:0 (fun () ->
-      ignore (Cortenmm.Mm.mmap asp ~addr ~len:4096 ~perm:Perm.rw ()));
+      ignore (Mm_compat.mmap asp ~addr ~len:4096 ~perm:Perm.rw ()));
   Engine.run w;
   let w = Engine.create ~ncpus in
   for c = 0 to ncpus - 1 do
@@ -146,7 +146,7 @@ let test_unmap_invalidates_all_cpus () =
   done;
   Engine.run w;
   let w = Engine.create ~ncpus in
-  Engine.spawn w ~cpu:0 (fun () -> Cortenmm.Mm.munmap asp ~addr ~len:4096);
+  Engine.spawn w ~cpu:0 (fun () -> Mm_compat.munmap asp ~addr ~len:4096);
   Engine.run w;
   (* Every CPU's next access must fault. *)
   let faults = ref 0 in

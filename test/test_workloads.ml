@@ -352,8 +352,8 @@ let fig1_golden_digest = "410ea96e0ba6e825b0134f3917bd1c6e"
 let test_fig1_golden_digest () =
   let e =
     match Mm_experiments.Registry.find "fig1" with
-    | Some e -> e
-    | None -> Alcotest.fail "fig1 not registered"
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
   in
   Mm_workloads.Runner.start_collecting ();
   Mm_workloads.Runner.set_label e.Mm_experiments.Registry.id;
