@@ -404,6 +404,85 @@ let oracle_cmd =
     Term.(
       const run $ path $ profile $ ncpus $ ops $ seed $ every $ systems_arg)
 
+let serve_cmd =
+  let doc =
+    "Open-loop serving mode: drive a fleet of short sessions \
+     (mmap/fault/mprotect/munmap bursts on a seeded Poisson-style arrival \
+     schedule) against the registered systems and report SLO-style \
+     latency percentiles (p50/p99/p999) per system and TLB-shootdown \
+     policy, plus the shootdown accounting (IPIs, batch flushes, worst \
+     deferral stall). Deterministic: equal seeds give byte-identical \
+     reports."
+  in
+  let sessions =
+    Arg.(
+      value & opt int 100_000
+      & info [ "sessions" ] ~doc:"Total sessions across all CPUs.")
+  in
+  let ncpus =
+    Arg.(value & opt int 8 & info [ "cpus" ] ~doc:"Virtual CPUs.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let mix =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "mix" ]
+          ~doc:
+            (Printf.sprintf "Session mix: %s."
+               (String.concat ", " Mm_serve.Mix.names)))
+  in
+  let policies_flag =
+    Arg.(
+      value & opt string "immediate,batched"
+      & info [ "policies" ]
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated TLB shootdown policies to compare: %s."
+               (String.concat ", " Mm_serve.Serve.policy_names)))
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable report here (BENCH_serve.json).")
+  in
+  let run sessions ncpus seed mix policies json systems =
+    let die msg =
+      Printf.eprintf "mmrepro: %s\n" msg;
+      exit 1
+    in
+    let mix =
+      match Mm_serve.Mix.find mix with Ok m -> m | Error msg -> die msg
+    in
+    let policies =
+      List.map
+        (fun name ->
+          match Mm_serve.Serve.find_policy name with
+          | Ok p -> (name, p)
+          | Error msg -> die msg)
+        (String.split_on_char ',' policies)
+    in
+    let systems = resolve_systems systems in
+    let reports =
+      Mm_serve.Serve.run_matrix ~systems ~mix ~policies ~ncpus ~sessions
+        ~seed ()
+    in
+    Printf.printf
+      "serve: %d sessions, %d cpus, mix %s, seed %d (latencies in cycles)\n\n"
+      sessions ncpus mix.Mm_serve.Mix.name seed;
+    print_string (Mm_serve.Serve.table reports);
+    match json with
+    | None -> ()
+    | Some path ->
+      Mm_serve.Serve.write_json ~path ~mix ~ncpus ~sessions ~seed reports;
+      Printf.printf "\nwrote serve report to %s\n" path
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ sessions $ ncpus $ seed $ mix $ policies_flag $ json
+      $ systems_arg)
+
 let schedcheck_cmd =
   let doc =
     "Explore schedules of the concurrent core: run small concurrent cursor \
@@ -551,5 +630,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; verify_cmd; sweep_cmd; trace_cmd; oracle_cmd;
-            schedcheck_cmd;
+            serve_cmd; schedcheck_cmd;
           ]))

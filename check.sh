@@ -47,10 +47,24 @@ if dune exec bin/mmrepro.exe -- schedcheck \
   echo "schedcheck: committed schedule replayed clean"; exit 1
 fi
 
+echo "== serve smoke: open-loop session fleet, determinism =="
+dune exec bin/mmrepro.exe -- serve --sessions 500 --cpus 4 \
+  --json /tmp/serve1.json > /tmp/check_serve.out 2>&1 \
+  || { cat /tmp/check_serve.out; exit 1; }
+tail -n +3 /tmp/check_serve.out | head -n 4
+dune exec bin/mmrepro.exe -- serve --sessions 500 --cpus 4 \
+  --json /tmp/serve2.json > /dev/null
+cmp /tmp/serve1.json /tmp/serve2.json \
+  || { echo "serve: equal seeds gave different JSON"; exit 1; }
+if dune exec bin/mmrepro.exe -- serve --mix bogus > /dev/null 2>&1; then
+  echo "serve: unknown mix NOT rejected"; exit 1
+fi
+
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
 dune exec bin/jsoncheck.exe -- BENCH_wallclock.json
+dune exec bin/jsoncheck.exe -- /tmp/serve1.json
 
 echo "== wall-clock summary =="
 grep -A 100 '## Wall-clock per experiment driver' /tmp/check_bench.out \

@@ -54,7 +54,7 @@ let create ?va kernel (cfg : Config.t) =
     pt = Pt.create kernel.Kernel.phys kernel.Kernel.isa;
     tlb =
       Mm_tlb.Tlb.create ~ncpus:kernel.Kernel.ncpus
-        ~strategy:cfg.Config.tlb_strategy;
+        ~strategy:cfg.Config.tlb_strategy ();
     va =
       (match va with
       | Some v -> v
@@ -169,6 +169,9 @@ type cursor = {
   mutable locked : node list; (* locked nodes, most recent first *)
   mutable tlb_pending : (int * int) list; (* (first vpn, page count) *)
   mutable tlb_targets : int; (* CPUs that may cache the flushed entries *)
+  mutable deferred_frames : Mm_phys.Frame.t list;
+      (* Frames whose free must wait for the commit's shootdown to
+         actually flush (only populated under a batched TLB policy). *)
   mutable committed : bool;
   (* Two walk-cache slots, most recent first: [move_range] alternates
      between source and destination pages, which would thrash one. *)
@@ -220,6 +223,7 @@ let rw_lock t ~lo ~hi =
     locked = [ covering ];
     tlb_pending = [];
     tlb_targets = 0;
+    deferred_frames = [];
     committed = false;
     wc_a = None;
     wc_b = None;
@@ -289,6 +293,7 @@ let adv_lock t ~lo ~hi =
         locked = !locked;
         tlb_pending = [];
         tlb_targets = 0;
+        deferred_frames = [];
         committed = false;
         wc_a = None;
         wc_b = None;
@@ -349,9 +354,30 @@ let commit c =
     Mm_sim.Monitor.emit
       (Mm_sim.Monitor.Txn_committed
          { asp = t.id; cpu = Mm_sim.Engine.cpu_id (); lo = c.lo; hi = c.hi });
+  (* Frames unmapped under a deferring TLB policy are released only once
+     the shootdown that invalidates their translations has actually
+     flushed — [Tlb.shootdown]'s [on_flush] hook (async unmap). The
+     cursor's list is captured here so the callback owns the frames
+     regardless of when the batch completes. *)
+  let deferred = List.rev c.deferred_frames in
+  c.deferred_frames <- [];
+  let free_deferred () =
+    List.iter
+      (fun (frame : Mm_phys.Frame.t) ->
+        charge Mm_sim.Cost.page_free;
+        if Mm_sim.Monitor.on () then
+          Mm_sim.Monitor.emit
+            (Mm_sim.Monitor.Frame_freed
+               {
+                 pfn = frame.Mm_phys.Frame.pfn;
+                 pages = 1 lsl frame.Mm_phys.Frame.order;
+               });
+        Mm_phys.Phys.free t.kernel.Kernel.phys frame)
+      deferred
+  in
   (* Batched TLB shootdown for everything this transaction invalidated. *)
   (match c.tlb_pending with
-  | [] -> ()
+  | [] -> if deferred <> [] then free_deferred ()
   | pending when Mm_sim.Engine.in_fiber () ->
     let total = List.fold_left (fun a (_, n) -> a + n) 0 pending in
     let vpns =
@@ -371,8 +397,12 @@ let commit c =
       Array.init (Array.length t.cpu_mask) (fun i ->
           c.tlb_targets land (1 lsl i) <> 0)
     in
-    Mm_tlb.Tlb.shootdown t.tlb ~targets ~vpns
-  | _ -> ());
+    let on_flush = if deferred = [] then None else Some free_deferred in
+    Mm_tlb.Tlb.shootdown ?on_flush t.tlb ~targets ~vpns
+  | _ ->
+    (* Outside a fiber no shootdown is modelled, so nothing holds the
+       frames back (host-side unit-test path). *)
+    if deferred <> [] then free_deferred ());
   (* Release locks in reverse acquisition order. *)
   (match t.cfg.Config.protocol with
   | Config.Adv ->
@@ -585,6 +615,29 @@ let rewrite_live_leaf t (node : node) idx pte =
 let note_tlb c ~vaddr ~pages =
   c.tlb_pending <- (vpn_of c.asp vaddr, pages) :: c.tlb_pending
 
+(* Release (or defer) one fully-unmapped anonymous frame. Under an
+   [Immediate] TLB policy the free happens right here, as it always has;
+   under a deferring policy the frame joins the cursor's deferred list
+   and is released by the commit shootdown's [on_flush] — after the
+   remote translations are gone, so no CPU can reach a reused frame
+   through a stale TLB entry. *)
+let free_or_defer c (frame : Mm_phys.Frame.t) =
+  let t = c.asp in
+  if Mm_tlb.Tlb.deferring t.tlb then begin
+    c.deferred_frames <- frame :: c.deferred_frames;
+    if Mm_sim.Monitor.on () then
+      Mm_sim.Monitor.emit
+        (Mm_sim.Monitor.Frame_deferred
+           {
+             pfn = frame.Mm_phys.Frame.pfn;
+             pages = 1 lsl frame.Mm_phys.Frame.order;
+           })
+  end
+  else begin
+    charge Mm_sim.Cost.page_free;
+    Mm_phys.Phys.free t.kernel.Kernel.phys frame
+  end
+
 (* Drop one present leaf: clear the PTE and release the physical page(s).
    [idx] addresses the slot in [node]; the leaf may be huge. *)
 let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
@@ -608,10 +661,7 @@ let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
     if
       frame.Mm_phys.Frame.map_count = 0
       && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
-    then begin
-      charge Mm_sim.Cost.page_free;
-      Mm_phys.Phys.free t.kernel.Kernel.phys frame
-    end
+    then free_or_defer c frame
   | Status.M_resident (Status.O_file (file, _))
   | Status.M_resident (Status.O_shm (file, _)) ->
     (* Page-cache pages stay resident in the file object. *)
@@ -621,10 +671,7 @@ let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
     if
       frame.Mm_phys.Frame.map_count = 0
       && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
-    then begin
-      charge Mm_sim.Cost.page_free;
-      Mm_phys.Phys.free t.kernel.Kernel.phys frame
-    end
+    then free_or_defer c frame
   | Status.M_alloc _ | Status.M_swapped _ ->
     failwith "unmap_leaf: inconsistent metadata under a present PTE")
 

@@ -56,7 +56,7 @@ let create ?(isa = Isa.x86_64) ~ncpus () =
     mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ~name:"linux.mmap_lock" ();
     page_table_lock = Mm_sim.Mutex_s.make ~name:"linux.page_table_lock" ();
     stats_line = Mm_sim.Engine.Line.make ();
-    tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync;
+    tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync ();
     va =
       Va_alloc.create ~ncpus ~per_core:false ~va_lo
         ~va_hi:(Geometry.va_limit geo) ~page_size:(Geometry.page_size geo);
@@ -65,6 +65,7 @@ let create ?(isa = Isa.x86_64) ~ncpus () =
 
 let page_size t = Geometry.page_size t.isa.Isa.geo
 let phys t = t.phys
+let tlb t = t.tlb
 let vma_count t = Vma.count t.vmas
 let pt_page_count t = Pt.pt_page_count t.pt
 
@@ -378,7 +379,7 @@ let fork t =
       mmap_lock = Mm_sim.Rwlock_s.make ~bravo:false ~name:"linux.mmap_lock" ();
       page_table_lock = Mm_sim.Mutex_s.make ~name:"linux.page_table_lock" ();
       stats_line = Mm_sim.Engine.Line.make ();
-      tlb = Mm_tlb.Tlb.create ~ncpus:t.ncpus ~strategy:Mm_tlb.Tlb.Sync;
+      tlb = Mm_tlb.Tlb.create ~ncpus:t.ncpus ~strategy:Mm_tlb.Tlb.Sync ();
       va = Va_alloc.clone t.va;
       cpu_mask = Array.make t.ncpus false;
     }

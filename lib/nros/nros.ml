@@ -67,7 +67,7 @@ let create ?(isa = Isa.x86_64) ?(nreplicas = 2) ~ncpus () =
             pt = Pt.create phys isa;
             applied = 0;
           });
-    tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync;
+    tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync ();
     va =
       Va_alloc.create ~ncpus ~per_core:false ~va_lo
         ~va_hi:(Geometry.va_limit geo) ~page_size:(Geometry.page_size geo);
@@ -76,6 +76,7 @@ let create ?(isa = Isa.x86_64) ?(nreplicas = 2) ~ncpus () =
 
 let page_size t = Geometry.page_size t.isa.Isa.geo
 let phys t = t.phys
+let tlb t = t.tlb
 
 let replica_of t ~cpu = t.replicas.(cpu * t.nreplicas / t.ncpus)
 

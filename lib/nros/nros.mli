@@ -12,6 +12,7 @@ exception Fault of int
 val create : ?isa:Mm_hal.Isa.t -> ?nreplicas:int -> ncpus:int -> unit -> t
 val page_size : t -> int
 val phys : t -> Mm_phys.Phys.t
+val tlb : t -> Mm_tlb.Tlb.t
 
 val mmap : t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
 (** Eager: allocates and maps every page through the log. *)

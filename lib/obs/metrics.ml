@@ -53,6 +53,20 @@ let histogram name =
     Hashtbl.replace histograms_tbl name h;
     h
 
+(* A histogram with the same shape but outside the registry: per-run
+   latency recorders (the serving mode makes one per operation class per
+   run) that must not accumulate across runs in one process and must not
+   leak into dump()/histograms(). *)
+let unregistered name =
+  {
+    h_name = name;
+    buckets = Array.make nbuckets 0;
+    n = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
 let bucket_of v =
   if v <= 0 then 0
   else
@@ -72,7 +86,12 @@ let samples h = h.n
 let total h = h.sum
 let max_value h = h.max_v
 
-(* Upper bound of the bucket holding the q-th quantile observation. *)
+(* Upper bound of the bucket holding the q-th quantile observation: the
+   value at rank ceil(q*n) in sorted order lands in some log2 bucket b,
+   and we report that bucket's inclusive upper edge 2^(b+1)-1, clamped to
+   the exact maximum. So for an exact quantile x >= 1 the result r
+   satisfies x <= r <= max(1, 2x-1): never an underestimate, and at most
+   one power of two above (x=0 reports r <= 1, bucket 0's edge). *)
 let quantile h q =
   if h.n = 0 then 0
   else begin

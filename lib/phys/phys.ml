@@ -120,6 +120,8 @@ let alloc t ~kind ?(order = 0) ?(node = 0) () =
     f.Frame.map_count <- 0;
     f.Frame.contents <- 0
   done;
+  if Mm_sim.Monitor.on () then
+    Mm_sim.Monitor.emit (Mm_sim.Monitor.Frame_allocated { pfn; pages = n });
   frame t pfn
 
 let free t (f : Frame.t) =

@@ -78,7 +78,7 @@ let create ?(isa = Isa.x86_64) ~ncpus () =
       ncpus;
       root = make_node ~level:levels;
       pts = Array.make ncpus None;
-      tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync;
+      tlb = Mm_tlb.Tlb.create ~ncpus ~strategy:Mm_tlb.Tlb.Sync ();
       va =
         Va_alloc.create ~ncpus ~per_core:true ~va_lo
           ~va_hi:(Geometry.va_limit geo) ~page_size:(Geometry.page_size geo);
@@ -90,6 +90,7 @@ let create ?(isa = Isa.x86_64) ~ncpus () =
 
 let page_size t = Geometry.page_size t.isa.Isa.geo
 let phys t = t.phys
+let tlb t = t.tlb
 
 let pt_for t ~cpu =
   match t.pts.(cpu) with

@@ -12,6 +12,7 @@ exception Fault of int
 val create : ?isa:Mm_hal.Isa.t -> ncpus:int -> unit -> t
 val page_size : t -> int
 val phys : t -> Mm_phys.Phys.t
+val tlb : t -> Mm_tlb.Tlb.t
 
 val mmap : t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
 val munmap : t -> addr:int -> len:int -> unit

@@ -1,0 +1,70 @@
+(* Session mixes for the open-loop serving mode: each mix is a small
+   statistical description of one class of short-lived tenant — how often
+   sessions arrive (per CPU), how long they think between operations, and
+   what their mmap/fault/mprotect/munmap bursts look like.
+
+   The interarrival means are calibrated against the simulated service
+   times so the default mixes run the systems at moderate utilization:
+   open-loop arrivals keep coming during a slow operation, so a stall
+   (e.g. a synchronous TLB shootdown storm) shows up as queueing delay in
+   the *session* latency tail, exactly like a real load generator. *)
+
+type t = {
+  name : string;
+  desc : string;
+  interarrival : int; (* mean cycles between session arrivals, per CPU *)
+  think : int; (* mean cycles between operations within a session *)
+  min_pages : int; (* per-burst mapping size, pages *)
+  max_pages : int;
+  bursts : int; (* mmap/touch/munmap bursts per session *)
+  mprotect_prob : float; (* chance a burst read-only-seals before unmap *)
+}
+
+let short =
+  {
+    name = "short";
+    desc = "tiny one-burst sessions (1-2 pages), high arrival rate";
+    interarrival = 30_000;
+    think = 500;
+    min_pages = 1;
+    max_pages = 2;
+    bursts = 1;
+    mprotect_prob = 0.0;
+  }
+
+let mixed =
+  {
+    name = "mixed";
+    desc = "two bursts of 1-8 pages, occasional mprotect seal";
+    interarrival = 180_000;
+    think = 1_000;
+    min_pages = 1;
+    max_pages = 8;
+    bursts = 2;
+    mprotect_prob = 0.25;
+  }
+
+let faulty =
+  {
+    name = "faulty";
+    desc = "fault-heavy: one burst of 8-16 pages, every page touched";
+    interarrival = 120_000;
+    think = 500;
+    min_pages = 8;
+    max_pages = 16;
+    bursts = 1;
+    mprotect_prob = 0.0;
+  }
+
+let all = [ short; mixed; faulty ]
+let names = List.map (fun m -> m.name) all
+
+(* Same convention as [System.Registry.find]: the error message carries
+   the valid-name listing so every driver reports it verbatim. *)
+let find name =
+  match List.find_opt (fun m -> m.name = name) all with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown session mix %S (valid: %s)" name
+         (String.concat ", " names))

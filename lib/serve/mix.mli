@@ -1,0 +1,25 @@
+(** Session mixes for the open-loop serving mode: small statistical
+    descriptions of one class of short-lived tenant (arrival rate, think
+    time, burst shape). All means are in simulated cycles. *)
+
+type t = {
+  name : string;
+  desc : string;
+  interarrival : int;  (** mean cycles between session arrivals, per CPU *)
+  think : int;  (** mean cycles between operations within a session *)
+  min_pages : int;  (** per-burst mapping size, pages *)
+  max_pages : int;
+  bursts : int;  (** mmap/touch/munmap bursts per session *)
+  mprotect_prob : float;  (** chance a burst read-only-seals before unmap *)
+}
+
+val short : t
+val mixed : t
+val faulty : t
+val all : t list
+val names : string list
+
+val find : string -> (t, string) result
+(** [find name] is the mix named [name], or [Error msg] where [msg]
+    already includes the valid-name listing — drivers print it
+    verbatim (the {!Mm_workloads.System.Registry.find} convention). *)

@@ -1,0 +1,300 @@
+(* Open-loop serving mode: a seeded session-fleet load generator over any
+   {!Mm_workloads.Backend.S} registry entry, with SLO-style tail-latency
+   reports.
+
+   Unlike the closed-loop microbenchmarks (which issue the next operation
+   only when the previous one returns), sessions here arrive on a fixed
+   virtual-time schedule drawn from per-CPU exponential interarrivals:
+   when the system stalls — say a synchronous TLB shootdown storm — the
+   arrival clock keeps running and the backlog shows up as queueing delay
+   in the session-latency tail. That is the measurement a batched
+   shootdown policy is supposed to move, and what p50 alone would hide.
+
+   Determinism: all randomness flows through per-CPU [Mm_util.Rng]
+   streams derived from the run seed, latency histograms are per-run
+   ({!Mm_obs.Metrics.unregistered}), and the report serializer emits
+   fields in a fixed order — equal seeds give byte-identical JSON. *)
+
+module Engine = Mm_sim.Engine
+module Tlb = Mm_tlb.Tlb
+module Rng = Mm_util.Rng
+module Metrics = Mm_obs.Metrics
+module System = Mm_workloads.System
+module Backend = Mm_workloads.Backend
+module Runner = Mm_workloads.Runner
+module Perm = Mm_hal.Perm
+
+(* -- Shootdown-policy registry -- *)
+
+(* The batched window/size are picked so that a busy CPU fills a batch in
+   well under the window (size-triggered coalescing) while an idle one
+   still drains within one scheduling quantum of deferral. *)
+let batched_default = Tlb.Batched { window = 20_000; max_batch = 32 }
+
+let policies = [ ("immediate", Tlb.Immediate); ("batched", batched_default) ]
+let policy_names = List.map fst policies
+
+let find_policy name =
+  match List.assoc_opt name policies with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown serve policy %S (valid: %s)" name
+         (String.concat ", " policy_names))
+
+(* Wrap a backend so every instance it creates starts under [policy] —
+   lets the differential oracle replay traces against a batched world
+   without any driver knowing about policies. *)
+let with_policy ~policy (b : Backend.b) : Backend.b =
+  let module B = (val b) in
+  (module struct
+    include B
+
+    let create ?isa ~ncpus () =
+      let t = B.create ?isa ~ncpus () in
+      B.set_shootdown_policy t policy;
+      t
+  end : Backend.S)
+
+(* -- Reports -- *)
+
+type phase_stats = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;
+  s_p99 : int;
+  s_p999 : int;
+  s_max : int;
+}
+
+type report = {
+  r_system : string;
+  r_mix : string;
+  r_policy : string;
+  r_sessions : int;
+  r_ops : int;
+  r_cycles : int; (* measured interval, barrier release to last done *)
+  r_mmap : phase_stats;
+  r_fault : phase_stats;
+  r_mprotect : phase_stats;
+  r_munmap : phase_stats;
+  r_session : phase_stats; (* arrival-to-completion, includes queueing *)
+  r_ipis : int;
+  r_batched : int; (* shootdown records deferred to a batch *)
+  r_batch_flushes : int;
+  r_worst_stall : int; (* max enqueue-to-flush age of a deferred record *)
+}
+
+let stats_of h =
+  {
+    s_count = Metrics.samples h;
+    s_mean = Metrics.mean h;
+    s_p50 = Metrics.quantile h 0.5;
+    s_p99 = Metrics.quantile h 0.99;
+    s_p999 = Metrics.quantile h 0.999;
+    s_max = Metrics.max_value h;
+  }
+
+(* Exponential sample with the given mean, truncated to whole cycles. *)
+let exp_sample rng mean =
+  if mean <= 0 then 0
+  else int_of_float (-.log (1.0 -. Rng.float rng) *. float_of_int mean)
+
+(* -- The load generator -- *)
+
+let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
+  let sys = System.of_backend ?isa backend ~ncpus in
+  System.set_shootdown_policy sys policy;
+  let ps = sys.System.page_size in
+  let h_mmap = Metrics.unregistered "serve.mmap"
+  and h_fault = Metrics.unregistered "serve.fault"
+  and h_mprotect = Metrics.unregistered "serve.mprotect"
+  and h_munmap = Metrics.unregistered "serve.munmap"
+  and h_session = Metrics.unregistered "serve.session" in
+  let total_ops = ref 0 in
+  (* Spread the session quota over the CPUs; remainder to the low ids. *)
+  let quota cpu =
+    (sessions / ncpus) + if cpu < sessions mod ncpus then 1 else 0
+  in
+  let measure cpu =
+    (* One independent stream per CPU: arrival order across CPUs is an
+       emergent interleaving, but each CPU's schedule depends only on
+       (seed, cpu). *)
+    let rng = Rng.create ~seed:(seed + ((cpu + 1) * 0x9e3779b9)) in
+    let ops = ref 0 in
+    let op_done () =
+      incr ops;
+      incr total_ops;
+      if !ops mod 8 = 0 then System.timer_tick sys
+    in
+    let think () =
+      let d = exp_sample rng mix.Mix.think in
+      if d > 0 then Engine.tick d
+    in
+    let next_arrival = ref (Engine.now ()) in
+    for _ = 1 to quota cpu do
+      next_arrival := !next_arrival + exp_sample rng mix.Mix.interarrival;
+      (* Open loop: if we are early, wait for the arrival; if the backlog
+         already pushed us past it, start at once — the lateness is the
+         queueing delay and stays inside the session latency. *)
+      if Engine.now () < !next_arrival then Engine.advance_to !next_arrival;
+      let arrival = !next_arrival in
+      for _ = 1 to mix.Mix.bursts do
+        let pages = Rng.int_in rng ~lo:mix.Mix.min_pages ~hi:mix.Mix.max_pages in
+        let len = pages * ps in
+        let t0 = Engine.now () in
+        let addr = System.mmap_exn sys ~len ~perm:Perm.rw () in
+        Metrics.observe h_mmap (Engine.now () - t0);
+        op_done ();
+        think ();
+        for p = 0 to pages - 1 do
+          let t0 = Engine.now () in
+          (match System.touch sys ~vaddr:(addr + (p * ps)) ~write:true with
+          | Ok () -> ()
+          | Error _ -> ());
+          Metrics.observe h_fault (Engine.now () - t0);
+          op_done ()
+        done;
+        think ();
+        (* Draw the seal coin unconditionally so the arrival/size stream
+           stays identical across backends with and without mprotect. *)
+        let seal = Rng.float rng < mix.Mix.mprotect_prob in
+        if seal && System.has_mprotect sys then begin
+          let t0 = Engine.now () in
+          System.mprotect_exn sys ~addr ~len ~perm:Perm.r;
+          Metrics.observe h_mprotect (Engine.now () - t0);
+          op_done ();
+          think ()
+        end;
+        let t0 = Engine.now () in
+        System.munmap_exn sys ~addr ~len;
+        Metrics.observe h_munmap (Engine.now () - t0);
+        op_done ()
+      done;
+      Metrics.observe h_session (Engine.now () - arrival)
+    done
+  in
+  let cycles =
+    Runner.run_phases ~prep:(fun cpu -> System.warm sys ~cpu) ~ncpus ~measure
+      ()
+  in
+  (* Drain: reverting to Immediate completes any still-pending batch, so
+     every deferred frame free lands before we read the counters. *)
+  System.set_shootdown_policy sys Tlb.Immediate;
+  let c = System.tlb_counters sys in
+  {
+    r_system = sys.System.name;
+    r_mix = mix.Mix.name;
+    r_policy = policy_name;
+    r_sessions = sessions;
+    r_ops = !total_ops;
+    r_cycles = cycles;
+    r_mmap = stats_of h_mmap;
+    r_fault = stats_of h_fault;
+    r_mprotect = stats_of h_mprotect;
+    r_munmap = stats_of h_munmap;
+    r_session = stats_of h_session;
+    r_ipis = c.Tlb.ipis;
+    r_batched = c.Tlb.batched;
+    r_batch_flushes = c.Tlb.batch_flushes;
+    r_worst_stall = c.Tlb.worst_stall;
+  }
+
+(* Every (system, policy) combination, in the given order. *)
+let run_matrix ?isa ~systems ~mix ~policies ~ncpus ~sessions ~seed () =
+  List.concat_map
+    (fun (e : System.Registry.entry) ->
+      List.map
+        (fun (policy_name, policy) ->
+          run ?isa ~backend:e.System.Registry.r_backend ~mix ~policy_name
+            ~policy ~ncpus ~sessions ~seed ())
+        policies)
+    systems
+
+(* -- Serialization -- *)
+
+let json_of_stats s =
+  let open Mm_obs in
+  Json.Obj
+    [
+      ("count", Json.Int s.s_count);
+      ("mean", Json.Float s.s_mean);
+      ("p50", Json.Int s.s_p50);
+      ("p99", Json.Int s.s_p99);
+      ("p999", Json.Int s.s_p999);
+      ("max", Json.Int s.s_max);
+    ]
+
+let json_of_report r =
+  let open Mm_obs in
+  Json.Obj
+    [
+      ("system", Json.String r.r_system);
+      ("mix", Json.String r.r_mix);
+      ("policy", Json.String r.r_policy);
+      ("sessions", Json.Int r.r_sessions);
+      ("ops", Json.Int r.r_ops);
+      ("cycles", Json.Int r.r_cycles);
+      ("mmap", json_of_stats r.r_mmap);
+      ("fault", json_of_stats r.r_fault);
+      ("mprotect", json_of_stats r.r_mprotect);
+      ("munmap", json_of_stats r.r_munmap);
+      ("session", json_of_stats r.r_session);
+      ("ipis", Json.Int r.r_ipis);
+      ("batched", Json.Int r.r_batched);
+      ("batch_flushes", Json.Int r.r_batch_flushes);
+      ("worst_stall", Json.Int r.r_worst_stall);
+    ]
+
+let report_json ~mix ~ncpus ~sessions ~seed reports =
+  let open Mm_obs in
+  Json.Obj
+    [
+      ("benchmark", Json.String "serve");
+      ("mix", Json.String mix.Mix.name);
+      ("ncpus", Json.Int ncpus);
+      ("sessions", Json.Int sessions);
+      ("seed", Json.Int seed);
+      ("results", Json.List (List.map json_of_report reports));
+    ]
+
+let write_json ~path ~mix ~ncpus ~sessions ~seed reports =
+  Mm_obs.Json.write_file ~path (report_json ~mix ~ncpus ~sessions ~seed reports)
+
+(* Human-readable SLO table: session latency percentiles (the number an
+   operator would put an objective on) plus the shootdown accounting that
+   explains them. *)
+let table reports =
+  let fmt = string_of_int in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.r_system;
+          r.r_policy;
+          fmt r.r_sessions;
+          fmt r.r_session.s_p50;
+          fmt r.r_session.s_p99;
+          fmt r.r_session.s_p999;
+          fmt r.r_session.s_max;
+          fmt r.r_munmap.s_p99;
+          fmt r.r_ipis;
+          fmt r.r_worst_stall;
+        ])
+      reports
+  in
+  Mm_util.Tablefmt.render
+    ~header:
+      [
+        "system";
+        "policy";
+        "sessions";
+        "sess p50";
+        "sess p99";
+        "sess p999";
+        "sess max";
+        "unmap p99";
+        "ipis";
+        "worst stall";
+      ]
+    rows

@@ -1,0 +1,102 @@
+(** Open-loop serving mode: a seeded session-fleet load generator over
+    any backend-registry entry, with SLO-style tail-latency reports.
+
+    Sessions arrive on a virtual-time schedule drawn from per-CPU
+    exponential interarrivals; the arrival clock keeps running while the
+    system stalls, so backlog shows up as queueing delay in the session
+    latency tail — the measurement a batched TLB-shootdown policy is
+    supposed to move. Equal seeds give byte-identical reports. *)
+
+val batched_default : Mm_tlb.Tlb.policy
+
+val policies : (string * Mm_tlb.Tlb.policy) list
+(** The named policies: ["immediate"], ["batched"]. *)
+
+val policy_names : string list
+
+val find_policy : string -> (Mm_tlb.Tlb.policy, string) result
+(** [Error msg] carries the valid-name listing, for drivers to print
+    verbatim. *)
+
+val with_policy :
+  policy:Mm_tlb.Tlb.policy ->
+  Mm_workloads.Backend.b ->
+  Mm_workloads.Backend.b
+(** Wrap a backend so every instance it creates starts under [policy] —
+    lets the differential oracle replay traces against a batched world
+    without the driver knowing about policies. *)
+
+type phase_stats = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;
+  s_p99 : int;
+  s_p999 : int;
+  s_max : int;
+}
+(** Percentiles are log2-bucket upper bounds (see
+    {!Mm_obs.Metrics.quantile}): within 2x of exact, never under. *)
+
+type report = {
+  r_system : string;
+  r_mix : string;
+  r_policy : string;
+  r_sessions : int;
+  r_ops : int;
+  r_cycles : int;  (** measured interval, barrier release to last done *)
+  r_mmap : phase_stats;
+  r_fault : phase_stats;
+  r_mprotect : phase_stats;
+  r_munmap : phase_stats;
+  r_session : phase_stats;
+      (** arrival-to-completion, includes queueing delay *)
+  r_ipis : int;
+  r_batched : int;  (** shootdown records deferred to a batch *)
+  r_batch_flushes : int;
+  r_worst_stall : int;  (** max enqueue-to-flush age of a deferred record *)
+}
+
+val run :
+  ?isa:Mm_hal.Isa.t ->
+  backend:Mm_workloads.Backend.b ->
+  mix:Mix.t ->
+  policy_name:string ->
+  policy:Mm_tlb.Tlb.policy ->
+  ncpus:int ->
+  sessions:int ->
+  seed:int ->
+  unit ->
+  report
+(** One serving run: [sessions] sessions spread over [ncpus] generator
+    CPUs against a fresh instance of [backend] under [policy]. Ends by
+    reverting the instance to [Immediate], which drains any pending
+    shootdown batch (and its deferred frame frees). *)
+
+val run_matrix :
+  ?isa:Mm_hal.Isa.t ->
+  systems:Mm_workloads.System.Registry.entry list ->
+  mix:Mix.t ->
+  policies:(string * Mm_tlb.Tlb.policy) list ->
+  ncpus:int ->
+  sessions:int ->
+  seed:int ->
+  unit ->
+  report list
+(** Every (system, policy) combination, in the given order. *)
+
+val report_json :
+  mix:Mix.t -> ncpus:int -> sessions:int -> seed:int -> report list ->
+  Mm_obs.Json.t
+
+val write_json :
+  path:string ->
+  mix:Mix.t ->
+  ncpus:int ->
+  sessions:int ->
+  seed:int ->
+  report list ->
+  unit
+
+val table : report list -> string
+(** Human-readable SLO table: session-latency percentiles plus the
+    shootdown accounting that explains them. *)

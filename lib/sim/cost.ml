@@ -80,3 +80,7 @@ let numa_remote_alloc = 320
 
 let latr_publish = 60 (* pushing an entry to the per-CPU LATR buffer *)
 let latr_drain_per_entry = 50 (* background drain on timer tick *)
+
+let batch_enqueue = 40
+(* Appending one shootdown record (vpns + target mask) to the deferred
+   shootdown batch — a core-local queue push, no cross-core traffic. *)

@@ -121,3 +121,7 @@ val latr_publish : int
 
 val latr_drain_per_entry : int
 (** Background drain on timer tick. *)
+
+val batch_enqueue : int
+(** Appending one shootdown record (vpns + target mask) to the deferred
+    shootdown batch — a core-local queue push, no cross-core traffic. *)

@@ -24,6 +24,14 @@ type event =
   | Rcu_fire of { cb : int }
   | Txn_locked of { asp : int; cpu : int; lo : int; hi : int }
   | Txn_committed of { asp : int; cpu : int; lo : int; hi : int }
+  | Frame_deferred of { pfn : int; pages : int }
+      (* The frame's free was deferred behind a pending (batched) TLB
+         shootdown; it must not be reallocated until Frame_freed. *)
+  | Frame_freed of { pfn : int; pages : int }
+      (* A previously deferred frame was released when its batch flushed. *)
+  | Frame_allocated of { pfn : int; pages : int }
+      (* Any frame allocation (emitted only while a monitor is
+         installed) — lets a checker detect reuse-before-flush. *)
 
 let hook : (event -> unit) option ref = ref None
 let set f = hook := Some f

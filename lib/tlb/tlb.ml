@@ -8,7 +8,20 @@
    The model keeps real per-CPU translation tables (vpn -> pfn) so tests
    can detect stale translations, and charges the initiating CPU the cost
    profile of the selected strategy. Linux's baseline uses the synchronous
-   broadcast strategy. *)
+   broadcast strategy.
+
+   Orthogonal to the strategy, a shootdown *policy* decides WHEN the
+   remote work happens (an extension the paper does not have):
+
+   - [Immediate] (default): remote invalidation at the shootdown call,
+     exactly the historical behavior — byte-identical simulated outputs.
+   - [Batched]: the initiator still flushes its own TLB immediately (it
+     just modified the translation), but the remote work is appended to a
+     bounded deferral queue and completed in one coalesced round when the
+     batch fills ([max_batch] records) or ages out ([window] cycles,
+     checked on timer ticks). Callers may attach an [on_flush] callback
+     to a shootdown — the hook the core uses to defer frame frees until
+     the stale remote translations are gone (async unmap). *)
 
 type strategy = Sync | Early_ack | Latr
 
@@ -17,12 +30,29 @@ let strategy_to_string = function
   | Early_ack -> "early-ack"
   | Latr -> "latr"
 
+type policy = Immediate | Batched of { window : int; max_batch : int }
+
+let policy_to_string = function
+  | Immediate -> "immediate"
+  | Batched _ -> "batched"
+
 type counters = {
   mutable shootdowns : int;
   mutable ipis : int;
   mutable local_flushes : int;
   mutable latr_published : int;
   mutable latr_drained : int;
+  mutable batched : int; (* shootdown records deferred to a batch *)
+  mutable batch_flushes : int; (* coalesced rounds performed *)
+  mutable worst_stall : int; (* max enqueue-to-flush age, cycles *)
+}
+
+(* One deferred shootdown: what [shootdown] would have done remotely. *)
+type batch_entry = {
+  be_vpns : int list;
+  be_remote : int list;
+  be_enqueued : int; (* virtual time at enqueue (0 outside a fiber) *)
+  be_on_flush : (unit -> unit) option;
 }
 
 type t = {
@@ -35,9 +65,13 @@ type t = {
          every access, TLB hit or not. *)
   pending : int Queue.t array; (* per cpu: vpns awaiting a lazy flush *)
   counters : counters;
+  mutable policy : policy;
+  mutable batch : batch_entry list; (* newest first *)
+  mutable batch_n : int;
+  mutable batch_oldest : int; (* enqueue time of the oldest record *)
 }
 
-let create ~ncpus ~strategy =
+let create ?(policy = Immediate) ~ncpus ~strategy () =
   {
     ncpus;
     strategy;
@@ -50,7 +84,14 @@ let create ~ncpus ~strategy =
         local_flushes = 0;
         latr_published = 0;
         latr_drained = 0;
+        batched = 0;
+        batch_flushes = 0;
+        worst_stall = 0;
       };
+    policy;
+    batch = [];
+    batch_n = 0;
+    batch_oldest = 0;
   }
 
 let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
@@ -72,18 +113,10 @@ let flush_local t ~cpu ~vpns =
     + (Mm_sim.Cost.tlb_flush_page * max 0 (List.length vpns - 1)));
   List.iter (fun vpn -> Hashtbl.remove t.entries.(cpu) vpn) vpns
 
-(* Invalidate [vpns] on every CPU whose bit is set in [targets]; the
-   current CPU's flush is always immediate and local. *)
-let shootdown t ~targets ~vpns =
-  let self = Mm_sim.Engine.cpu_id () in
-  t.counters.shootdowns <- t.counters.shootdowns + 1;
-  flush_local t ~cpu:self ~vpns;
-  let remote =
-    List.filter
-      (fun c -> c <> self && c < t.ncpus && targets.(c))
-      (List.init t.ncpus Fun.id)
-  in
-  (match (t.strategy, remote) with
+(* The remote half of one shootdown under the selected strategy; shared
+   by the immediate path and the batch flush (which passes the union). *)
+let remote_invalidate t ~remote ~vpns =
+  match (t.strategy, remote) with
   | _, [] -> ()
   | Sync, remote ->
     (* Send IPIs in parallel, wait for every acknowledgement. *)
@@ -116,12 +149,112 @@ let shootdown t ~targets ~vpns =
             t.counters.latr_published <- t.counters.latr_published + 1)
           vpns)
       remote;
-    charge (Mm_sim.Cost.latr_publish * List.length vpns));
+    charge (Mm_sim.Cost.latr_publish * List.length vpns)
+
+(* Complete every deferred record in one coalesced round: the remote CPUs
+   of the whole batch are reached once (one IPI fan-out under Sync /
+   Early_ack, one publish pass under LATR) instead of once per record.
+   Runs the records' [on_flush] callbacks in enqueue order and tracks the
+   worst enqueue-to-flush stall. Whoever triggers the flush pays. *)
+let flush_batch t =
+  if t.batch <> [] then begin
+    let records = List.rev t.batch in
+    t.batch <- [];
+    t.batch_n <- 0;
+    (* One round over the union of the records' remote targets. The
+       per-record vpn sets are invalidated precisely; the coalescing
+       saves the per-record IPI send + ack latency, not the invalidation
+       work itself. *)
+    let union = Array.make t.ncpus false in
+    List.iter
+      (fun r -> List.iter (fun c -> union.(c) <- true) r.be_remote)
+      records;
+    let remote =
+      List.filter (fun c -> union.(c)) (List.init t.ncpus Fun.id)
+    in
+    (match (t.strategy, remote) with
+    | _, [] -> ()
+    | (Sync | Early_ack), remote ->
+      t.counters.ipis <- t.counters.ipis + List.length remote;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun c ->
+              List.iter (fun vpn -> Hashtbl.remove t.entries.(c) vpn) r.be_vpns)
+            r.be_remote)
+        records;
+      charge
+        ((Mm_sim.Cost.ipi_send * List.length remote)
+        + (if t.strategy = Sync then Mm_sim.Cost.ipi_ack_wait
+           else Mm_sim.Cost.ipi_ack_wait_early))
+    | Latr, _ ->
+      List.iter
+        (fun r -> remote_invalidate t ~remote:r.be_remote ~vpns:r.be_vpns)
+        records);
+    t.counters.batch_flushes <- t.counters.batch_flushes + 1;
+    let now =
+      if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.now ()
+      else
+        List.fold_left (fun a r -> max a r.be_enqueued) 0 records
+    in
+    List.iter
+      (fun r ->
+        let stall = max 0 (now - r.be_enqueued) in
+        if stall > t.counters.worst_stall then t.counters.worst_stall <- stall;
+        if Mm_obs.Trace.on () then
+          Mm_obs.Metrics.observe
+            (Mm_obs.Metrics.histogram "tlb.batch_stall_cycles")
+            stall;
+        match r.be_on_flush with Some f -> f () | None -> ())
+      records;
+    if Mm_obs.Trace.on () then
+      Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "tlb.batch_flushes")
+  end
+
+(* Invalidate [vpns] on every CPU whose bit is set in [targets]; the
+   current CPU's flush is always immediate and local (it just modified
+   the translation), under either policy. *)
+let shootdown ?on_flush t ~targets ~vpns =
+  let self = Mm_sim.Engine.cpu_id () in
+  t.counters.shootdowns <- t.counters.shootdowns + 1;
+  flush_local t ~cpu:self ~vpns;
+  let remote =
+    List.filter
+      (fun c -> c <> self && c < t.ncpus && targets.(c))
+      (List.init t.ncpus Fun.id)
+  in
+  let deferred =
+    match t.policy with
+    | Immediate ->
+      remote_invalidate t ~remote ~vpns;
+      (match on_flush with Some f -> f () | None -> ());
+      false
+    | Batched { max_batch; window = _ } ->
+      if remote = [] then begin
+        (* No remote CPU can hold a stale translation: nothing to defer,
+           so any dependent work (deferred frees) may run now. *)
+        (match on_flush with Some f -> f () | None -> ());
+        false
+      end
+      else begin
+        let at = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.now () else 0 in
+        if t.batch_n = 0 then t.batch_oldest <- at;
+        t.batch <-
+          { be_vpns = vpns; be_remote = remote; be_enqueued = at;
+            be_on_flush = on_flush }
+          :: t.batch;
+        t.batch_n <- t.batch_n + 1;
+        t.counters.batched <- t.counters.batched + 1;
+        charge Mm_sim.Cost.batch_enqueue;
+        if t.batch_n >= max_batch then flush_batch t;
+        true
+      end
+  in
   if Mm_obs.Trace.on () then begin
     let nremote = List.length remote in
     let ipis =
       match t.strategy with
-      | (Sync | Early_ack) when nremote > 0 -> nremote
+      | (Sync | Early_ack) when nremote > 0 && not deferred -> nremote
       | _ -> 0
     in
     Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "tlb.shootdowns");
@@ -136,8 +269,9 @@ let shootdown t ~targets ~vpns =
 (* Full shootdown: invalidate the targets' entire TLBs (what a kernel
    does beyond a per-page threshold, and what kswapd does after a batch
    of reference-bit clears). Always synchronous — a full flush cannot be
-   deferred page-by-page. *)
+   deferred page-by-page — so any pending batch is completed first. *)
 let shootdown_full t ~targets =
+  flush_batch t;
   let self = Mm_sim.Engine.cpu_id () in
   t.counters.shootdowns <- t.counters.shootdowns + 1;
   charge Mm_sim.Cost.tlb_flush_local;
@@ -177,8 +311,25 @@ let timer_tick t ~cpu =
       Mm_obs.Metrics.add (Mm_obs.Metrics.counter "tlb.latr_drained") n;
       Mm_sim.Engine.obs (Mm_obs.Event.Tlb_latr_drain { entries = n })
     end
-  end
+  end;
+  match t.policy with
+  | Batched { window; max_batch = _ }
+    when t.batch_n > 0
+         && Mm_sim.Engine.in_fiber ()
+         && Mm_sim.Engine.now () >= t.batch_oldest + window ->
+    flush_batch t
+  | _ -> ()
 
 let pending_count t ~cpu = Queue.length t.pending.(cpu)
 let counters t = t.counters
 let strategy t = t.strategy
+let policy t = t.policy
+let deferring t = t.policy <> Immediate
+let batch_pending t = t.batch_n
+let flush_pending t = flush_batch t
+
+(* Switching policies completes any pending batch first (under the old
+   accounting), so no deferred work is ever lost. *)
+let set_policy t p =
+  flush_batch t;
+  t.policy <- p

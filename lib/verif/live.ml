@@ -16,7 +16,12 @@
      simultaneously;
    - RCU grace periods: a deferred callback must not fire until every
      CPU that was inside a read-side critical section at defer time has
-     exited it (tracked with per-CPU quiescence epochs).
+     exited it (tracked with per-CPU quiescence epochs);
+
+   - deferred frame frees (batched TLB shootdown): a frame whose free
+     was deferred behind a pending shootdown must not be reallocated
+     before that shootdown flushes — a reuse inside the window would be
+     reachable through a stale remote TLB entry.
 
    Violations are *sticky* — recorded, never raised — so a schedule
    explorer can finish the run, collect every violation, and still
@@ -36,6 +41,8 @@ type t = {
   rcu_in_rs : bool array;
   rcu_defers : (int, (int * int) list) Hashtbl.t;
       (* cb id -> [(cpu, epoch at defer)] still required to advance *)
+  pending_frames : (int, int) Hashtbl.t;
+      (* pfn -> pages: frames deferred behind an unflushed shootdown *)
   mutable txns : txn list;
   mutable violations : string list; (* newest first *)
   mutable events : int;
@@ -51,6 +58,7 @@ let create ~ncpus =
     rcu_epoch = Array.make ncpus 0;
     rcu_in_rs = Array.make ncpus false;
     rcu_defers = Hashtbl.create 64;
+    pending_frames = Hashtbl.create 64;
     txns = [];
     violations = [];
     events = 0;
@@ -160,6 +168,23 @@ let observe t (ev : Mm_sim.Monitor.event) =
     if not !found then
       violate t "asp#%d: cpu %d committed a transaction it never locked" asp
         cpu
+  | Frame_deferred { pfn; pages } ->
+    if Hashtbl.mem t.pending_frames pfn then
+      violate t "frame %#x: deferred twice without an intervening flush" pfn;
+    Hashtbl.replace t.pending_frames pfn pages
+  | Frame_freed { pfn; pages = _ } ->
+    if not (Hashtbl.mem t.pending_frames pfn) then
+      violate t "frame %#x: flush-freed but never deferred" pfn
+    else Hashtbl.remove t.pending_frames pfn
+  | Frame_allocated { pfn; pages } ->
+    Hashtbl.iter
+      (fun p0 n0 ->
+        if pfn < p0 + n0 && p0 < pfn + pages then
+          violate t
+            "frame %#x: reused (allocated) before its pending shootdown \
+             flushed (deferred as %#x+%d)"
+            pfn p0 n0)
+      t.pending_frames
 
 let violations t = List.rev t.violations
 let ok t = t.violations = []
@@ -182,4 +207,12 @@ let check_quiescent t =
       violate t "asp#%d: cpu %d transaction [0x%x,0x%x) never committed"
         o.t_asp o.t_cpu o.t_lo o.t_hi)
     t.txns;
-  t.txns <- []
+  t.txns <- [];
+  Hashtbl.iter
+    (fun pfn _ ->
+      violate t
+        "frame %#x: free still deferred at end (its shootdown batch never \
+         flushed)"
+        pfn)
+    t.pending_frames;
+  Hashtbl.reset t.pending_frames

@@ -85,6 +85,17 @@ module type S = sig
 
   val timer_tick : t -> unit
   val mem_stats : t -> mem_stats
+
+  val set_shootdown_policy : t -> Mm_tlb.Tlb.policy -> unit
+  (** Install a TLB shootdown policy on the backend's (primary) TLB —
+      [Immediate] is every backend's default and the historical,
+      byte-identical behavior. Setting a policy completes any pending
+      batch first, so a driver can end a batched run with
+      [set_shootdown_policy t Mm_tlb.Tlb.Immediate] to drain. *)
+
+  val tlb_counters : t -> Mm_tlb.Tlb.counters
+  (** Shootdown accounting (IPIs, batch flushes, worst deferral stall)
+      of the same TLB, for the serving-mode SLO reports. *)
 end
 
 type b = (module S)

@@ -63,6 +63,12 @@ let make cfg : Backend.b =
 
     let timer_tick t = Cortenmm.Mm.timer_tick t.asp
 
+    let set_shootdown_policy t p =
+      Mm_tlb.Tlb.set_policy (Cortenmm.Addr_space.tlb t.asp) p
+
+    let tlb_counters t =
+      Mm_tlb.Tlb.counters (Cortenmm.Addr_space.tlb t.asp)
+
     let mem_stats t =
       let s = Cortenmm.Addr_space.mem_stats t.asp in
       let u = Mm_phys.Phys.usage t.kernel.Cortenmm.Kernel.phys in

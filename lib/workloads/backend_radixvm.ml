@@ -45,7 +45,12 @@ let backend : Backend.b =
       | `Lazy w -> Backend.P_mapped { writable = w; resident = false }
       | `Resident w -> Backend.P_mapped { writable = w; resident = true }
 
-    let timer_tick _ = ()
+    let timer_tick t =
+      if Mm_sim.Engine.in_fiber () then
+        Mm_tlb.Tlb.timer_tick (R.tlb t) ~cpu:(Mm_sim.Engine.cpu_id ())
+
+    let set_shootdown_policy t p = Mm_tlb.Tlb.set_policy (R.tlb t) p
+    let tlb_counters t = Mm_tlb.Tlb.counters (R.tlb t)
 
     let mem_stats t =
       let u = Mm_phys.Phys.usage (R.phys t) in

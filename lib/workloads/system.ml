@@ -142,6 +142,14 @@ let mem_stats t =
   let (Instance ((module B), st)) = t.instance in
   B.mem_stats st
 
+let set_shootdown_policy t p =
+  let (Instance ((module B), st)) = t.instance in
+  B.set_shootdown_policy st p
+
+let tlb_counters t =
+  let (Instance ((module B), st)) = t.instance in
+  B.tlb_counters st
+
 (* -- Exception bridges for drivers that treat failure as fatal -- *)
 
 let ok_exn = function Ok v -> v | Error e -> raise (Errno.Error e)

@@ -103,6 +103,15 @@ val page_state : t -> vaddr:int -> page_state
 val timer_tick : t -> unit
 val mem_stats : t -> mem_stats
 
+val set_shootdown_policy : t -> Mm_tlb.Tlb.policy -> unit
+(** Install a TLB shootdown policy on the instance's (primary) TLB.
+    Setting a policy completes any pending batch first, so ending a
+    batched run with [set_shootdown_policy t Mm_tlb.Tlb.Immediate]
+    drains all deferred work. *)
+
+val tlb_counters : t -> Mm_tlb.Tlb.counters
+(** Shootdown accounting (IPIs, batch flushes, worst deferral stall). *)
+
 val mmap_exn :
   t -> ?addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit -> int
 

@@ -270,6 +270,63 @@ let test_stale_retries_agree () =
     (Cortenmm.Addr_space.stale_retries asp)
     traced
 
+(* -- Quantile error bounds --
+
+   [Metrics.quantile] documents: for an exact rank-ceil(q*n) value
+   x >= 1, the reported r satisfies x <= r <= max 1 (2x - 1) (and an
+   exact 0 reports at most 1). Check it against exact sorted-sample
+   percentiles over adversarial and random distributions. *)
+
+let exact_quantile values q =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(rank - 1)
+
+let check_quantile_bounds ~name values =
+  let h = Metrics.unregistered name in
+  List.iter (Metrics.observe h) values;
+  List.iter
+    (fun q ->
+      let exact = exact_quantile values q in
+      let approx = Metrics.quantile h q in
+      let ub = if exact <= 0 then 1 else max 1 ((2 * exact) - 1) in
+      check Alcotest.bool
+        (Printf.sprintf "%s q=%.3f: %d <= %d (never under)" name q exact
+           approx)
+        true (approx >= exact);
+      check Alcotest.bool
+        (Printf.sprintf "%s q=%.3f: %d <= %d (within 2x)" name q approx ub)
+        true (approx <= ub))
+    [ 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let test_quantile_bounds () =
+  check_quantile_bounds ~name:"uniform" (List.init 1000 (fun i -> i + 1));
+  check_quantile_bounds ~name:"constant" (List.init 100 (fun _ -> 42));
+  check_quantile_bounds ~name:"powers"
+    (List.init 500 (fun i -> 1 lsl (i mod 20)));
+  check_quantile_bounds ~name:"bucket-edges"
+    (List.concat_map (fun b -> [ (1 lsl b) - 1; 1 lsl b; (1 lsl b) + 1 ])
+       (List.init 15 (fun b -> b + 1)));
+  check_quantile_bounds ~name:"with-zeros"
+    (0 :: 0 :: 0 :: List.init 50 (fun i -> i));
+  let rng = Mm_util.Rng.create ~seed:7 in
+  check_quantile_bounds ~name:"random-heavy-tail"
+    (List.init 2000 (fun _ ->
+         let base = Mm_util.Rng.int rng 1000 in
+         if Mm_util.Rng.int rng 100 < 2 then base * 1000 else base))
+
+let test_quantile_registry_independence () =
+  (* unregistered histograms with one name do not share state, and never
+     appear in the global enumeration. *)
+  let a = Metrics.unregistered "indep" and b = Metrics.unregistered "indep" in
+  Metrics.observe a 100;
+  check Alcotest.int "a has the sample" 1 (Metrics.samples a);
+  check Alcotest.int "b does not" 0 (Metrics.samples b);
+  check Alcotest.bool "not in the registry" true
+    (not (List.exists (fun (n, _) -> n = "indep") (Metrics.histograms ())))
+
 let () =
   Alcotest.run "obs"
     [
@@ -296,6 +353,10 @@ let () =
       ( "registries",
         [
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "quantile error bounds" `Quick
+            test_quantile_bounds;
+          Alcotest.test_case "unregistered histograms independent" `Quick
+            test_quantile_registry_independence;
           Alcotest.test_case "contention ranking" `Quick
             test_contention_ranking;
         ] );

@@ -95,6 +95,96 @@ let test_live_quiescent () =
   Live.check_quiescent live;
   check bool "held lock flagged at quiescence" false (Live.ok live)
 
+(* -- Deferred frame frees (batched TLB shootdown) -- *)
+
+let test_live_frame_reuse () =
+  (* Reallocation overlapping a deferred-but-unflushed frame is the
+     stale-translation use-after-free the batched policy must prevent. *)
+  let bad =
+    feed
+      [
+        Monitor.Frame_deferred { pfn = 100; pages = 2 };
+        Monitor.Frame_allocated { pfn = 101; pages = 1 };
+      ]
+  in
+  check bool "reuse before flush is a violation" false (Live.ok bad);
+  let good =
+    feed
+      [
+        Monitor.Frame_deferred { pfn = 100; pages = 2 };
+        Monitor.Frame_freed { pfn = 100; pages = 2 };
+        Monitor.Frame_allocated { pfn = 100; pages = 2 };
+      ]
+  in
+  Live.check_quiescent good;
+  check bool "reuse after flush is clean" true (Live.ok good);
+  let unrelated =
+    feed
+      [
+        Monitor.Frame_deferred { pfn = 100; pages = 2 };
+        Monitor.Frame_allocated { pfn = 102; pages = 4 };
+      ]
+  in
+  check bool "disjoint allocation is fine" true (Live.ok unrelated)
+
+let test_live_frame_quiescence () =
+  let live = feed [ Monitor.Frame_deferred { pfn = 7; pages = 1 } ] in
+  check bool "no violation while running" true (Live.ok live);
+  Live.check_quiescent live;
+  check bool "never-flushed deferral flagged at end" false (Live.ok live)
+
+(* The real thing: a multi-CPU CortenMM world under the batched policy.
+   Every CPU touches a shared region (so its unmap has remote shootdown
+   targets), one CPU unmaps (frames defer behind the batch), and a later
+   timer tick ages the batch out. The live checker must see deferrals
+   resolve with no reuse-before-flush. *)
+let test_live_batched_unmap_clean () =
+  let ncpus = 4 in
+  let live = Live.create ~ncpus in
+  let deferred = ref 0 and freed = ref 0 in
+  Monitor.set (fun ev ->
+      (match ev with
+      | Monitor.Frame_deferred _ -> incr deferred
+      | Monitor.Frame_freed _ -> incr freed
+      | _ -> ());
+      Live.observe live ev);
+  Fun.protect ~finally:Monitor.clear @@ fun () ->
+  let module Engine = Mm_sim.Engine in
+  let kernel = Cortenmm.Kernel.create ~ncpus () in
+  let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
+  Mm_tlb.Tlb.set_policy
+    (Cortenmm.Addr_space.tlb asp)
+    (Mm_tlb.Tlb.Batched { window = 10_000; max_batch = 64 });
+  let addr = 0x4000_0000 and pages = 4 in
+  let len = pages * 4096 in
+  let w = Engine.create ~ncpus in
+  Engine.spawn w ~cpu:0 (fun () ->
+      ignore (Mm_compat.mmap asp ~addr ~len ~perm:Mm_hal.Perm.rw ()));
+  Engine.run w;
+  let w = Engine.create ~ncpus in
+  for c = 0 to ncpus - 1 do
+    Engine.spawn w ~cpu:c (fun () ->
+        for p = 0 to pages - 1 do
+          Cortenmm.Mm.touch asp ~vaddr:(addr + (p * 4096)) ~write:false
+        done)
+  done;
+  Engine.run w;
+  let w = Engine.create ~ncpus in
+  Engine.spawn w ~cpu:0 (fun () ->
+      Mm_compat.munmap asp ~addr ~len;
+      check bool "frees were deferred" true (!deferred > 0);
+      check int "not freed while the batch is pending" 0 !freed;
+      (* Age the batch past its window; the tick flushes it. *)
+      Engine.tick 20_000;
+      Cortenmm.Mm.timer_tick asp);
+  Engine.run w;
+  check int "every deferred frame was freed by the flush" !deferred !freed;
+  Live.check_quiescent live;
+  (match Live.violations live with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "live checker violation: %s" v);
+  check bool "clean" true (Live.ok live)
+
 (* -- Schedule files -- *)
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -198,6 +288,12 @@ let () =
           Alcotest.test_case "rcu grace period" `Quick
             test_live_rcu_grace_period;
           Alcotest.test_case "quiescence" `Quick test_live_quiescent;
+          Alcotest.test_case "frame reuse before flush" `Quick
+            test_live_frame_reuse;
+          Alcotest.test_case "frame deferral quiescence" `Quick
+            test_live_frame_quiescence;
+          Alcotest.test_case "batched unmap clean (corten, 4 cpus)" `Quick
+            test_live_batched_unmap_clean;
         ] );
       ( "schedule",
         [

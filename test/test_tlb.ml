@@ -16,7 +16,7 @@ let in_sim ?(ncpus = 1) f =
   match !result with Some v -> v | None -> Alcotest.fail "fiber died"
 
 let test_install_lookup () =
-  let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Sync in
+  let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Sync () in
   Tlb.install t ~cpu:0 ~vpn:100 ~pfn:7 ~writable:true ();
   let pfn_at ~cpu ~vpn ~write =
     Option.map fst (Tlb.lookup t ~cpu ~vpn ~write)
@@ -29,7 +29,7 @@ let test_install_lookup () =
     (pfn_at ~cpu:1 ~vpn:100 ~write:false)
 
 let test_readonly_entry_blocks_write () =
-  let t = Tlb.create ~ncpus:1 ~strategy:Tlb.Sync in
+  let t = Tlb.create ~ncpus:1 ~strategy:Tlb.Sync () in
   Tlb.install t ~cpu:0 ~vpn:5 ~pfn:9 ~writable:false ();
   check (Alcotest.option Alcotest.int) "read hit" (Some 9)
     (Option.map fst (Tlb.lookup t ~cpu:0 ~vpn:5 ~write:false));
@@ -38,7 +38,7 @@ let test_readonly_entry_blocks_write () =
 
 let test_sync_shootdown () =
   in_sim ~ncpus:4 (fun () ->
-      let t = Tlb.create ~ncpus:4 ~strategy:Tlb.Sync in
+      let t = Tlb.create ~ncpus:4 ~strategy:Tlb.Sync () in
       for c = 0 to 3 do
         Tlb.install t ~cpu:c ~vpn:42 ~pfn:1 ~writable:true ()
       done;
@@ -59,7 +59,7 @@ let test_sync_shootdown () =
 let test_early_ack_cheaper () =
   let cost strategy =
     in_sim ~ncpus:4 (fun () ->
-        let t = Tlb.create ~ncpus:4 ~strategy in
+        let t = Tlb.create ~ncpus:4 ~strategy () in
         for c = 0 to 3 do
           Tlb.install t ~cpu:c ~vpn:7 ~pfn:1 ~writable:true ()
         done;
@@ -72,7 +72,7 @@ let test_early_ack_cheaper () =
 
 let test_latr_defers () =
   in_sim ~ncpus:2 (fun () ->
-      let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Latr in
+      let t = Tlb.create ~ncpus:2 ~strategy:Tlb.Latr () in
       Tlb.install t ~cpu:1 ~vpn:9 ~pfn:3 ~writable:true ();
       Tlb.shootdown t ~targets:[| true; true |] ~vpns:[ 9 ];
       (* No IPI; the remote entry survives until the next timer tick. *)
@@ -89,7 +89,7 @@ let test_latr_defers () =
 let test_latr_initiator_cheap () =
   let cost strategy =
     in_sim ~ncpus:8 (fun () ->
-        let t = Tlb.create ~ncpus:8 ~strategy in
+        let t = Tlb.create ~ncpus:8 ~strategy () in
         let t0 = Engine.now () in
         Tlb.shootdown t
           ~targets:(Array.make 8 true)
@@ -101,6 +101,128 @@ let test_latr_initiator_cheap () =
     (Printf.sprintf "latr (%d) << sync (%d)" latr sync)
     true
     (latr * 3 < sync)
+
+(* -- Batched/deferred shootdown policy -- *)
+
+let batched ~window ~max_batch = Tlb.Batched { window; max_batch }
+
+let lookup_pfn t ~cpu ~vpn =
+  Option.map fst (Tlb.lookup t ~cpu ~vpn ~write:false)
+
+let test_batched_size_trigger () =
+  in_sim ~ncpus:4 (fun () ->
+      let t =
+        Tlb.create
+          ~policy:(batched ~window:1_000_000 ~max_batch:3)
+          ~ncpus:4 ~strategy:Tlb.Sync ()
+      in
+      for c = 0 to 3 do
+        List.iter
+          (fun vpn -> Tlb.install t ~cpu:c ~vpn ~pfn:vpn ~writable:true ())
+          [ 1; 2; 3 ]
+      done;
+      Tlb.shootdown t ~targets:[| false; true; false; false |] ~vpns:[ 1 ];
+      Tlb.shootdown t ~targets:[| false; true; false; false |] ~vpns:[ 2 ];
+      (* Deferred: the remote entries are stale but present, no IPI yet;
+         the initiator's own entries are flushed immediately. *)
+      check Alcotest.int "no ipis yet" 0 (Tlb.counters t).Tlb.ipis;
+      check Alcotest.int "two records pending" 2 (Tlb.batch_pending t);
+      check (Alcotest.option Alcotest.int) "remote entry still present"
+        (Some 1) (lookup_pfn t ~cpu:1 ~vpn:1);
+      check (Alcotest.option Alcotest.int) "own entry flushed" None
+        (lookup_pfn t ~cpu:0 ~vpn:1);
+      Tlb.shootdown t ~targets:[| false; true; false; false |] ~vpns:[ 3 ];
+      (* The third record fills the batch: one coalesced round reaches the
+         single remote CPU once, not three times. *)
+      check Alcotest.int "batch empty after flush" 0 (Tlb.batch_pending t);
+      check Alcotest.int "one coalesced ipi" 1 (Tlb.counters t).Tlb.ipis;
+      check Alcotest.int "flush counted" 1 (Tlb.counters t).Tlb.batch_flushes;
+      check Alcotest.int "records counted" 3 (Tlb.counters t).Tlb.batched;
+      List.iter
+        (fun vpn ->
+          check (Alcotest.option Alcotest.int)
+            (Printf.sprintf "vpn %d invalidated on cpu1" vpn)
+            None (lookup_pfn t ~cpu:1 ~vpn))
+        [ 1; 2; 3 ])
+
+let test_batched_window_trigger () =
+  in_sim ~ncpus:2 (fun () ->
+      let t =
+        Tlb.create
+          ~policy:(batched ~window:5_000 ~max_batch:100)
+          ~ncpus:2 ~strategy:Tlb.Sync ()
+      in
+      Tlb.install t ~cpu:1 ~vpn:9 ~pfn:3 ~writable:true ();
+      Tlb.shootdown t ~targets:[| true; true |] ~vpns:[ 9 ];
+      check Alcotest.int "deferred" 1 (Tlb.batch_pending t);
+      Tlb.timer_tick t ~cpu:0;
+      check Alcotest.int "young batch survives the tick" 1
+        (Tlb.batch_pending t);
+      Engine.tick 10_000;
+      Tlb.timer_tick t ~cpu:0;
+      check Alcotest.int "aged batch flushed" 0 (Tlb.batch_pending t);
+      check (Alcotest.option Alcotest.int) "invalidated" None
+        (lookup_pfn t ~cpu:1 ~vpn:9);
+      check Alcotest.bool "stall recorded" true
+        ((Tlb.counters t).Tlb.worst_stall >= 10_000))
+
+let test_batched_on_flush_fifo () =
+  in_sim ~ncpus:2 (fun () ->
+      let t =
+        Tlb.create
+          ~policy:(batched ~window:1_000_000 ~max_batch:100)
+          ~ncpus:2 ~strategy:Tlb.Sync ()
+      in
+      let order = ref [] in
+      let sd i =
+        Tlb.shootdown
+          ~on_flush:(fun () -> order := i :: !order)
+          t ~targets:[| true; true |] ~vpns:[ i ]
+      in
+      sd 1;
+      sd 2;
+      sd 3;
+      check (Alcotest.list Alcotest.int) "nothing ran while deferred" []
+        (List.rev !order);
+      Tlb.flush_pending t;
+      check (Alcotest.list Alcotest.int) "callbacks run in enqueue order"
+        [ 1; 2; 3 ] (List.rev !order))
+
+let test_batched_no_remote_runs_immediately () =
+  in_sim ~ncpus:2 (fun () ->
+      let t =
+        Tlb.create
+          ~policy:(batched ~window:1_000_000 ~max_batch:8)
+          ~ncpus:2 ~strategy:Tlb.Sync ()
+      in
+      let ran = ref false in
+      (* Only the initiator is targeted: no remote CPU can hold a stale
+         translation, so dependent work must not be deferred. *)
+      Tlb.shootdown
+        ~on_flush:(fun () -> ran := true)
+        t ~targets:[| true; false |] ~vpns:[ 4 ];
+      check Alcotest.bool "on_flush ran immediately" true !ran;
+      check Alcotest.int "nothing deferred" 0 (Tlb.batch_pending t))
+
+let test_set_policy_flushes () =
+  in_sim ~ncpus:2 (fun () ->
+      let t =
+        Tlb.create
+          ~policy:(batched ~window:1_000_000 ~max_batch:8)
+          ~ncpus:2 ~strategy:Tlb.Sync ()
+      in
+      Tlb.install t ~cpu:1 ~vpn:5 ~pfn:2 ~writable:true ();
+      let ran = ref false in
+      Tlb.shootdown
+        ~on_flush:(fun () -> ran := true)
+        t ~targets:[| true; true |] ~vpns:[ 5 ];
+      check Alcotest.bool "deferred" false !ran;
+      Tlb.set_policy t Tlb.Immediate;
+      check Alcotest.bool "drained on policy switch" true !ran;
+      check (Alcotest.option Alcotest.int) "invalidated" None
+        (lookup_pfn t ~cpu:1 ~vpn:5);
+      check Alcotest.string "policy name" "immediate"
+        (Tlb.policy_to_string (Tlb.policy t)))
 
 (* -- Coherence through the full CortenMM stack -- *)
 
@@ -173,6 +295,19 @@ let () =
           Alcotest.test_case "latr defers" `Quick test_latr_defers;
           Alcotest.test_case "latr initiator cheap" `Quick
             test_latr_initiator_cheap;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "batched: size trigger coalesces" `Quick
+            test_batched_size_trigger;
+          Alcotest.test_case "batched: window trigger on tick" `Quick
+            test_batched_window_trigger;
+          Alcotest.test_case "batched: on_flush FIFO" `Quick
+            test_batched_on_flush_fifo;
+          Alcotest.test_case "batched: no remote -> immediate" `Quick
+            test_batched_no_remote_runs_immediately;
+          Alcotest.test_case "set_policy drains" `Quick
+            test_set_policy_flushes;
         ] );
       ( "coherence",
         [
