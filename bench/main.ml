@@ -138,40 +138,55 @@ let flag_value args name =
   in
   find args
 
-(* Wall-clock seconds spent in each experiment driver, collected when
-   --wallclock is passed. Host-side timing only: it never touches the
-   simulated (deterministic) outputs. *)
-let wallclock : (string * float) list ref = ref []
+module Driver = Mm_experiments.Driver
+module Par = Mm_par.Par
 
-let run_entry (e : Mm_experiments.Registry.entry) =
-  Mm_workloads.Runner.set_label e.id;
-  Printf.printf "=== %s: %s ===\n\n%!" e.id e.title;
-  let t0 = Unix.gettimeofday () in
-  e.run ();
-  wallclock := (e.id, Unix.gettimeofday () -. t0) :: !wallclock;
-  print_newline ()
-
+(* Wall-clock timing (--wallclock) is host-side only: it never touches
+   the simulated (deterministic) outputs. Per-entry seconds come from
+   the pool ({!Par.timed}); the totals compare the *elapsed* time of a
+   sequential and a parallel pass over the same entries — the quantity
+   [-j N] actually improves (per-entry times barely move: each entry is
+   still one world on one domain). *)
 let wallclock_path = "BENCH_wallclock.json"
 
-let write_wallclock_json () =
+let write_wallclock_json ~path ~jobs ~elapsed_seq ~elapsed_par
+    ~(seq : Driver.task_result list) ~(par : Driver.task_result list) =
   let open Mm_obs in
-  let entries = List.rev !wallclock in
-  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. entries in
-  Json.write_file ~path:wallclock_path
+  let speedup = if elapsed_par > 0. then elapsed_seq /. elapsed_par else 1.0 in
+  Json.write_file ~path
     (Json.Obj
        [
+         ("jobs", Json.Int jobs);
          ( "wallclock",
            Json.List
-             (List.map
-                (fun (id, s) ->
-                  Json.Obj [ ("id", Json.String id); ("seconds", Json.Float s) ])
-                entries) );
-         ("total_seconds", Json.Float total);
+             (List.map2
+                (fun (s : Driver.task_result) (p : Driver.task_result) ->
+                  Json.Obj
+                    [
+                      ("id", Json.String s.Driver.t_id);
+                      ("seconds_seq", Json.Float s.Driver.t_seconds);
+                      ("seconds_par", Json.Float p.Driver.t_seconds);
+                      ( "speedup",
+                        Json.Float
+                          (if p.Driver.t_seconds > 0. then
+                             s.Driver.t_seconds /. p.Driver.t_seconds
+                           else 1.0) );
+                    ])
+                seq par) );
+         ("total_seconds_seq", Json.Float elapsed_seq);
+         ("total_seconds_par", Json.Float elapsed_par);
+         ("speedup", Json.Float speedup);
        ]);
-  Printf.printf "## Wall-clock per experiment driver\n\n";
-  List.iter (fun (id, s) -> Printf.printf "  %-8s %8.3f s\n" id s) entries;
-  Printf.printf "  %-8s %8.3f s\n" "total" total;
-  Printf.printf "wrote wall-clock timings to %s\n%!" wallclock_path
+  Printf.printf "## Wall-clock per experiment driver (-j %d)\n\n" jobs;
+  Printf.printf "  %-10s %12s %12s\n" "id" "seq (s)" (Printf.sprintf "-j%d (s)" jobs);
+  List.iter2
+    (fun (s : Driver.task_result) (p : Driver.task_result) ->
+      Printf.printf "  %-10s %12.3f %12.3f\n" s.Driver.t_id s.Driver.t_seconds
+        p.Driver.t_seconds)
+    seq par;
+  Printf.printf "  %-10s %12.3f %12.3f  (elapsed; speedup %.2fx)\n" "total"
+    elapsed_seq elapsed_par speedup;
+  Printf.printf "wrote wall-clock timings to %s\n%!" path
 
 let write_results_json ~path results =
   let open Mm_obs in
@@ -198,7 +213,7 @@ let write_results_json ~path results =
    policy names resolve fail-fast through the typed registry lookups. *)
 let serve_path = "BENCH_serve.json"
 
-let run_serve args sessions =
+let run_serve args ~jobs sessions =
   let die msg =
     Printf.eprintf "bench: %s\n" msg;
     exit 1
@@ -228,8 +243,8 @@ let run_serve args sessions =
     "=== serve: open-loop session fleet (%d sessions, %d cpus, mix %s) ===\n\n%!"
     sessions ncpus mix.Mm_serve.Mix.name;
   let reports =
-    Mm_serve.Serve.run_matrix ~systems:Mm_workloads.System.Registry.all ~mix
-      ~policies ~ncpus ~sessions ~seed ()
+    Mm_serve.Serve.run_matrix ~jobs ~systems:Mm_workloads.System.Registry.all
+      ~mix ~policies ~ncpus ~sessions ~seed ()
   in
   print_string (Mm_serve.Serve.table reports);
   Mm_serve.Serve.write_json ~path:serve_path ~mix ~ncpus ~sessions ~seed
@@ -262,14 +277,39 @@ let () =
     let json_path = flag_value args "--json" in
     let trace_path = flag_value args "--trace" in
     let report = List.mem "--report" args in
-    if json_path <> None then Mm_workloads.Runner.start_collecting ();
+    (* -j/--jobs: worker-domain count for every parallel driver below.
+       Typo'd values fail fast through the typed validation; outputs are
+       byte-identical for any accepted value, so the flag only ever
+       changes wall-clock time. *)
+    let jobs =
+      let parse s =
+        match Par.jobs_of_string s with
+        | Ok n -> n
+        | Error msg ->
+          Printf.eprintf "bench: %s\n" msg;
+          exit 1
+      in
+      match (flag_value args "--jobs", flag_value args "-j") with
+      | Some s, _ | None, Some s -> parse s
+      | None, None -> 1
+    in
+    let jobs =
+      if (trace_path <> None || report) && jobs > 1 then begin
+        Printf.eprintf
+          "bench: --trace/--report force -j 1 (one tracing session \
+           accumulates across the whole run)\n\
+           %!";
+        1
+      end
+      else jobs
+    in
     if trace_path <> None || report then Mm_obs.Trace.start ();
-    (match only with
-    | None -> List.iter run_entry Mm_experiments.Registry.all
-    | Some ids ->
-      (* Resolve every id before running anything, so a typo fails fast
-         instead of silently running a subset. *)
-      let entries =
+    let entries =
+      match only with
+      | None -> Mm_experiments.Registry.all
+      | Some ids ->
+        (* Resolve every id before running anything, so a typo fails
+           fast instead of silently running a subset. *)
         List.map
           (fun id ->
             match Mm_experiments.Registry.find id with
@@ -278,8 +318,15 @@ let () =
               Printf.eprintf "bench: %s\n" msg;
               exit 1)
           ids
-      in
-      List.iter run_entry entries);
+    in
+    let collect = json_path <> None in
+    let emit (t : Driver.task_result) =
+      print_string t.Driver.t_output;
+      flush stdout
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Driver.run_entries ~emit ~collect ~jobs entries in
+    let elapsed = Unix.gettimeofday () -. t0 in
     (match trace_path with
     | Some path ->
       let events = Mm_obs.Trace.events () in
@@ -296,13 +343,46 @@ let () =
     if trace_path <> None || report then ignore (Mm_obs.Trace.stop ());
     (match json_path with
     | Some path ->
-      write_results_json ~path (Mm_workloads.Runner.stop_collecting ());
+      write_results_json ~path
+        (List.concat_map (fun t -> t.Driver.t_results) results);
       Printf.printf "wrote results to %s\n%!" path
     | None -> ());
     (match flag_value args "--serve" with
-    | Some n -> run_serve args (int_of_string n)
+    | Some n -> run_serve args ~jobs (int_of_string n)
     | None -> ());
-    if List.mem "--wallclock" args then write_wallclock_json ();
+    if List.mem "--wallclock" args then begin
+      (* Honest seq-vs-par numbers: at [-j 1] one pass is both; at
+         [-j N] a second, output-suppressed sequential pass provides the
+         reference timings — and doubles as a byte-identity gate over
+         every entry's output and collected results. *)
+      let path =
+        Option.value (flag_value args "--wallclock-out")
+          ~default:wallclock_path
+      in
+      let seq, elapsed_seq =
+        if jobs = 1 then (results, elapsed)
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let seq = Driver.run_entries ~collect ~jobs:1 entries in
+          let elapsed_seq = Unix.gettimeofday () -. t0 in
+          List.iter2
+            (fun (p : Driver.task_result) (s : Driver.task_result) ->
+              if p.Driver.t_output <> s.Driver.t_output
+                 || p.Driver.t_results <> s.Driver.t_results
+              then begin
+                Printf.eprintf
+                  "bench: -j %d output for %s differs from the sequential \
+                   reference — parallel merge bug\n"
+                  jobs p.Driver.t_id;
+                exit 1
+              end)
+            results seq;
+          (seq, elapsed_seq)
+        end
+      in
+      write_wallclock_json ~path ~jobs ~elapsed_seq ~elapsed_par:elapsed ~seq
+        ~par:results
+    end;
     if (not (List.mem "--no-bechamel" args)) && only = None then
       bechamel_suite ()
   end

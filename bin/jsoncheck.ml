@@ -1,10 +1,14 @@
 (* jsoncheck — validate a JSON file (used by check.sh to smoke-test the
    bench --json and --trace outputs).
 
-     jsoncheck FILE            parse FILE, exit 0 iff well-formed
-     jsoncheck --chrome FILE   additionally require Chrome trace_event
-                               shape: a top-level "traceEvents" array whose
-                               entries carry name/ph/pid/tid *)
+     jsoncheck FILE              parse FILE, exit 0 iff well-formed
+     jsoncheck --chrome FILE     additionally require Chrome trace_event
+                                 shape: a top-level "traceEvents" array
+                                 whose entries carry name/ph/pid/tid
+     jsoncheck --wallclock FILE  additionally require the bench
+                                 --wallclock shape: "jobs", a "wallclock"
+                                 array of {id, seconds_seq, seconds_par,
+                                 speedup}, and the seq/par totals *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -27,15 +31,50 @@ let check_chrome json =
         items;
       Printf.printf "ok: %d trace events\n" (List.length items))
 
+let check_wallclock json =
+  let open Mm_obs.Json in
+  let number = function Some (Int _ | Float _) -> true | _ -> false in
+  (match member "jobs" json with
+  | Some (Int j) when j >= 1 -> ()
+  | Some _ -> fail "jobs is not a positive integer"
+  | None -> fail "no jobs field");
+  List.iter
+    (fun field ->
+      if not (number (member field json)) then
+        fail "missing or non-numeric %S" field)
+    [ "total_seconds_seq"; "total_seconds_par"; "speedup" ];
+  match member "wallclock" json with
+  | None -> fail "no wallclock field"
+  | Some entries -> (
+    match to_list_opt entries with
+    | None -> fail "wallclock is not an array"
+    | Some [] -> fail "wallclock is empty"
+    | Some items ->
+      List.iteri
+        (fun i item ->
+          (match member "id" item with
+          | Some (String _) -> ()
+          | _ -> fail "wallclock[%d] missing string \"id\"" i);
+          List.iter
+            (fun field ->
+              if not (number (member field item)) then
+                fail "wallclock[%d] missing or non-numeric %S" i field)
+            [ "seconds_seq"; "seconds_par"; "speedup" ])
+        items;
+      Printf.printf "ok: %d wallclock entries\n" (List.length items))
+
 let () =
-  let chrome, path =
+  let mode, path =
     match Array.to_list Sys.argv with
-    | [ _; "--chrome"; p ] -> (true, p)
-    | [ _; p ] -> (false, p)
-    | _ -> fail "usage: jsoncheck [--chrome] FILE"
+    | [ _; "--chrome"; p ] -> (`Chrome, p)
+    | [ _; "--wallclock"; p ] -> (`Wallclock, p)
+    | [ _; p ] -> (`Plain, p)
+    | _ -> fail "usage: jsoncheck [--chrome|--wallclock] FILE"
   in
   match Mm_obs.Json.parse_file path with
   | Error msg -> fail "%s: invalid JSON: %s" path msg
-  | Ok json ->
-    if chrome then check_chrome json
-    else Printf.printf "ok: %s parses\n" path
+  | Ok json -> (
+    match mode with
+    | `Chrome -> check_chrome json
+    | `Wallclock -> check_wallclock json
+    | `Plain -> Printf.printf "ok: %s parses\n" path)

@@ -34,6 +34,26 @@ let obs_report =
           "After the run, print the lock-contention report (locks ranked by \
            serialized cycles) and the metrics registry.")
 
+(* -j/--jobs for the drivers whose work decomposes into independent
+   worlds (oracle, serve, schedcheck). Validation goes through the typed
+   [Par.jobs_of_string], so `-j 0` or `-j x` fail fast with the same
+   wording everywhere; outputs are byte-identical for any accepted
+   value. *)
+let jobs_arg =
+  let jobs_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error (fun m -> `Msg m) (Mm_par.Par.jobs_of_string s)),
+        Format.pp_print_int )
+  in
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains to shard independent simulation worlds across \
+           (default 1). Results are byte-identical for any value; only \
+           wall-clock time changes.")
+
 let with_obs ~trace ~report f =
   if trace <> None || report then Mm_obs.Trace.start ();
   f ();
@@ -381,7 +401,7 @@ let oracle_cmd =
       value & opt int 16
       & info [ "every" ] ~doc:"Snapshot-compare cadence in operations.")
   in
-  let run path profile ncpus ops seed every systems =
+  let run path profile ncpus ops seed every jobs systems =
     let trace =
       match path with
       | Some p -> Mm_workloads.Trace.load p
@@ -392,7 +412,7 @@ let oracle_cmd =
     let backends =
       List.map (fun e -> e.Mm_workloads.System.Registry.r_backend) entries
     in
-    match Mm_workloads.Diff.run ~check_every:every ~backends trace with
+    match Mm_workloads.Diff.run ~check_every:every ~jobs ~backends trace with
     | Ok n ->
       Printf.printf "oracle: %d ops, %d backends, no divergence\n" n
         (List.length entries)
@@ -402,7 +422,8 @@ let oracle_cmd =
   in
   Cmd.v (Cmd.info "oracle" ~doc)
     Term.(
-      const run $ path $ profile $ ncpus $ ops $ seed $ every $ systems_arg)
+      const run $ path $ profile $ ncpus $ ops $ seed $ every $ jobs_arg
+      $ systems_arg)
 
 let serve_cmd =
   let doc =
@@ -447,7 +468,7 @@ let serve_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable report here (BENCH_serve.json).")
   in
-  let run sessions ncpus seed mix policies json systems =
+  let run sessions ncpus seed mix policies json jobs systems =
     let die msg =
       Printf.eprintf "mmrepro: %s\n" msg;
       exit 1
@@ -465,8 +486,8 @@ let serve_cmd =
     in
     let systems = resolve_systems systems in
     let reports =
-      Mm_serve.Serve.run_matrix ~systems ~mix ~policies ~ncpus ~sessions
-        ~seed ()
+      Mm_serve.Serve.run_matrix ~jobs ~systems ~mix ~policies ~ncpus
+        ~sessions ~seed ()
     in
     Printf.printf
       "serve: %d sessions, %d cpus, mix %s, seed %d (latencies in cycles)\n\n"
@@ -481,7 +502,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ sessions $ ncpus $ seed $ mix $ policies_flag $ json
-      $ systems_arg)
+      $ jobs_arg $ systems_arg)
 
 let schedcheck_cmd =
   let doc =
@@ -543,7 +564,8 @@ let schedcheck_cmd =
             "Replay a saved schedule file instead of exploring (all other \
              workload flags are taken from the file).")
   in
-  let run protocol cpus ops seeds seed0 wseed amplitude mutant out replay =
+  let run protocol cpus ops seeds seed0 wseed amplitude mutant out replay jobs
+      =
     let module S = Mm_schedcheck.Schedcheck in
     let module Sched_file = Mm_schedcheck.Schedule in
     let die msg =
@@ -594,7 +616,7 @@ let schedcheck_cmd =
               mutant;
             }
           in
-          match S.explore ~amplitude ~seed0 ~seeds cfg with
+          match S.explore ~amplitude ~seed0 ~jobs ~seeds cfg with
           | S.Clean { seeds } ->
             Printf.printf
               "schedcheck: %s: %d seeds clean (%d cpus, %d ops/cpu, mutant \
@@ -620,7 +642,7 @@ let schedcheck_cmd =
   Cmd.v (Cmd.info "schedcheck" ~doc)
     Term.(
       const run $ protocol $ cpus $ ops $ seeds $ seed0 $ wseed $ amplitude
-      $ mutant $ out $ replay)
+      $ mutant $ out $ replay $ jobs_arg)
 
 let () =
   let doc = "CortenMM reproduction driver" in

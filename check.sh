@@ -13,17 +13,52 @@ dune runtest
 
 echo "== bench smoke: fig13 --json/--trace/--wallclock =="
 dune exec bench/main.exe -- --only fig13 --json /tmp/b.json \
-  --trace /tmp/t.json --wallclock --report > /tmp/check_bench.out 2>&1 \
+  --trace /tmp/t.json --wallclock --wallclock-out /tmp/wallclock.json \
+  --report > /tmp/check_bench.out 2>&1 \
   || { cat /tmp/check_bench.out; exit 1; }
 tail -n 3 /tmp/check_bench.out
+
+echo "== bench parallel: -j 2 stream and JSON byte-identical to -j 1 =="
+dune exec bench/main.exe -- --only fig1,fig13 --json /tmp/bj.json \
+  > /tmp/bench_j1.out 2>/dev/null
+cp /tmp/bj.json /tmp/bj_seq.json
+dune exec bench/main.exe -- --only fig1,fig13 --json /tmp/bj.json -j 2 \
+  > /tmp/bench_j2.out 2>/dev/null
+cmp /tmp/bench_j1.out /tmp/bench_j2.out \
+  || { echo "bench: -j 2 stdout differs from -j 1"; exit 1; }
+cmp /tmp/bj_seq.json /tmp/bj.json \
+  || { echo "bench: -j 2 --json differs from -j 1"; exit 1; }
+
+echo "== bench parallel: --wallclock two-pass self-gate at -j 2 =="
+dune exec bench/main.exe -- --only fig13 --wallclock \
+  --wallclock-out /tmp/wallclock2.json -j 2 > /dev/null 2>&1 \
+  || { echo "bench: -j 2 --wallclock pass failed"; exit 1; }
+
+echo "== bench: bad -j values fail fast =="
+for bad in 0 -4 x; do
+  if dune exec bench/main.exe -- --only tab2 -j "$bad" > /dev/null 2>&1; then
+    echo "bench: -j $bad NOT rejected"; exit 1
+  fi
+done
 
 echo "== differential oracle: seeded traces across all backends =="
 dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 --seed 42
 dune exec bin/mmrepro.exe -- oracle --profile churn --cpus 2 --ops 150 --seed 7
+dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 \
+  --seed 42 -j 2 > /tmp/oracle_j2.out
+dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 \
+  --seed 42 > /tmp/oracle_j1.out
+cmp /tmp/oracle_j1.out /tmp/oracle_j2.out \
+  || { echo "oracle: -j 2 verdict differs from -j 1"; exit 1; }
 
 echo "== schedcheck: fixed-seed schedule exploration smoke (both protocols) =="
 dune exec bin/mmrepro.exe -- schedcheck --protocol both --cpus 4 --ops 10 \
-  --seeds 5 --seed0 1 --workload-seed 42
+  --seeds 5 --seed0 1 --workload-seed 42 > /tmp/sched_j1.out
+cat /tmp/sched_j1.out
+dune exec bin/mmrepro.exe -- schedcheck --protocol both --cpus 4 --ops 10 \
+  --seeds 5 --seed0 1 --workload-seed 42 -j 2 > /tmp/sched_j2.out
+cmp /tmp/sched_j1.out /tmp/sched_j2.out \
+  || { echo "schedcheck: -j 2 clean explore differs from -j 1"; exit 1; }
 
 echo "== schedcheck: injected mutants are caught and shrink to a replay =="
 if dune exec bin/mmrepro.exe -- schedcheck --protocol rw \
@@ -31,6 +66,13 @@ if dune exec bin/mmrepro.exe -- schedcheck --protocol rw \
      > /dev/null 2>&1; then
   echo "schedcheck: rw-skip-handoff mutant NOT caught"; exit 1
 fi
+if dune exec bin/mmrepro.exe -- schedcheck --protocol rw \
+     --mutant rw-skip-handoff --seeds 10 --out /tmp/schedcheck_rw_j2.sched \
+     -j 2 > /dev/null 2>&1; then
+  echo "schedcheck: rw-skip-handoff mutant NOT caught at -j 2"; exit 1
+fi
+cmp /tmp/schedcheck_rw.sched /tmp/schedcheck_rw_j2.sched \
+  || { echo "schedcheck: -j 2 minimal schedule differs from -j 1"; exit 1; }
 if dune exec bin/mmrepro.exe -- schedcheck --protocol adv \
      --mutant rcu-no-gp --seeds 10 --out /tmp/schedcheck_rcu.sched \
      > /dev/null 2>&1; then
@@ -53,9 +95,9 @@ dune exec bin/mmrepro.exe -- serve --sessions 500 --cpus 4 \
   || { cat /tmp/check_serve.out; exit 1; }
 tail -n +3 /tmp/check_serve.out | head -n 4
 dune exec bin/mmrepro.exe -- serve --sessions 500 --cpus 4 \
-  --json /tmp/serve2.json > /dev/null
+  --json /tmp/serve2.json -j 2 > /dev/null
 cmp /tmp/serve1.json /tmp/serve2.json \
-  || { echo "serve: equal seeds gave different JSON"; exit 1; }
+  || { echo "serve: -j 2 or equal seeds gave different JSON"; exit 1; }
 if dune exec bin/mmrepro.exe -- serve --mix bogus > /dev/null 2>&1; then
   echo "serve: unknown mix NOT rejected"; exit 1
 fi
@@ -63,7 +105,9 @@ fi
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
-dune exec bin/jsoncheck.exe -- BENCH_wallclock.json
+dune exec bin/jsoncheck.exe -- --wallclock /tmp/wallclock.json
+dune exec bin/jsoncheck.exe -- --wallclock /tmp/wallclock2.json
+dune exec bin/jsoncheck.exe -- --wallclock BENCH_wallclock.json
 dune exec bin/jsoncheck.exe -- /tmp/serve1.json
 
 echo "== wall-clock summary =="

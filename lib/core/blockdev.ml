@@ -17,9 +17,13 @@ type t = {
   mutable reads : int;
 }
 
-let next_id = ref 0
+(* Domain-local, reset per parallel task, like [File.next_id]. *)
+let next_id_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let next_id () = Domain.DLS.get next_id_key
+let reset_ids () = next_id () := 0
 
 let create ?(nblocks = 1 lsl 20) ~name () =
+  let next_id = next_id () in
   incr next_id;
   {
     id = !next_id;

@@ -20,3 +20,4 @@ val used_blocks : t -> int
 val writes : t -> int
 val reads : t -> int
 val name : t -> string
+val reset_ids : unit -> unit

@@ -25,11 +25,17 @@ type t = {
   mutable writebacks : int;
 }
 
-let next_id = ref 0
+(* File ids appear in monitor/report text: domain-local, reset per
+   parallel task ([Mm_workloads.Runner.reset_world_state]) so they are
+   independent of what ran before on the same domain. *)
+let next_id_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let next_id () = Domain.DLS.get next_id_key
+let reset_ids () = next_id () := 0
 
 let io_read_cost = 8_000 (* first touch of a cache page: read from disk *)
 
 let create ~kind ~size =
+  let next_id = next_id () in
   incr next_id;
   {
     id = !next_id;

@@ -35,5 +35,6 @@ val mappers : t -> mapper list
 
 val cached_pages : t -> int
 val id : t -> int
+val reset_ids : unit -> unit
 val size : t -> int
 val name : t -> string

@@ -1,0 +1,59 @@
+(* The domain-parallel experiment driver (bench's engine room).
+
+   Each registry entry becomes one pool task: reset the domain-local
+   world state, capture everything the experiment prints (header
+   included), and collect its labeled results. The pool executes tasks
+   on [min jobs cores] domains and the calling domain replays each
+   task's captured output in submission order, so the merged stream —
+   and the results list feeding [bench --json] — is byte-identical to a
+   sequential run. Per-task wall-clock comes from the pool ([Par.timed])
+   and feeds the BENCH_wallclock.json report. *)
+
+module Runner = Mm_workloads.Runner
+module Out = Mm_util.Out
+module Par = Mm_par.Par
+
+type task_result = {
+  t_id : string;
+  t_title : string;
+  t_output : string; (* captured stdout: header, experiment, blank line *)
+  t_results : (string * Runner.result) list; (* labeled (bench --json) *)
+  t_seconds : float; (* wall-clock on its worker domain *)
+}
+
+(* The simulator's state is mostly medium-lived (one world per
+   experiment config), which the default GC pacing promotes and then
+   re-marks aggressively. A larger minor heap and lazier major slices
+   cut total GC work by roughly a fifth of the run time; simulated
+   outputs are unaffected (the simulation is deterministic and the GC
+   never observes virtual time). Applied to every worker domain; bench
+   applies it to the main domain at startup. *)
+let gc_pacing () =
+  Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 20; space_overhead = 300 }
+
+let run_entry ~collect (e : Registry.entry) =
+  Runner.reset_world_state ();
+  if collect then Runner.start_collecting ();
+  Runner.set_label e.id;
+  let results, output =
+    Out.capture (fun () ->
+        Out.printf "=== %s: %s ===\n\n" e.id e.title;
+        e.run ();
+        Out.print_newline ();
+        if collect then Runner.stop_collecting () else [])
+  in
+  {
+    t_id = e.id;
+    t_title = e.title;
+    t_output = output;
+    t_results = results;
+    t_seconds = 0.0;
+  }
+
+let with_seconds (t : task_result Par.timed) =
+  { t.Par.value with t_seconds = t.Par.seconds }
+
+let run_entries ?emit ?(collect = false) ~jobs entries =
+  let tasks = List.map (fun e () -> run_entry ~collect e) entries in
+  let emit = Option.map (fun f t -> f (with_seconds t)) emit in
+  List.map with_seconds (Par.run_timed ?emit ~worker_init:gc_pacing ~jobs tasks)

@@ -1,0 +1,31 @@
+(** Domain-parallel experiment driver.
+
+    Runs registry entries as independent pool tasks ({!Mm_par.Par}) with
+    captured output and per-task wall-clock; the ordered merge keeps the
+    printed stream and the collected results byte-identical to a
+    sequential run for any job count. *)
+
+type task_result = {
+  t_id : string;
+  t_title : string;
+  t_output : string;
+      (** everything the experiment printed, header and trailing blank
+          line included — replay with [print_string] *)
+  t_results : (string * Mm_workloads.Runner.result) list;
+      (** labeled results collected while the entry ran (bench --json) *)
+  t_seconds : float;  (** wall-clock seconds on its worker domain *)
+}
+
+val run_entries :
+  ?emit:(task_result -> unit) ->
+  ?collect:bool ->
+  jobs:int ->
+  Registry.entry list ->
+  task_result list
+(** Run every entry and return the results in registry-submission
+    order. [emit] is called on the calling domain, strictly in
+    submission order, as each task (and all its predecessors) completes
+    — print [t_output] there for a live stream. [collect] (default
+    false) gathers each entry's labeled results. Each task starts with
+    {!Mm_workloads.Runner.reset_world_state}, at [jobs = 1] too, so
+    outputs are byte-identical across job counts. *)

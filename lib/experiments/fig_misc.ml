@@ -3,6 +3,18 @@
    (portability). *)
 
 module Tablefmt = Mm_util.Tablefmt
+
+(* Printed output goes through the capture-aware sink so parallel
+   drivers can replay each experiment's stream in submission order. *)
+module Printf = struct
+  include Stdlib.Printf
+
+  let printf fmt = Mm_util.Out.printf fmt
+end
+
+let print_newline = Mm_util.Out.print_newline
+let _ = print_newline
+
 module System = Mm_workloads.System
 module Apps = Mm_workloads.Apps
 module Lmbench = Mm_workloads.Lmbench

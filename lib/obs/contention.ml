@@ -22,19 +22,32 @@ type entry = {
   mutable hold_cycles : int; (* exclusive-side hold time *)
 }
 
-let table : (int, entry) Hashtbl.t = Hashtbl.create 64
-let next_id = ref 0
+(* Domain-local (like the metrics registry): lock ids and the profile
+   table are per-domain, and parallel tasks reset them at task start so
+   a world's lock ids are independent of what ran before it — the ids
+   appear in Live-checker violation text, which must not depend on the
+   domain count or task order. *)
+type state = {
+  table : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 64; next_id = 0 })
 
 let fresh_id () =
-  let id = !next_id in
-  incr next_id;
+  let s = Domain.DLS.get state_key in
+  let id = s.next_id in
+  s.next_id <- id + 1;
   id
 
 let reset () =
-  Hashtbl.reset table;
-  next_id := 0
+  let s = Domain.DLS.get state_key in
+  Hashtbl.reset s.table;
+  s.next_id <- 0
 
 let get ~id ~kind ~name =
+  let table = (Domain.DLS.get state_key).table in
   match Hashtbl.find_opt table id with
   | Some e -> e
   | None ->
@@ -64,13 +77,13 @@ let acquired e ~wait =
 let released e ~held = if held > 0 then e.hold_cycles <- e.hold_cycles + held
 
 let name_of id =
-  match Hashtbl.find_opt table id with
+  match Hashtbl.find_opt (Domain.DLS.get state_key).table id with
   | Some e -> e.name
   | None -> Printf.sprintf "lock#%d" id
 
 (* Ranked by serialized cycles (ties by id, so output is deterministic). *)
 let ranked () =
-  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  Hashtbl.fold (fun _ e acc -> e :: acc) (Domain.DLS.get state_key).table []
   |> List.sort (fun a b ->
          match compare b.wait_cycles a.wait_cycles with
          | 0 -> compare a.id b.id

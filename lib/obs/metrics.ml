@@ -19,10 +19,25 @@ type histogram = {
   mutable max_v : int;
 }
 
-let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
-let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 64
+(* The registry is domain-local: each domain of a parallel driver
+   accumulates into its own tables (its tasks reset them at task
+   start), so instrumentation sites on two domains never race. Within
+   a domain it keeps the process-global feel instrumentation sites
+   rely on. *)
+type registry = {
+  reg_counters : (string, counter) Hashtbl.t;
+  reg_histograms : (string, histogram) Hashtbl.t;
+}
+
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { reg_counters = Hashtbl.create 64; reg_histograms = Hashtbl.create 64 })
+
+let counters_tbl () = (Domain.DLS.get registry_key).reg_counters
+let histograms_tbl () = (Domain.DLS.get registry_key).reg_histograms
 
 let counter name =
+  let counters_tbl = counters_tbl () in
   match Hashtbl.find_opt counters_tbl name with
   | Some c -> c
   | None ->
@@ -37,6 +52,7 @@ let count c = c.count
 let nbuckets = 63
 
 let histogram name =
+  let histograms_tbl = histograms_tbl () in
   match Hashtbl.find_opt histograms_tbl name with
   | Some h -> h
   | None ->
@@ -116,18 +132,18 @@ let sorted_values tbl =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
 
 let counters () =
-  sorted_values counters_tbl
+  sorted_values (counters_tbl ())
   |> List.map (fun c -> (c.c_name, c.count))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let histograms () =
-  sorted_values histograms_tbl
+  sorted_values (histograms_tbl ())
   |> List.map (fun h -> (h.h_name, h))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset histograms_tbl
+  Hashtbl.reset (counters_tbl ());
+  Hashtbl.reset (histograms_tbl ())
 
 (* Plain-text dump, e.g. under a benchmark's --report flag. *)
 let dump () =

@@ -22,18 +22,25 @@ type session = {
   mutable seq : int;
 }
 
-let current : session option ref = ref None
+(* Domain-local: a tracing session belongs to the domain that started
+   it. Parallel drivers (lib/par) never trace — the bench driver forces
+   [-j 1] under [--trace]/[--report] so one session observes the whole
+   sequential run, exactly as before. *)
+let current_key : session option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let on () = !current <> None
+let current () = Domain.DLS.get current_key
+
+let on () = !(current ()) <> None
 
 let start ?(capacity = 1 lsl 16) () =
   if capacity <= 0 then invalid_arg "Trace.start: capacity";
   Metrics.reset ();
   Contention.reset ();
-  current := Some { rings = Array.make max_cpus None; capacity; seq = 0 }
+  current () := Some { rings = Array.make max_cpus None; capacity; seq = 0 }
 
 let emit ~time ~cpu payload =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some s ->
     if cpu < 0 || cpu >= max_cpus then ()
@@ -58,10 +65,10 @@ let collect s =
   in
   List.concat all |> List.sort (fun a b -> compare a.Event.seq b.Event.seq)
 
-let events () = match !current with None -> [] | Some s -> collect s
+let events () = match !(current ()) with None -> [] | Some s -> collect s
 
 let dropped () =
-  match !current with
+  match !(current ()) with
   | None -> 0
   | Some s ->
     Array.fold_left
@@ -70,7 +77,7 @@ let dropped () =
 
 let stop () =
   let evs = events () in
-  current := None;
+  current () := None;
   evs
 
 (* The canonical text stream — what the determinism guarantee is stated

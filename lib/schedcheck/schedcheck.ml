@@ -207,6 +207,12 @@ let final_state_mismatches cfg ops stamps asp_concurrent =
 let run_once cfg ~sched =
   if cfg.cpus <= 0 then invalid_arg "Schedcheck: cpus";
   if cfg.ops_per_cpu <= 0 then invalid_arg "Schedcheck: ops_per_cpu";
+  (* Violation text embeds lock and RCU callback ids; resetting the
+     domain-local counters here makes every run's wording a pure
+     function of (cfg, schedule) — independent of which domain runs it
+     or what ran before, so parallel exploration reports the same text
+     as sequential. *)
+  Mm_workloads.Runner.reset_world_state ();
   let ops =
     gen_ops ~cpus:cfg.cpus ~ops_per_cpu:cfg.ops_per_cpu
       ~seed:cfg.workload_seed
@@ -329,29 +335,73 @@ type outcome =
       shrink_runs : int;
     }
 
-let explore ?(amplitude = 8) ?(seed0 = 1) ?(shrink_budget = 200) ~seeds cfg =
-  let rec go i =
-    if i >= seeds then Clean { seeds }
-    else begin
-      let sched_seed = seed0 + i in
-      let r =
-        run_once cfg ~sched:(fun () ->
-            Sched.random ~amplitude ~seed:sched_seed ())
+let explore ?(amplitude = 8) ?(seed0 = 1) ?(shrink_budget = 200) ?(jobs = 1)
+    ~seeds cfg =
+  let violation_at i =
+    let r =
+      run_once cfg ~sched:(fun () ->
+          Sched.random ~amplitude ~seed:(seed0 + i) ())
+    in
+    if r.violations = [] then None else Some (i, r)
+  in
+  (* Find the violation with the LOWEST seed index — the exact one a
+     sequential scan reports first. Sequentially that is a stop-at-first
+     walk; in parallel the seed range is split into [jobs] contiguous
+     chunks, each scanned in order on its own domain. A chunk may only
+     skip a seed when a strictly lower violating index is already
+     published ([best]), so the minimum violating index can never be
+     pruned away, and taking the min over chunk results returns exactly
+     the sequential answer (each run's verdict and wording being a pure
+     function of (cfg, seed) — see [run_once]). *)
+  let first =
+    if min jobs seeds <= 1 then begin
+      let rec go i =
+        if i >= seeds then None
+        else match violation_at i with Some v -> Some v | None -> go (i + 1)
       in
-      if r.violations = [] then go (i + 1)
-      else begin
-        let keys, shrink_runs = shrink cfg ~keys:r.keys ~budget:shrink_budget in
-        (* Report the minimized run's violations (they may differ in
-           wording from the original's; the verdict is the same). *)
-        let final = run_once cfg ~sched:(fun () -> Sched.replay keys) in
-        let violations =
-          if final.violations = [] then r.violations else final.violations
+      go 0
+    end
+    else begin
+      let best = Atomic.make max_int in
+      let rec publish i =
+        let b = Atomic.get best in
+        if i < b && not (Atomic.compare_and_set best b i) then publish i
+      in
+      let scan_chunk c =
+        let lo = c * seeds / jobs and hi = (c + 1) * seeds / jobs in
+        let rec go i =
+          if i >= hi || i >= Atomic.get best then None
+          else
+            match violation_at i with
+            | Some v ->
+              publish i;
+              Some v
+            | None -> go (i + 1)
         in
-        Violation { sched_seed; keys; violations; shrink_runs }
-      end
+        go lo
+      in
+      Mm_par.Par.map ~jobs scan_chunk (List.init jobs Fun.id)
+      |> List.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | Some (i, _), Some (j, _) -> if i <= j then acc else r
+             | None, r -> r
+             | acc, None -> acc)
+           None
     end
   in
-  go 0
+  match first with
+  | None -> Clean { seeds }
+  | Some (i, r) ->
+    let keys, shrink_runs = shrink cfg ~keys:r.keys ~budget:shrink_budget in
+    (* Report the minimized run's violations (they may differ in
+       wording from the original's; the verdict is the same). Shrinking
+       and the final replay run sequentially on the calling domain. *)
+    let final = run_once cfg ~sched:(fun () -> Sched.replay keys) in
+    let violations =
+      if final.violations = [] then r.violations else final.violations
+    in
+    Violation { sched_seed = seed0 + i; keys; violations; shrink_runs }
 
 (* -- Schedule files -- *)
 

@@ -61,13 +61,17 @@ val explore :
   ?amplitude:int ->
   ?seed0:int ->
   ?shrink_budget:int ->
+  ?jobs:int ->
   seeds:int ->
   config ->
   outcome
 (** Try [seeds] seeded-random schedules ([seed0], [seed0+1], ...); on
     the first violation, shrink (within [shrink_budget] replays,
     default 200) and stop. [amplitude] (default 8) bounds the drawn
-    keys. *)
+    keys. [jobs] (default 1) shards the seed campaign across domains;
+    the violation reported is always the lowest-seed one — the same a
+    sequential scan finds first — so the outcome (seed, keys, wording)
+    is identical for any value. *)
 
 val shrink : config -> keys:int array -> budget:int -> int array * int
 (** [shrink cfg ~keys ~budget] is [(smaller_keys, runs_used)]; the

@@ -200,16 +200,24 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
     r_worst_stall = c.Tlb.worst_stall;
   }
 
-(* Every (system, policy) combination, in the given order. *)
-let run_matrix ?isa ~systems ~mix ~policies ~ncpus ~sessions ~seed () =
-  List.concat_map
-    (fun (e : System.Registry.entry) ->
-      List.map
-        (fun (policy_name, policy) ->
-          run ?isa ~backend:e.System.Registry.r_backend ~mix ~policy_name
-            ~policy ~ncpus ~sessions ~seed ())
-        policies)
-    systems
+(* Every (system, policy) combination, in the given order. Each cell is
+   an independent world, so with [jobs > 1] cells run on separate
+   domains; the ordered merge keeps the report list (and hence the table
+   and JSON) byte-identical for any [jobs]. *)
+let run_matrix ?isa ?(jobs = 1) ~systems ~mix ~policies ~ncpus ~sessions ~seed
+    () =
+  let cells =
+    List.concat_map
+      (fun (e : System.Registry.entry) ->
+        List.map (fun policy -> (e, policy)) policies)
+      systems
+  in
+  Mm_par.Par.map ~jobs
+    (fun ((e : System.Registry.entry), (policy_name, policy)) ->
+      Runner.reset_world_state ();
+      run ?isa ~backend:e.System.Registry.r_backend ~mix ~policy_name ~policy
+        ~ncpus ~sessions ~seed ())
+    cells
 
 (* -- Serialization -- *)
 

@@ -74,6 +74,7 @@ val run :
 
 val run_matrix :
   ?isa:Mm_hal.Isa.t ->
+  ?jobs:int ->
   systems:Mm_workloads.System.Registry.entry list ->
   mix:Mix.t ->
   policies:(string * Mm_tlb.Tlb.policy) list ->
@@ -82,7 +83,10 @@ val run_matrix :
   seed:int ->
   unit ->
   report list
-(** Every (system, policy) combination, in the given order. *)
+(** Every (system, policy) combination, in the given order. [jobs]
+    (default 1) shards the cells across domains; each cell is an
+    independent world and the merge preserves cell order, so the report
+    list is identical for any value. *)
 
 val report_json :
   mix:Mix.t -> ncpus:int -> sessions:int -> seed:int -> report list ->

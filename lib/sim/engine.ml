@@ -48,6 +48,8 @@ type stats = {
 
 type world = {
   ncpus : int;
+  owner : int; (* id of the domain that created the world; a world may
+                  only ever be touched from that domain *)
   sched : Sched.t; (* tie-break policy: one key per event push *)
   mutable seq : int;
   mutable next_fiber_id : int;
@@ -61,12 +63,38 @@ type world = {
 
 exception Deadlock of string
 
-let cur_world : world option ref = ref None
+(* The "currently running simulation" pointer is domain-local: each
+   domain of a parallel driver (lib/par) runs its own independent
+   single-fiber worlds, and one domain's run must be invisible to the
+   others. Within a domain the invariant is unchanged — at most one
+   world runs at a time. *)
+let cur_world_key : world option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let cur_world () = Domain.DLS.get cur_world_key
+
+(* Ownership assertion: worlds are confined to the domain that created
+   them. The check is two int comparisons on the cold paths (spawn/run),
+   so it stays on unconditionally; it exists to catch a parallel driver
+   accidentally sharing a world across domains, which would race on all
+   of the world's plain mutable state. *)
+let self_id () = (Domain.self () :> int)
+
+let check_owner w fn =
+  let d = self_id () in
+  if d <> w.owner then
+    failwith
+      (Printf.sprintf
+         "Engine.%s: world owned by domain %d touched from domain %d \
+          (worlds are domain-confined: construct, run and drop a world \
+          inside one parallel task)"
+         fn w.owner d)
 
 let create_sched ~sched ~ncpus =
   if ncpus <= 0 then invalid_arg "Engine.create: ncpus";
   {
     ncpus;
+    owner = self_id ();
     sched;
     seq = 0;
     next_fiber_id = 0;
@@ -89,7 +117,7 @@ let create_sched ~sched ~ncpus =
 let create ~ncpus = create_sched ~sched:(Sched.fifo ()) ~ncpus
 
 let world () =
-  match !cur_world with
+  match !(cur_world ()) with
   | Some w -> w
   | None -> failwith "Engine: no simulation running"
 
@@ -103,7 +131,7 @@ let cpu_id () = (fiber ()).f_cpu
 let ncpus () = (world ()).ncpus
 
 let in_fiber () =
-  match !cur_world with Some w -> w.current <> None | None -> false
+  match !(cur_world ()) with Some w -> w.current <> None | None -> false
 
 let tick c =
   if c < 0 then invalid_arg "Engine.tick: negative cost";
@@ -179,6 +207,7 @@ let handler (w : world) (f : fiber) =
   }
 
 let spawn w ~cpu prog =
+  check_owner w "spawn";
   if cpu < 0 || cpu >= w.ncpus then invalid_arg "Engine.spawn: bad cpu";
   let f =
     { f_id = w.next_fiber_id; f_cpu = cpu; f_time = 0; f_done = false }
@@ -193,11 +222,13 @@ let spawn w ~cpu prog =
       Effect.Deep.match_with prog () (handler w f))
 
 let run w =
-  (match !cur_world with
+  check_owner w "run";
+  let cw = cur_world () in
+  (match !cw with
   | Some _ -> failwith "Engine.run: nested simulations are not supported"
   | None -> ());
-  cur_world := Some w;
-  let finish () = cur_world := None in
+  cw := Some w;
+  let finish () = cw := None in
   (try
      let rec loop () =
        match Pqueue.pop w.queue with
@@ -226,6 +257,7 @@ let run w =
     failwith "Engine.run: stats inconsistent (runnable fibers after finish)";
   finish ()
 
+let owner w = w.owner
 let cpu_time w cpu = w.cpu_time.(cpu)
 let max_time w = Array.fold_left max 0 w.cpu_time
 let stats w = w.stats
@@ -235,7 +267,7 @@ let stats w = w.stats
    is never even allocated when tracing is off; recording never touches
    [f_time], so traced and untraced runs are bit-identical. *)
 let obs payload =
-  match !cur_world with
+  match !(cur_world ()) with
   | Some { current = Some f; _ } ->
     Mm_obs.Trace.emit ~time:f.f_time ~cpu:f.f_cpu payload
   | _ -> ()

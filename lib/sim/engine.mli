@@ -40,7 +40,18 @@ val spawn : world -> cpu:int -> (unit -> unit) -> unit
 
 val run : world -> unit
 (** Run all spawned fibers to completion. Raises {!Deadlock} if fibers
-    remain parked with no pending wake-up event. *)
+    remain parked with no pending wake-up event.
+
+    Worlds are domain-confined: {!spawn} and {!run} assert that the
+    calling domain is the one that created the world ([Failure]
+    otherwise). The "currently running world" pointer is domain-local,
+    so independent worlds may run concurrently on different domains
+    (see [lib/par]) — but a single world must be constructed, run and
+    dropped entirely within one domain. *)
+
+val owner : world -> int
+(** Id of the domain that created the world (the only domain allowed to
+    touch it). *)
 
 val cpu_time : world -> int -> int
 (** Final virtual time of a CPU (max over its finished fibers). *)

@@ -33,11 +33,18 @@ type event =
       (* Any frame allocation (emitted only while a monitor is
          installed) — lets a checker detect reuse-before-flush. *)
 
-let hook : (event -> unit) option ref = ref None
-let set f = hook := Some f
-let clear () = hook := None
-let on () = !hook <> None
+(* Domain-local: each domain of a parallel driver installs and clears
+   its own checker (schedcheck shards seed campaigns across domains,
+   each run monitored independently). Within a domain the hook keeps
+   its process-global feel — one checker at a time, seen by every
+   world that domain runs. *)
+let hook_key : (event -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set f = Domain.DLS.get hook_key := Some f
+let clear () = Domain.DLS.get hook_key := None
+let on () = !(Domain.DLS.get hook_key) <> None
 
 (* Call sites guard with [on ()] so event payloads are never allocated
    when no checker is installed. *)
-let emit ev = match !hook with Some f -> f ev | None -> ()
+let emit ev = match !(Domain.DLS.get hook_key) with Some f -> f ev | None -> ()

@@ -17,19 +17,30 @@ type callback = {
   fn : unit -> unit;
 }
 
-(* Monitor correlation ids, global so they stay unique across RCU
-   instances within one monitored run. *)
-let next_cb_id = ref 0
+(* Monitor correlation ids: domain-local, unique across RCU instances
+   within one monitored run. Parallel drivers reset them at task start
+   ([Mm_workloads.Runner.reset_world_state]) so the ids a run reports
+   do not depend on what ran before it on the same domain. *)
+let next_cb_id_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_cb_id () =
-  incr next_cb_id;
-  !next_cb_id
+  let r = Domain.DLS.get next_cb_id_key in
+  incr r;
+  !r
+
+let reset_ids () = Domain.DLS.get next_cb_id_key := 0
 
 (* Fault injection for schedcheck's mutant-catching harness: run every
    deferred callback immediately, ignoring the grace period — the
-   use-after-free class of RCU bug. Never set outside the harness. *)
-let mutant_no_grace_period = ref false
-let set_mutant_no_grace_period v = mutant_no_grace_period := v
+   use-after-free class of RCU bug. Never set outside the harness.
+   Domain-local so concurrent schedcheck shards cannot disturb each
+   other's mutants. *)
+let mutant_no_grace_period_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let mutant_no_grace_period () = Domain.DLS.get mutant_no_grace_period_key
+let set_mutant_no_grace_period v = mutant_no_grace_period () := v
 
 type t = {
   nesting : int array;
@@ -121,7 +132,7 @@ let defer t fn =
   let cb_id = if Monitor.on () then fresh_cb_id () else 0 in
   if Monitor.on () then
     Monitor.emit (Monitor.Rcu_defer { cb = cb_id; waiting = Array.copy waiting });
-  if remaining = 0 || !mutant_no_grace_period then begin
+  if remaining = 0 || !(mutant_no_grace_period ()) then begin
     t.immediate <- t.immediate + 1;
     t.completed <- t.completed + 1;
     if Monitor.on () then Monitor.emit (Monitor.Rcu_fire { cb = cb_id });

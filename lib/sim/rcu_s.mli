@@ -23,7 +23,12 @@ val completed : t -> int
 val immediate : t -> int
 
 val set_mutant_no_grace_period : bool -> unit
-(** Fault injection for the schedcheck harness (global, default off):
-    [defer] runs its callback immediately, ignoring the grace period —
-    the use-after-free class of RCU bug. Only the schedule explorer
-    should ever set this; it must reset it before returning. *)
+(** Fault injection for the schedcheck harness (domain-local, default
+    off): [defer] runs its callback immediately, ignoring the grace
+    period — the use-after-free class of RCU bug. Only the schedule
+    explorer should ever set this; it must reset it before returning. *)
+
+val reset_ids : unit -> unit
+(** Reset the (domain-local) monitor correlation-id counter; parallel
+    drivers call this at task start so reported ids are independent of
+    what ran before on the same domain. *)

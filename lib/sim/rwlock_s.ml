@@ -190,8 +190,15 @@ let note_writer_release t =
    (waiting readers are still admitted). Parked writers then starve —
    exactly the class of omitted-wakeup bug the schedule explorer exists
    to catch. Never set outside the harness. *)
-let mutant_skip_writer_handoff = ref false
-let set_mutant_skip_writer_handoff v = mutant_skip_writer_handoff := v
+let mutant_skip_writer_handoff_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+(* Domain-local so concurrent schedcheck shards cannot disturb each
+   other's mutants. *)
+let mutant_skip_writer_handoff () =
+  Domain.DLS.get mutant_skip_writer_handoff_key
+
+let set_mutant_skip_writer_handoff v = mutant_skip_writer_handoff () := v
 
 let write_unlock t =
   Engine.serialize ();
@@ -206,7 +213,7 @@ let write_unlock t =
     Monitor.emit
       (Monitor.Write_released { lock = t.id; cpu = Engine.cpu_id () });
   if not (Queue.is_empty t.rwait) then wake_reader_phase t
-  else if not !mutant_skip_writer_handoff then wake_next_writer t
+  else if not !(mutant_skip_writer_handoff ()) then wake_next_writer t
 
 let downgrade t =
   Engine.serialize ();

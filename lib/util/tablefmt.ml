@@ -52,7 +52,7 @@ let render ?(align_default = Right) ?aligns ~header rows =
   Buffer.contents buf
 
 let print ?align_default ?aligns ~header rows =
-  print_string (render ?align_default ?aligns ~header rows)
+  Out.print_string (render ?align_default ?aligns ~header rows)
 
 (* Number formatting helpers for table cells. *)
 

@@ -311,13 +311,22 @@ let default_backends () =
   List.map (fun e -> e.System.Registry.r_backend) System.Registry.all
 
 (* Replay [trace] on every backend and report the earliest divergence
-   (by op index), or [Ok nops]. *)
-let run ?isa ?(check_every = 16) ?backends trace =
+   (by op index), or [Ok nops]. Replays are independent worlds, so with
+   [jobs > 1] they run on separate domains; the logs come back in
+   backend order either way, and the comparison below is sequential, so
+   the verdict is identical for any [jobs]. *)
+let run ?isa ?(check_every = 16) ?(jobs = 1) ?backends trace =
   let backends =
     match backends with Some l -> l | None -> default_backends ()
   in
   if check_every <= 0 then invalid_arg "Diff.run: check_every";
-  let logs = List.map (fun b -> replay_one ?isa ~check_every b trace) backends in
+  let logs =
+    Mm_par.Par.map ~jobs
+      (fun b ->
+        Runner.reset_world_state ();
+        replay_one ?isa ~check_every b trace)
+      backends
+  in
   let solo =
     List.concat_map
       (fun l ->

@@ -39,10 +39,12 @@ val compare_page_states :
 val run :
   ?isa:Mm_hal.Isa.t ->
   ?check_every:int ->
+  ?jobs:int ->
   ?backends:System.backend list ->
   Trace.t ->
   (int, divergence) result
 (** [Ok nops] when every backend agrees on the whole trace; otherwise
     the earliest divergence by op index. [check_every] defaults to 16;
     [backends] to {!default_backends} (the first entry is the
-    reference). *)
+    reference). [jobs] (default 1) shards the per-backend replays
+    across domains; the verdict is identical for any value. *)

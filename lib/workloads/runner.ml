@@ -40,28 +40,63 @@ type result = { ops : int; cycles : int; ops_per_sec : float }
    labels the current experiment before running it; results constructed
    while no collection is active are simply not recorded. *)
 
-let collector : (string * result) list ref option ref = ref None
-let current_label = ref "?"
+(* Domain-local: a parallel driver's tasks each collect into their own
+   domain's slot (started/stopped per task) and the driver merges the
+   per-task lists in submission order. *)
+let collector_key : (string * result) list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let start_collecting () = collector := Some (ref [])
-let set_label l = current_label := l
+let current_label_key : string ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref "?")
+
+let collector () = Domain.DLS.get collector_key
+let current_label () = !(Domain.DLS.get current_label_key)
+
+let start_collecting () = collector () := Some (ref [])
+let set_label l = Domain.DLS.get current_label_key := l
 
 let collected () =
-  match !collector with None -> [] | Some acc -> List.rev !acc
+  match !(collector ()) with None -> [] | Some acc -> List.rev !acc
 
 let stop_collecting () =
   let out = collected () in
-  collector := None;
+  collector () := None;
   out
 
 let result ~ops ~cycles =
   let r =
     { ops; cycles; ops_per_sec = Mm_util.Stats.ops_per_second ~ops ~cycles }
   in
-  (match !collector with
+  (match !(collector ()) with
   | None -> ()
-  | Some acc -> acc := (!current_label, r) :: !acc);
+  | Some acc -> acc := (current_label (), r) :: !acc);
   r
+
+(* Reset every piece of once-process-global (now domain-local) state a
+   simulation world can observe, so a parallel task's behaviour — and
+   the text of anything it reports (lock ids, RCU callback ids) — is
+   independent of what ran before it on the same domain. Called by
+   every parallel driver at task start, on the sequential ([-j 1]) path
+   too, so outputs stay byte-identical across job counts.
+
+   The one deliberate exception: while a tracing session is active
+   ([Mm_obs.Trace.on ()]), the metrics/contention registries are left
+   alone — [--trace]/[--report] force [-j 1] precisely so one session
+   can accumulate across the whole run, and the session owns those
+   registries (it reset them at [Trace.start]). *)
+let reset_world_state () =
+  Mm_sim.Monitor.clear ();
+  Mm_sim.Rcu_s.reset_ids ();
+  Mm_sim.Rcu_s.set_mutant_no_grace_period false;
+  Mm_sim.Rwlock_s.set_mutant_skip_writer_handoff false;
+  Cortenmm.File.reset_ids ();
+  Cortenmm.Blockdev.reset_ids ();
+  if not (Mm_obs.Trace.on ()) then begin
+    Mm_obs.Metrics.reset ();
+    Mm_obs.Contention.reset ()
+  end;
+  collector () := None;
+  set_label "?"
 
 (* Run a three-phase benchmark in one world:
    - [setup] runs alone on cpu 0 (global preparation);
@@ -98,7 +133,7 @@ let run_phases ?(setup = fun () -> ()) ?(prep = fun _ -> ()) ~ncpus ~measure ()
        "ENGINE_STATS label=%s ncpus=%d events=%d parks=%d wakes=%d rmws=%d \
         stalls=%d mwords=%.0f cpu_s=%.3f\n\
         %!"
-       !current_label ncpus s.Engine.events s.Engine.parks s.Engine.wakes
+       (current_label ()) ncpus s.Engine.events s.Engine.parks s.Engine.wakes
        s.Engine.rmws s.Engine.line_stalls
        (Gc.minor_words () -. mw0)
        (Sys.time () -. ct0));

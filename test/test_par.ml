@@ -1,0 +1,247 @@
+(* The deterministic fork-join pool and the byte-identity contract of
+   every driver built on it: results (and captured output, JSON, oracle
+   verdicts, schedcheck outcomes) must be identical for any -j. *)
+
+module Par = Mm_par.Par
+module Driver = Mm_experiments.Driver
+module Registry = Mm_experiments.Registry
+module Trace = Mm_workloads.Trace
+module Diff = Mm_workloads.Diff
+module System = Mm_workloads.System
+module Serve = Mm_serve.Serve
+module S = Mm_schedcheck.Schedcheck
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* -- jobs_of_string -- *)
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_jobs_of_string () =
+  (match Par.jobs_of_string "4" with
+  | Ok n -> check int "4" 4 n
+  | Error m -> Alcotest.failf "rejected 4: %s" m);
+  (match Par.jobs_of_string " 8 " with
+  | Ok n -> check int "trimmed" 8 n
+  | Error m -> Alcotest.failf "rejected ' 8 ': %s" m);
+  List.iter
+    (fun (s, frag) ->
+      match Par.jobs_of_string s with
+      | Ok n -> Alcotest.failf "accepted %S as %d" s n
+      | Error m ->
+        if not (contains_substring ~needle:frag m) then
+          Alcotest.failf "error for %S lacks %S: %s" s frag m)
+    [
+      ("0", "at least 1");
+      ("-3", "at least 1");
+      ("x", "positive integer");
+      ("", "positive integer");
+      ("4.5", "positive integer");
+    ]
+
+(* -- Ordered merge and emission -- *)
+
+let squares ~jobs n =
+  let emitted = ref [] in
+  let results =
+    Par.run_timed
+      ~emit:(fun t -> emitted := t.Par.value :: !emitted)
+      ~jobs
+      (List.init n (fun i () ->
+           (* Stagger completion so later-submitted tasks tend to finish
+              first under real parallelism; the merge must hide that. *)
+           if i < 2 then Unix.sleepf 0.02;
+           i * i))
+  in
+  (List.map (fun t -> t.Par.value) results, List.rev !emitted)
+
+let test_ordered_merge () =
+  let expected = List.init 16 (fun i -> i * i) in
+  let r1, e1 = squares ~jobs:1 16 in
+  let r8, e8 = squares ~jobs:8 16 in
+  check (Alcotest.list int) "results -j1" expected r1;
+  check (Alcotest.list int) "results -j8" expected r8;
+  check (Alcotest.list int) "emit order -j1" expected e1;
+  check (Alcotest.list int) "emit order -j8" expected e8
+
+let test_jobs_exceed_tasks () =
+  let r = Par.map ~jobs:8 (fun x -> x + 1) [ 10; 20; 30 ] in
+  check (Alcotest.list int) "3 tasks on 8 jobs" [ 11; 21; 31 ] r
+
+let test_timed_nonnegative () =
+  List.iter
+    (fun t ->
+      if t.Par.seconds < 0. then Alcotest.fail "negative task seconds")
+    (Par.run_timed ~jobs:2 (List.init 4 (fun i () -> i)))
+
+(* -- Exception propagation: the lowest-indexed failure wins -- *)
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  List.iter
+    (fun jobs ->
+      match
+        Par.run ~jobs
+          (List.init 8 (fun i () ->
+               if i = 2 || i = 5 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.failf "-j%d: no exception raised" jobs
+      | exception Boom i ->
+        check int (Printf.sprintf "-j%d first failure" jobs) 2 i)
+    [ 1; 4 ]
+
+let test_jobs_zero_rejected () =
+  match Par.run ~jobs:0 [ (fun () -> ()) ] with
+  | _ -> Alcotest.fail "jobs:0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* -- Byte identity: bench's experiment driver -- *)
+
+let entries_of ids =
+  List.map
+    (fun id ->
+      match Registry.find id with
+      | Ok e -> e
+      | Error m -> Alcotest.fail m)
+    ids
+
+let test_driver_identical () =
+  let entries = entries_of [ "tab2"; "fig13" ] in
+  let r1 = Driver.run_entries ~collect:true ~jobs:1 entries in
+  let r4 = Driver.run_entries ~collect:true ~jobs:4 entries in
+  List.iter2
+    (fun (a : Driver.task_result) (b : Driver.task_result) ->
+      check string (a.Driver.t_id ^ " id") a.Driver.t_id b.Driver.t_id;
+      check string (a.Driver.t_id ^ " output") a.Driver.t_output
+        b.Driver.t_output;
+      if a.Driver.t_results <> b.Driver.t_results then
+        Alcotest.failf "%s: collected results differ across -j" a.Driver.t_id;
+      if String.length a.Driver.t_output = 0 then
+        Alcotest.failf "%s: empty captured output" a.Driver.t_id)
+    r1 r4
+
+(* -- Byte identity: serving matrix -- *)
+
+let test_serve_matrix_identical () =
+  let systems =
+    List.filteri (fun i _ -> i < 2) System.Registry.all
+  in
+  let policies =
+    List.map
+      (fun n ->
+        match Serve.find_policy n with
+        | Ok p -> (n, p)
+        | Error m -> Alcotest.fail m)
+      Serve.policy_names
+  in
+  let go jobs =
+    let reports =
+      Serve.run_matrix ~jobs ~systems ~mix:(List.hd Mm_serve.Mix.all)
+        ~policies ~ncpus:4 ~sessions:400 ~seed:7 ()
+    in
+    Mm_obs.Json.to_string
+      (Serve.report_json ~mix:(List.hd Mm_serve.Mix.all) ~ncpus:4
+         ~sessions:400 ~seed:7 reports)
+  in
+  check string "serve json -j1 = -j3" (go 1) (go 3)
+
+(* -- Byte identity: differential oracle -- *)
+
+let broken_munmap (b : System.backend) : System.backend =
+  let module B = (val b) in
+  (module struct
+    include B
+
+    let name = B.name ^ "-broken-munmap"
+    let munmap _ ~addr:_ ~len:_ = Ok ()
+  end)
+
+let test_oracle_identical () =
+  let trace =
+    Trace.generate ~profile:Trace.Mixed ~ncpus:4 ~ops_per_cpu:80 ~seed:42
+  in
+  let clean1 = Diff.run ~jobs:1 trace in
+  let clean3 = Diff.run ~jobs:3 trace in
+  if clean1 <> clean3 then Alcotest.fail "clean verdict differs across -j";
+  let linux = System.backend_of_kind System.Linux in
+  let backends = [ linux; broken_munmap linux ] in
+  let churn =
+    Trace.generate ~profile:Trace.Churn ~ncpus:2 ~ops_per_cpu:80 ~seed:42
+  in
+  match
+    (Diff.run ~check_every:1 ~jobs:1 ~backends churn,
+     Diff.run ~check_every:1 ~jobs:2 ~backends churn)
+  with
+  | Ok _, _ | _, Ok _ -> Alcotest.fail "broken munmap not caught"
+  | Error a, Error b ->
+    check string "divergence -j1 = -j2" (Diff.describe a) (Diff.describe b)
+
+(* -- Byte identity: schedule exploration -- *)
+
+let outcome_eq name a b =
+  match (a, b) with
+  | S.Clean { seeds = x }, S.Clean { seeds = y } ->
+    check int (name ^ " seeds") x y
+  | ( S.Violation { sched_seed = sa; keys = ka; violations = va; _ },
+      S.Violation { sched_seed = sb; keys = kb; violations = vb; _ } ) ->
+    check int (name ^ " seed") sa sb;
+    check (Alcotest.list int) (name ^ " keys") (Array.to_list ka)
+      (Array.to_list kb);
+    check (Alcotest.list string) (name ^ " violations") va vb
+  | _ -> Alcotest.failf "%s: verdict kind differs across -j" name
+
+let test_schedcheck_identical () =
+  let clean_cfg =
+    {
+      S.protocol = Cortenmm.Config.adv;
+      cpus = 3;
+      ops_per_cpu = 8;
+      workload_seed = 42;
+      mutant = S.M_none;
+    }
+  in
+  outcome_eq "clean"
+    (S.explore ~seeds:6 ~jobs:1 clean_cfg)
+    (S.explore ~seeds:6 ~jobs:4 clean_cfg);
+  let mutant_cfg =
+    {
+      S.protocol = Cortenmm.Config.rw;
+      cpus = 4;
+      ops_per_cpu = 12;
+      workload_seed = 42;
+      mutant = S.M_rw_skip_handoff;
+    }
+  in
+  outcome_eq "mutant"
+    (S.explore ~seeds:10 ~jobs:1 mutant_cfg)
+    (S.explore ~seeds:10 ~jobs:4 mutant_cfg)
+
+let () =
+  Alcotest.run "mm_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "jobs_of_string" `Quick test_jobs_of_string;
+          Alcotest.test_case "ordered merge + emit" `Quick test_ordered_merge;
+          Alcotest.test_case "jobs > tasks" `Quick test_jobs_exceed_tasks;
+          Alcotest.test_case "timed nonnegative" `Quick test_timed_nonnegative;
+          Alcotest.test_case "lowest-index failure" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "jobs 0 rejected" `Quick test_jobs_zero_rejected;
+        ] );
+      ( "byte-identity",
+        [
+          Alcotest.test_case "experiment driver" `Slow test_driver_identical;
+          Alcotest.test_case "serve matrix" `Slow test_serve_matrix_identical;
+          Alcotest.test_case "differential oracle" `Slow
+            test_oracle_identical;
+          Alcotest.test_case "schedcheck explore" `Slow
+            test_schedcheck_identical;
+        ] );
+    ]

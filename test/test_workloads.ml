@@ -369,6 +369,33 @@ let test_fig1_golden_digest () =
   check Alcotest.string "fig1 result-table digest" fig1_golden_digest
     (Digest.to_hex (Digest.string (Buffer.contents buf)))
 
+(* The same digest must come out of the parallel driver: sharding
+   experiments across domains may never change simulated results. Two
+   copies of fig1 on two domains also checks runs are independent of
+   which domain hosts them. *)
+let test_fig1_golden_digest_parallel () =
+  let e =
+    match Mm_experiments.Registry.find "fig1" with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let tasks =
+    Mm_experiments.Driver.run_entries ~collect:true ~jobs:2 [ e; e ]
+  in
+  List.iteri
+    (fun i (t : Mm_experiments.Driver.task_result) ->
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun (label, (r : Runner.result)) ->
+          Printf.bprintf buf "%s %d %d %.6f\n" label r.Runner.ops
+            r.Runner.cycles r.Runner.ops_per_sec)
+        t.Mm_experiments.Driver.t_results;
+      check Alcotest.string
+        (Printf.sprintf "fig1 digest, parallel task %d" i)
+        fig1_golden_digest
+        (Digest.to_hex (Digest.string (Buffer.contents buf))))
+    tasks
+
 let () =
   Alcotest.run "mm_workloads"
     [
@@ -418,5 +445,7 @@ let () =
       ( "golden",
         [
           Alcotest.test_case "fig1 digest" `Slow test_fig1_golden_digest;
+          Alcotest.test_case "fig1 digest via parallel driver" `Slow
+            test_fig1_golden_digest_parallel;
         ] );
     ]
