@@ -149,10 +149,26 @@ module Par = Mm_par.Par
    still one world on one domain). *)
 let wallclock_path = "BENCH_wallclock.json"
 
+(* The slowest single cell: the lower bound the parallel elapsed time
+   converges to as -j grows (the suite's critical path now that the big
+   entries are split into per-world cells). *)
+let max_cell tasks =
+  List.fold_left
+    (fun acc (t : Driver.task_result) ->
+      List.fold_left
+        (fun acc (c : Driver.cell_time) ->
+          if c.Driver.ct_seconds > snd acc then
+            (t.Driver.t_id ^ "/" ^ c.Driver.ct_label, c.Driver.ct_seconds)
+          else acc)
+        acc t.Driver.t_cells)
+    ("", 0.0) tasks
+
 let write_wallclock_json ~path ~jobs ~elapsed_seq ~elapsed_par
     ~(seq : Driver.task_result list) ~(par : Driver.task_result list) =
   let open Mm_obs in
   let speedup = if elapsed_par > 0. then elapsed_seq /. elapsed_par else 1.0 in
+  let max_cell_label, max_cell_seq = max_cell seq in
+  let _, max_cell_par = max_cell par in
   Json.write_file ~path
     (Json.Obj
        [
@@ -171,21 +187,45 @@ let write_wallclock_json ~path ~jobs ~elapsed_seq ~elapsed_par
                           (if p.Driver.t_seconds > 0. then
                              s.Driver.t_seconds /. p.Driver.t_seconds
                            else 1.0) );
+                      ( "cells",
+                        Json.List
+                          (List.map2
+                             (fun (cs : Driver.cell_time)
+                                  (cp : Driver.cell_time) ->
+                               Json.Obj
+                                 [
+                                   ("label", Json.String cs.Driver.ct_label);
+                                   ( "seconds_seq",
+                                     Json.Float cs.Driver.ct_seconds );
+                                   ( "seconds_par",
+                                     Json.Float cp.Driver.ct_seconds );
+                                 ])
+                             s.Driver.t_cells p.Driver.t_cells) );
                     ])
                 seq par) );
          ("total_seconds_seq", Json.Float elapsed_seq);
          ("total_seconds_par", Json.Float elapsed_par);
          ("speedup", Json.Float speedup);
+         (* Critical-path summary: elapsed time at -j N is bounded below
+            by the slowest single cell. *)
+         ("max_cell_label", Json.String max_cell_label);
+         ("max_cell_seconds_seq", Json.Float max_cell_seq);
+         ("max_cell_seconds_par", Json.Float max_cell_par);
        ]);
   Printf.printf "## Wall-clock per experiment driver (-j %d)\n\n" jobs;
-  Printf.printf "  %-10s %12s %12s\n" "id" "seq (s)" (Printf.sprintf "-j%d (s)" jobs);
+  Printf.printf "  %-10s %12s %12s %7s\n" "id" "seq (s)"
+    (Printf.sprintf "-j%d (s)" jobs)
+    "cells";
   List.iter2
     (fun (s : Driver.task_result) (p : Driver.task_result) ->
-      Printf.printf "  %-10s %12.3f %12.3f\n" s.Driver.t_id s.Driver.t_seconds
-        p.Driver.t_seconds)
+      Printf.printf "  %-10s %12.3f %12.3f %7d\n" s.Driver.t_id
+        s.Driver.t_seconds p.Driver.t_seconds
+        (List.length s.Driver.t_cells))
     seq par;
   Printf.printf "  %-10s %12.3f %12.3f  (elapsed; speedup %.2fx)\n" "total"
     elapsed_seq elapsed_par speedup;
+  Printf.printf "  critical path: %.3fs in %s (max cell vs %.3fs total)\n"
+    max_cell_seq max_cell_label elapsed_seq;
   Printf.printf "wrote wall-clock timings to %s\n%!" path
 
 let write_results_json ~path results =
@@ -320,12 +360,10 @@ let () =
           ids
     in
     let collect = json_path <> None in
-    let emit (t : Driver.task_result) =
-      print_string t.Driver.t_output;
-      flush stdout
-    in
     let t0 = Unix.gettimeofday () in
-    let results = Driver.run_entries ~emit ~collect ~jobs entries in
+    let results =
+      Driver.run_entries ~emit:Driver.emit_stdout ~collect ~jobs entries
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
     (match trace_path with
     | Some path ->

@@ -8,7 +8,10 @@
      jsoncheck --wallclock FILE  additionally require the bench
                                  --wallclock shape: "jobs", a "wallclock"
                                  array of {id, seconds_seq, seconds_par,
-                                 speedup}, and the seq/par totals *)
+                                 speedup, cells}, per-cell seconds that
+                                 sum to the entry seconds, the seq/par
+                                 totals and the critical-path summary
+                                 (max_cell_seconds_seq/_par) *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -34,6 +37,11 @@ let check_chrome json =
 let check_wallclock json =
   let open Mm_obs.Json in
   let number = function Some (Int _ | Float _) -> true | _ -> false in
+  let as_float = function
+    | Some (Int i) -> float_of_int i
+    | Some (Float f) -> f
+    | _ -> nan
+  in
   (match member "jobs" json with
   | Some (Int j) when j >= 1 -> ()
   | Some _ -> fail "jobs is not a positive integer"
@@ -42,7 +50,13 @@ let check_wallclock json =
     (fun field ->
       if not (number (member field json)) then
         fail "missing or non-numeric %S" field)
-    [ "total_seconds_seq"; "total_seconds_par"; "speedup" ];
+    [
+      "total_seconds_seq"; "total_seconds_par"; "speedup";
+      "max_cell_seconds_seq"; "max_cell_seconds_par";
+    ];
+  (match member "max_cell_label" json with
+  | Some (String _) -> ()
+  | _ -> fail "missing string \"max_cell_label\"");
   match member "wallclock" json with
   | None -> fail "no wallclock field"
   | Some entries -> (
@@ -50,6 +64,7 @@ let check_wallclock json =
     | None -> fail "wallclock is not an array"
     | Some [] -> fail "wallclock is empty"
     | Some items ->
+      let ncells = ref 0 in
       List.iteri
         (fun i item ->
           (match member "id" item with
@@ -59,9 +74,38 @@ let check_wallclock json =
             (fun field ->
               if not (number (member field item)) then
                 fail "wallclock[%d] missing or non-numeric %S" i field)
-            [ "seconds_seq"; "seconds_par"; "speedup" ])
+            [ "seconds_seq"; "seconds_par"; "speedup" ];
+          match Option.bind (member "cells" item) to_list_opt with
+          | None -> fail "wallclock[%d] missing \"cells\" array" i
+          | Some [] -> fail "wallclock[%d] has an empty \"cells\" array" i
+          | Some cells ->
+            ncells := !ncells + List.length cells;
+            let sum = ref 0.0 in
+            List.iteri
+              (fun j cell ->
+                (match member "label" cell with
+                | Some (String _) -> ()
+                | _ ->
+                  fail "wallclock[%d].cells[%d] missing string \"label\"" i j);
+                List.iter
+                  (fun field ->
+                    if not (number (member field cell)) then
+                      fail "wallclock[%d].cells[%d] missing or non-numeric %S"
+                        i j field)
+                  [ "seconds_seq"; "seconds_par" ];
+                sum := !sum +. as_float (member "seconds_seq" cell))
+              cells;
+            (* Entry seconds are defined as the sum of its cell seconds
+               (rendering is not timed); allow float-printing slack. *)
+            let entry = as_float (member "seconds_seq" item) in
+            let tol = Float.max 1e-6 (0.001 *. Float.abs entry) in
+            if Float.abs (!sum -. entry) > tol then
+              fail
+                "wallclock[%d]: cells sum to %.9fs but the entry reports %.9fs"
+                i !sum entry)
         items;
-      Printf.printf "ok: %d wallclock entries\n" (List.length items))
+      Printf.printf "ok: %d wallclock entries (%d cells)\n"
+        (List.length items) !ncells)
 
 let () =
   let mode, path =

@@ -89,20 +89,24 @@ let run_cmd =
   let run ids trace report =
     with_obs ~trace ~report (fun () ->
         match ids with
-        | [] -> Mm_experiments.Registry.run_all ()
+        | [] -> Mm_experiments.Driver.run_all ()
         | ids ->
-          List.iter
-            (fun id ->
-              match Mm_experiments.Registry.find id with
-              | Ok e ->
-                Printf.printf "=== %s: %s ===\n\n%!"
-                  e.Mm_experiments.Registry.id e.Mm_experiments.Registry.title;
-                e.Mm_experiments.Registry.run ();
-                print_newline ()
-              | Error msg ->
-                Printf.eprintf "mmrepro: %s\n" msg;
-                exit 1)
-            ids)
+          (* Resolve every id before running anything, then reuse the
+             driver's header/capture path (one owner of the
+             `=== id: title ===` format). *)
+          let entries =
+            List.map
+              (fun id ->
+                match Mm_experiments.Registry.find id with
+                | Ok e -> e
+                | Error msg ->
+                  Printf.eprintf "mmrepro: %s\n" msg;
+                  exit 1)
+              ids
+          in
+          ignore
+            (Mm_experiments.Driver.run_entries
+               ~emit:Mm_experiments.Driver.emit_stdout ~jobs:1 entries))
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ obs_trace $ obs_report)
 

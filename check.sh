@@ -29,6 +29,21 @@ cmp /tmp/bench_j1.out /tmp/bench_j2.out \
 cmp /tmp/bj_seq.json /tmp/bj.json \
   || { echo "bench: -j 2 --json differs from -j 1"; exit 1; }
 
+echo "== bench cells: reduced fig14 -j 2 stream and JSON byte-identical to -j 1 =="
+# MM_FIG14_SUBSET shrinks the sweep to a seconds-long subset; unlike the
+# fig1/fig13 gate above, fig14 decomposes into per-(contention, bench,
+# cores, system) cells that run on separate domains at -j 2, so this
+# exercises the intra-entry cell pool rather than entry-level parallelism.
+MM_FIG14_SUBSET=1 dune exec bench/main.exe -- --only fig14 \
+  --json /tmp/f14.json > /tmp/f14_j1.out 2>/dev/null
+cp /tmp/f14.json /tmp/f14_seq.json
+MM_FIG14_SUBSET=1 dune exec bench/main.exe -- --only fig14 \
+  --json /tmp/f14.json -j 2 > /tmp/f14_j2.out 2>/dev/null
+cmp /tmp/f14_j1.out /tmp/f14_j2.out \
+  || { echo "bench: fig14 cells -j 2 stdout differs from -j 1"; exit 1; }
+cmp /tmp/f14_seq.json /tmp/f14.json \
+  || { echo "bench: fig14 cells -j 2 --json differs from -j 1"; exit 1; }
+
 echo "== bench parallel: --wallclock two-pass self-gate at -j 2 =="
 dune exec bench/main.exe -- --only fig13 --wallclock \
   --wallclock-out /tmp/wallclock2.json -j 2 > /dev/null 2>&1 \

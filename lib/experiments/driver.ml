@@ -1,24 +1,42 @@
 (* The domain-parallel experiment driver (bench's engine room).
 
-   Each registry entry becomes one pool task: reset the domain-local
-   world state, capture everything the experiment prints (header
-   included), and collect its labeled results. The pool executes tasks
-   on [min jobs cores] domains and the calling domain replays each
-   task's captured output in submission order, so the merged stream —
-   and the results list feeding [bench --json] — is byte-identical to a
-   sequential run. Per-task wall-clock comes from the pool ([Par.timed])
-   and feeds the BENCH_wallclock.json report. *)
+   PR 7 parallelized *around* the entries (one pool task per registry
+   entry), which left the critical path at the slowest single entry —
+   fig14 alone was ~78% of the whole suite. This driver parallelizes
+   *inside* them: every cell of every selected cell-based entry
+   ({!Plan}) becomes its own pool task, flattened across entries into
+   ONE [Par] pool, with a weight-ordered scheduling hint so the heavy
+   64-core cells start first. Legacy entries ride the same pool as a
+   single opaque task each.
+
+   Determinism argument, in three parts:
+   - Each cell task starts with [Runner.reset_world_state], runs its one
+     world on whatever domain claimed it, and returns its
+     [Runner.result]s — a pure function of the cell.
+   - The pool merges (and streams) task results strictly in submission
+     order, whatever the claim order was.
+   - Rendering happens on the *calling* domain, per entry, in submission
+     order, with the cells' results re-assembled in declaration order —
+     so the printed stream, the collected results feeding [bench
+     --json], and the per-entry aggregates are byte-identical to a
+     sequential run for any job count. *)
 
 module Runner = Mm_workloads.Runner
 module Out = Mm_util.Out
 module Par = Mm_par.Par
+
+type cell_time = {
+  ct_label : string;
+  ct_seconds : float; (* wall-clock of this cell on its worker domain *)
+}
 
 type task_result = {
   t_id : string;
   t_title : string;
   t_output : string; (* captured stdout: header, experiment, blank line *)
   t_results : (string * Runner.result) list; (* labeled (bench --json) *)
-  t_seconds : float; (* wall-clock on its worker domain *)
+  t_seconds : float; (* sum of the entry's cell seconds *)
+  t_cells : cell_time list; (* per-cell wall-clock, declaration order *)
 }
 
 (* The simulator's state is mostly medium-lived (one world per
@@ -31,29 +49,174 @@ type task_result = {
 let gc_pacing () =
   Gc.set { (Gc.get ()) with minor_heap_size = 1 lsl 20; space_overhead = 300 }
 
-let run_entry ~collect (e : Registry.entry) =
+(* What one pool task returns: a legacy entry's full capture, or one
+   cell's measurement (plus whatever it printed — cells are expected to
+   be print-free; anything they do print is hoisted to just after the
+   entry header, identically at every job count). *)
+type piece =
+  | P_legacy of { output : string; results : (string * Runner.result) list }
+  | P_cell of {
+      value : Runner.result option;
+      output : string;
+      results : (string * Runner.result) list;
+    }
+
+let run_legacy ~collect (e : Registry.entry) f () =
   Runner.reset_world_state ();
   if collect then Runner.start_collecting ();
   Runner.set_label e.id;
   let results, output =
     Out.capture (fun () ->
         Out.printf "=== %s: %s ===\n\n" e.id e.title;
-        e.run ();
+        f ();
         Out.print_newline ();
         if collect then Runner.stop_collecting () else [])
   in
-  {
-    t_id = e.id;
-    t_title = e.title;
-    t_output = output;
-    t_results = results;
-    t_seconds = 0.0;
-  }
+  P_legacy { output; results }
 
-let with_seconds (t : task_result Par.timed) =
-  { t.Par.value with t_seconds = t.Par.seconds }
+let run_cell ~collect (e : Registry.entry) (c : Plan.cell) () =
+  Runner.reset_world_state ();
+  if collect then Runner.start_collecting ();
+  Runner.set_label e.id;
+  let (value, results), output =
+    Out.capture (fun () ->
+        let v = c.Plan.c_run () in
+        (v, if collect then Runner.stop_collecting () else []))
+  in
+  P_cell { value; output; results }
+
+(* One selected entry, resolved: its flattened pool tasks plus what the
+   calling domain needs to reassemble it. *)
+type prepared = {
+  p_entry : Registry.entry;
+  p_plan : Plan.t option; (* None = legacy *)
+  p_tasks : (float * (unit -> piece)) list; (* (weight, task) *)
+}
+
+let prepare ~collect (e : Registry.entry) =
+  match e.Registry.body with
+  | Registry.Run f ->
+    (* A legacy entry is one opaque task. Weight 100 ≈ a mid-sized cell:
+       start legacy entries neither first nor last (the hint only moves
+       wall-clock, never bytes). *)
+    { p_entry = e; p_plan = None; p_tasks = [ (100.0, run_legacy ~collect e f) ] }
+  | Registry.Cells mk ->
+    let plan = mk () in
+    {
+      p_entry = e;
+      p_plan = Some plan;
+      p_tasks =
+        List.map
+          (fun (c : Plan.cell) -> (c.Plan.c_weight, run_cell ~collect e c))
+          plan.Plan.cells;
+    }
+
+(* Reassemble an entry from its pieces (in declaration order): replay
+   the header, any stray cell output, and the plan's render under
+   [Out.capture] on the calling domain. *)
+let assemble (p : prepared) (pieces : piece Par.timed list) =
+  let e = p.p_entry in
+  match (p.p_plan, pieces) with
+  | None, [ { Par.value = P_legacy { output; results }; seconds } ] ->
+    {
+      t_id = e.id;
+      t_title = e.title;
+      t_output = output;
+      t_results = results;
+      t_seconds = seconds;
+      t_cells = [ { ct_label = e.id; ct_seconds = seconds } ];
+    }
+  | Some plan, pieces ->
+    let cells =
+      List.map2
+        (fun (c : Plan.cell) (t : piece Par.timed) ->
+          match t.Par.value with
+          | P_cell { value; output; results } ->
+            (c, value, output, results, t.Par.seconds)
+          | P_legacy _ -> assert false)
+        plan.Plan.cells pieces
+    in
+    let (), output =
+      Out.capture (fun () ->
+          Out.printf "=== %s: %s ===\n\n" e.id e.title;
+          List.iter (fun (_, _, out, _, _) -> Out.print_string out) cells;
+          plan.Plan.render (List.map (fun (c, v, _, _, _) -> (c, v)) cells);
+          Out.print_newline ())
+    in
+    {
+      t_id = e.id;
+      t_title = e.title;
+      t_output = output;
+      t_results = List.concat_map (fun (_, _, _, rs, _) -> rs) cells;
+      t_seconds = List.fold_left (fun a (_, _, _, _, s) -> a +. s) 0.0 cells;
+      t_cells =
+        List.map
+          (fun ((c : Plan.cell), _, _, _, s) ->
+            { ct_label = c.Plan.c_label; ct_seconds = s })
+          cells;
+    }
+  | None, _ -> assert false
+
+(* Heaviest-first claim order over the flattened tasks (stable: equal
+   weights keep submission order). Purely a wall-clock hint — the pool
+   merges in submission order regardless. *)
+let weight_order weights =
+  let a = Array.of_list (List.mapi (fun i w -> (i, w)) weights) in
+  Array.sort
+    (fun (i, wa) (j, wb) ->
+      match compare wb wa with 0 -> compare i j | c -> c)
+    a;
+  Array.map fst a
 
 let run_entries ?emit ?(collect = false) ~jobs entries =
-  let tasks = List.map (fun e () -> run_entry ~collect e) entries in
-  let emit = Option.map (fun f t -> f (with_seconds t)) emit in
-  List.map with_seconds (Par.run_timed ?emit ~worker_init:gc_pacing ~jobs tasks)
+  let prepared = List.map (prepare ~collect) entries in
+  let flat = List.concat_map (fun p -> p.p_tasks) prepared in
+  let order = weight_order (List.map fst flat) in
+  (* Stream: pieces arrive in submission order; cut them back into
+     per-entry groups, render each completed entry on this (calling)
+     domain, and hand it to [emit] — entries complete in submission
+     order, so stdout stays byte-identical to sequential. *)
+  let pending = Queue.create () in
+  List.iter (fun p -> Queue.add (p, List.length p.p_tasks) pending) prepared;
+  let buf = ref [] and out = ref [] in
+  let finish p pieces =
+    let task = assemble p pieces in
+    out := task :: !out;
+    Option.iter (fun f -> f task) emit
+  in
+  (* An entry with no cells has no pieces to wait for: assemble it the
+     moment it reaches the head of the queue. *)
+  let rec drain_empty () =
+    match Queue.peek_opt pending with
+    | Some (p, 0) ->
+      ignore (Queue.pop pending);
+      finish p [];
+      drain_empty ()
+    | _ -> ()
+  in
+  drain_empty ();
+  let on_piece (t : piece Par.timed) =
+    buf := t :: !buf;
+    let p, want = Queue.peek pending in
+    if List.length !buf = want then begin
+      ignore (Queue.pop pending);
+      finish p (List.rev !buf);
+      buf := [];
+      drain_empty ()
+    end
+  in
+  ignore
+    (Par.run_timed ~emit:on_piece ~worker_init:gc_pacing ~order ~jobs
+       (List.map snd flat));
+  List.rev !out
+
+(* Print a completed entry's stream — the shared [emit] of bench and
+   mmrepro. *)
+let emit_stdout (t : task_result) =
+  print_string t.t_output;
+  flush stdout
+
+(* The sequential run-everything path (mmrepro `run` with no ids); the
+   single place that owns the `=== id: title ===` header via
+   [run_entries]. *)
+let run_all () = ignore (run_entries ~emit:emit_stdout ~jobs:1 Registry.all)

@@ -1,9 +1,17 @@
 (** Domain-parallel experiment driver.
 
-    Runs registry entries as independent pool tasks ({!Mm_par.Par}) with
-    captured output and per-task wall-clock; the ordered merge keeps the
-    printed stream and the collected results byte-identical to a
-    sequential run for any job count. *)
+    Flattens the cells of every selected cell-based entry ({!Plan}) —
+    plus one opaque task per legacy entry — into one {!Mm_par.Par} pool
+    with a heaviest-first scheduling hint, then renders each entry on
+    the calling domain in submission order. The printed stream, the
+    collected results, and the per-entry aggregates are byte-identical
+    to a sequential run for any job count, while the parallel critical
+    path drops from "slowest entry" to "slowest cell". *)
+
+type cell_time = {
+  ct_label : string;  (** the cell's declared label (entry id for legacy) *)
+  ct_seconds : float;  (** wall-clock of this cell on its worker domain *)
+}
 
 type task_result = {
   t_id : string;
@@ -12,8 +20,14 @@ type task_result = {
       (** everything the experiment printed, header and trailing blank
           line included — replay with [print_string] *)
   t_results : (string * Mm_workloads.Runner.result) list;
-      (** labeled results collected while the entry ran (bench --json) *)
-  t_seconds : float;  (** wall-clock seconds on its worker domain *)
+      (** labeled results collected while the entry's cells ran, in cell
+          declaration order (bench --json) *)
+  t_seconds : float;
+      (** sum of the entry's cell seconds (rendering, which is
+          microseconds of pure formatting, is not counted) *)
+  t_cells : cell_time list;
+      (** per-cell wall-clock in declaration order; a single entry-wide
+          cell for legacy entries *)
 }
 
 val run_entries :
@@ -24,8 +38,17 @@ val run_entries :
   task_result list
 (** Run every entry and return the results in registry-submission
     order. [emit] is called on the calling domain, strictly in
-    submission order, as each task (and all its predecessors) completes
+    submission order, as each entry (and all its predecessors) completes
     — print [t_output] there for a live stream. [collect] (default
-    false) gathers each entry's labeled results. Each task starts with
-    {!Mm_workloads.Runner.reset_world_state}, at [jobs = 1] too, so
-    outputs are byte-identical across job counts. *)
+    false) gathers each entry's labeled results. Each cell (and each
+    legacy entry) starts with {!Mm_workloads.Runner.reset_world_state},
+    at [jobs = 1] too, so outputs are byte-identical across job
+    counts. *)
+
+val emit_stdout : task_result -> unit
+(** Print a completed entry's captured stream to stdout and flush — the
+    [emit] both bench and mmrepro use. *)
+
+val run_all : unit -> unit
+(** Run the whole registry sequentially with streamed output — the one
+    owner of the [=== id: title ===] header format. *)

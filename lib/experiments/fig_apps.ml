@@ -1,7 +1,12 @@
 (* Application experiments: Fig 15 (single-thread apps), Fig 16 (JVM
    thread creation + metis, with the two ablations), Fig 17 (dedup +
    psearchy under ptmalloc/tcmalloc), Fig 18 (allocator memory usage),
-   Fig 21 (8-thread other-PARSEC). *)
+   Fig 21 (8-thread other-PARSEC).
+
+   Fig 15/16/17/21 are cell-based ({!Plan}): one independent world per
+   (app, system, cores, allocator) combination. Fig 18 keeps the legacy
+   opaque form — it probes [System.mem_stats] on the live system object
+   after each run, which does not reduce to a single [Runner.result]. *)
 
 module Tablefmt = Mm_util.Tablefmt
 
@@ -27,68 +32,110 @@ let adv_vpa = System.Corten Cortenmm.Config.adv_vpa
 
 let core_sweep = [ 1; 4; 16; 64 ]
 
-(* -- Fig 16 left: JVM thread creation (lower is better) -- *)
+(* -- Fig 16: JVM thread creation (left) + metis (right) -- *)
 
-let fig16_jvm () =
-  Printf.printf
-    "## Fig 16 (left) — JVM thread creation latency (cycles; lower is \
-     better)\n\
-     N threads each map a stack, guard it and first-touch its hot pages\n\
-     (the Android app-startup pattern).\n\n";
-  let systems =
-    [ System.Linux; corten_rw; adv_base; adv_vpa; corten_adv ]
-  in
-  let header = "threads" :: List.map System.kind_name systems in
-  let rows =
-    List.map
+let jvm_systems = [ System.Linux; corten_rw; adv_base; adv_vpa; corten_adv ]
+
+let metis_systems =
+  [ System.Linux; System.Radixvm; corten_rw; adv_base; adv_vpa; corten_adv ]
+
+let fig16_plan () =
+  let jvm_cells =
+    List.concat_map
       (fun n ->
-        string_of_int n
-        :: List.map
-             (fun kind ->
-               Tablefmt.fmt_si
-                 (float_of_int (Apps.jvm_thread_creation ~kind ~nthreads:n ())))
-             systems)
+        List.map
+          (fun kind ->
+            Plan.cell
+              ~label:
+                (Printf.sprintf "jvm/t%d/%s" n (System.kind_name kind))
+              ~weight:(float_of_int n)
+              (fun () ->
+                Plan.of_cycles (Apps.jvm_thread_creation ~kind ~nthreads:n ())))
+          jvm_systems)
       core_sweep
   in
-  Tablefmt.print ~header rows;
-  Printf.printf
-    "\nPaper: CortenMM (both) 32%% faster than Linux at 384 cores; Linux is\n\
-     bottlenecked in the fault path on thread stacks.\n\n"
-
-(* -- Fig 16 right: metis (higher is better) -- *)
-
-let fig16_metis () =
-  Printf.printf
-    "## Fig 16 (right) — metis map-reduce throughput (chunk ops/second)\n\
-     Workers scan a shared input and allocate 8 MiB chunks, never freed\n\
-     (the RadixVM paper's setup), plus the adv_base / adv_+vpa ablations.\n\n";
-  let systems =
-    [
-      System.Linux; System.Radixvm; corten_rw; adv_base; adv_vpa; corten_adv;
-    ]
-  in
-  let header = "cores" :: List.map System.kind_name systems in
-  let rows =
-    List.map
+  let metis_cells =
+    List.concat_map
       (fun n ->
-        string_of_int n
-        :: List.map
-             (fun kind ->
-               let r, _sys = Apps.metis ~kind ~ncpus:n () in
-               Tablefmt.fmt_si r.Mm_workloads.Runner.ops_per_sec)
-             systems)
+        List.map
+          (fun kind ->
+            Plan.cell
+              ~label:
+                (Printf.sprintf "metis/c%d/%s" n (System.kind_name kind))
+              ~weight:(float_of_int n)
+              (fun () ->
+                let r, _sys = Apps.metis ~kind ~ncpus:n () in
+                Some r))
+          metis_systems)
       core_sweep
   in
-  Tablefmt.print ~header rows;
-  Printf.printf
-    "\nPaper: adv 26x over Linux at 384 cores (rw 15x); ablations close to\n\
-     adv since metis rarely mmaps; adv 1.24x over RadixVM at 128 cores.\n\n"
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## Fig 16 (left) — JVM thread creation latency (cycles; lower is \
+       better)\n\
+       N threads each map a stack, guard it and first-touch its hot pages\n\
+       (the Android app-startup pattern).\n\n";
+    let header = "threads" :: List.map System.kind_name jvm_systems in
+    let rows =
+      List.map
+        (fun n ->
+          string_of_int n
+          :: List.map
+               (fun _kind ->
+                 Tablefmt.fmt_si (float_of_int (Plan.cycles (take ()))))
+               jvm_systems)
+        core_sweep
+    in
+    Tablefmt.print ~header rows;
+    Printf.printf
+      "\nPaper: CortenMM (both) 32%% faster than Linux at 384 cores; Linux is\n\
+       bottlenecked in the fault path on thread stacks.\n\n";
+    Printf.printf
+      "## Fig 16 (right) — metis map-reduce throughput (chunk ops/second)\n\
+       Workers scan a shared input and allocate 8 MiB chunks, never freed\n\
+       (the RadixVM paper's setup), plus the adv_base / adv_+vpa ablations.\n\n";
+    let header = "cores" :: List.map System.kind_name metis_systems in
+    let rows =
+      List.map
+        (fun n ->
+          string_of_int n
+          :: List.map (fun _kind -> Plan.fmt_tp (take ())) metis_systems)
+        core_sweep
+    in
+    Tablefmt.print ~header rows;
+    Printf.printf
+      "\nPaper: adv 26x over Linux at 384 cores (rw 15x); ablations close to\n\
+       adv since metis rarely mmaps; adv 1.24x over RadixVM at 128 cores.\n\n"
+  in
+  { Plan.cells = jvm_cells @ metis_cells; render }
 
 (* -- Fig 17: dedup and psearchy with both allocators -- *)
 
-let fig17_one ~name run =
+let fig17_systems = [ System.Linux; corten_rw; corten_adv ]
+let fig17_allocs = [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ]
+
+let fig17_cells ~name run =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun alloc ->
+          List.map
+            (fun kind ->
+              Plan.cell
+                ~label:
+                  (Printf.sprintf "%s/c%d/%s/%s" name n (System.kind_name kind)
+                     (Alloc_model.kind_name alloc))
+                ~weight:(float_of_int n)
+                (fun () ->
+                  let r, _ = run ~kind ~alloc_kind:alloc ~ncpus:n in
+                  Some r))
+            fig17_systems)
+        fig17_allocs)
+    core_sweep
+
+let fig17_render_one ~name take =
   Printf.printf "### %s\n" name;
-  let systems = [ System.Linux; corten_rw; corten_adv ] in
   let header =
     "cores"
     :: List.concat_map
@@ -97,39 +144,45 @@ let fig17_one ~name run =
              (fun k ->
                Printf.sprintf "%s/%s" (System.kind_name k)
                  (Alloc_model.kind_name alloc))
-             systems)
-         [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ]
+             fig17_systems)
+         fig17_allocs
   in
   let rows =
     List.map
       (fun n ->
         string_of_int n
         :: List.concat_map
-             (fun alloc ->
-               List.map
-                 (fun kind ->
-                   let r, _ = run ~kind ~alloc_kind:alloc ~ncpus:n in
-                   Tablefmt.fmt_si r.Mm_workloads.Runner.ops_per_sec)
-                 systems)
-             [ Alloc_model.Ptmalloc; Alloc_model.Tcmalloc ])
+             (fun _alloc ->
+               List.map (fun _kind -> Plan.fmt_tp (take ())) fig17_systems)
+             fig17_allocs)
       core_sweep
   in
   Tablefmt.print ~header rows;
   print_newline ()
 
-let fig17 () =
-  Printf.printf
-    "## Fig 17 — dedup and psearchy throughput with ptmalloc vs tcmalloc\n\n";
-  fig17_one ~name:"dedup" (fun ~kind ~alloc_kind ~ncpus ->
-      Apps.dedup ~kind ~alloc_kind ~ncpus ());
-  fig17_one ~name:"psearchy" (fun ~kind ~alloc_kind ~ncpus ->
-      Apps.psearchy ~kind ~alloc_kind ~ncpus ());
-  Printf.printf
-    "Paper: with ptmalloc Linux stops scaling at ~16 threads (dedup) —\n\
-     frequent munmap contends on mmap_lock — while adv reaches 2.69x Linux;\n\
-     tcmalloc hides the kernel bottleneck for both; psearchy ~2x at 64.\n\n"
+let fig17_plan () =
+  let dedup_cells =
+    fig17_cells ~name:"dedup" (fun ~kind ~alloc_kind ~ncpus ->
+        Apps.dedup ~kind ~alloc_kind ~ncpus ())
+  in
+  let psearchy_cells =
+    fig17_cells ~name:"psearchy" (fun ~kind ~alloc_kind ~ncpus ->
+        Apps.psearchy ~kind ~alloc_kind ~ncpus ())
+  in
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## Fig 17 — dedup and psearchy throughput with ptmalloc vs tcmalloc\n\n";
+    fig17_render_one ~name:"dedup" take;
+    fig17_render_one ~name:"psearchy" take;
+    Printf.printf
+      "Paper: with ptmalloc Linux stops scaling at ~16 threads (dedup) —\n\
+       frequent munmap contends on mmap_lock — while adv reaches 2.69x Linux;\n\
+       tcmalloc hides the kernel bottleneck for both; psearchy ~2x at 64.\n\n"
+  in
+  { Plan.cells = dedup_cells @ psearchy_cells; render }
 
-(* -- Fig 18: allocator memory usage -- *)
+(* -- Fig 18: allocator memory usage (legacy: probes the live system) -- *)
 
 let fig18 () =
   Printf.printf
@@ -170,43 +223,66 @@ let fig18 () =
 
 (* -- Fig 15 / Fig 21: PARSEC-class compute workloads -- *)
 
-let parsec_table ~ncpus =
-  let systems = [ corten_rw; corten_adv ] in
+let parsec_systems = [ corten_rw; corten_adv ]
+
+let parsec_cells ~ncpus =
+  List.concat_map
+    (fun p ->
+      Plan.cell
+        ~label:(Printf.sprintf "%s/c%d/linux" p.Apps.p_name ncpus)
+        ~weight:(float_of_int ncpus)
+        (fun () -> Some (Apps.run_parsec ~kind:System.Linux ~ncpus p))
+      :: List.map
+           (fun kind ->
+             Plan.cell
+               ~label:
+                 (Printf.sprintf "%s/c%d/%s" p.Apps.p_name ncpus
+                    (System.kind_name kind))
+               ~weight:(float_of_int ncpus)
+               (fun () -> Some (Apps.run_parsec ~kind ~ncpus p)))
+           parsec_systems)
+    Apps.parsec_others
+
+let parsec_render take =
   let header =
     "benchmark" :: "linux (ops/s)"
-    :: List.map (fun k -> System.kind_name k ^ " (norm.)") systems
+    :: List.map (fun k -> System.kind_name k ^ " (norm.)") parsec_systems
   in
   let rows =
     List.map
       (fun p ->
-        let linux = Apps.run_parsec ~kind:System.Linux ~ncpus p in
+        let linux = Plan.tp (take ()) in
         p.Apps.p_name
-        :: Tablefmt.fmt_si linux.Mm_workloads.Runner.ops_per_sec
+        :: Tablefmt.fmt_si linux
         :: List.map
-             (fun kind ->
-               let r = Apps.run_parsec ~kind ~ncpus p in
-               Printf.sprintf "%.3f"
-                 (r.Mm_workloads.Runner.ops_per_sec
-                 /. linux.Mm_workloads.Runner.ops_per_sec))
-             systems)
+             (fun _kind -> Printf.sprintf "%.3f" (Plan.tp (take ()) /. linux))
+             parsec_systems)
       Apps.parsec_others
   in
   Tablefmt.print ~header rows
 
-let fig15 () =
-  Printf.printf
-    "## Fig 15 — single-threaded real-world applications (normalized to \
-     Linux)\n\
-     Compute-dominated PARSEC workloads; MM is not on their critical path.\n\n";
-  parsec_table ~ncpus:1;
-  Printf.printf
-    "\nPaper: CortenMM within noise of Linux on every non-MM-bound PARSEC\n\
-     benchmark (no regression).\n\n"
+let fig15_plan () =
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## Fig 15 — single-threaded real-world applications (normalized to \
+       Linux)\n\
+       Compute-dominated PARSEC workloads; MM is not on their critical path.\n\n";
+    parsec_render take;
+    Printf.printf
+      "\nPaper: CortenMM within noise of Linux on every non-MM-bound PARSEC\n\
+       benchmark (no regression).\n\n"
+  in
+  { Plan.cells = parsec_cells ~ncpus:1; render }
 
-let fig21 () =
-  Printf.printf
-    "## Fig 21 — 8-threaded other-PARSEC workloads (normalized to Linux)\n\n";
-  parsec_table ~ncpus:8;
-  Printf.printf
-    "\nPaper: parity with Linux (CortenMM adds no overhead when MM is not\n\
-     the bottleneck).\n\n"
+let fig21_plan () =
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## Fig 21 — 8-threaded other-PARSEC workloads (normalized to Linux)\n\n";
+    parsec_render take;
+    Printf.printf
+      "\nPaper: parity with Linux (CortenMM adds no overhead when MM is not\n\
+       the bottleneck).\n\n"
+  in
+  { Plan.cells = parsec_cells ~ncpus:8; render }

@@ -23,39 +23,54 @@ let page = 4096
 let mib n = n * 1024 * 1024
 let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
 
-(* -- ext-numa: fault cost under each policy on a 2-node machine -- *)
+(* -- ext-numa: fault cost under each policy on a 2-node machine
+      (cell-based: one world per policy) -- *)
 
-let ext_numa () =
-  Printf.printf
-    "## ext-numa — anonymous fault cost per NUMA policy (2 nodes)\n\
-     The policy lives in the per-PTE metadata (the paper's §4.5 plan);\n\
-     faults allocate per policy, remote allocations pay the interconnect.\n\n";
-  let run ~policy =
-    let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
-    let asp = Addr_space.create kernel Config.adv in
-    let out = ref 0 in
-    let w = Engine.create ~ncpus:2 in
-    Engine.spawn w ~cpu:0 (fun () ->
-        let len = 256 * page in
-        let addr = ok (Mm.mmap_r asp ~policy ~len ~perm:Perm.rw ()) in
-        let t0 = Engine.now () in
-        Mm.touch_range asp ~addr ~len ~write:true;
-        out := (Engine.now () - t0) / 256);
-    Engine.run w;
-    !out
+let ext_numa_policies =
+  [
+    ("default (local)", Numa.Default);
+    ("bind local node", Numa.Bind 0);
+    ("bind remote node", Numa.Bind 1);
+    ("interleave 0,1", Numa.Interleave [ 0; 1 ]);
+  ]
+
+let ext_numa_run ~policy =
+  let kernel = Kernel.create ~numa_nodes:2 ~ncpus:2 () in
+  let asp = Addr_space.create kernel Config.adv in
+  let out = ref 0 in
+  let w = Engine.create ~ncpus:2 in
+  Engine.spawn w ~cpu:0 (fun () ->
+      let len = 256 * page in
+      let addr = ok (Mm.mmap_r asp ~policy ~len ~perm:Perm.rw ()) in
+      let t0 = Engine.now () in
+      Mm.touch_range asp ~addr ~len ~write:true;
+      out := (Engine.now () - t0) / 256);
+  Engine.run w;
+  !out
+
+let ext_numa_plan () =
+  let cells =
+    List.map
+      (fun (name, policy) ->
+        Plan.cell ~label:name ~weight:1.0 (fun () ->
+            Plan.of_cycles (ext_numa_run ~policy)))
+      ext_numa_policies
   in
-  Tablefmt.print
-    ~header:[ "policy"; "cycles/fault" ]
-    (List.map
-       (fun (name, policy) -> [ name; string_of_int (run ~policy) ])
-       [
-         ("default (local)", Numa.Default);
-         ("bind local node", Numa.Bind 0);
-         ("bind remote node", Numa.Bind 1);
-         ("interleave 0,1", Numa.Interleave [ 0; 1 ]);
-       ]);
-  Printf.printf
-    "\nExpected: local == bind-local < interleave < bind-remote.\n\n"
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## ext-numa — anonymous fault cost per NUMA policy (2 nodes)\n\
+       The policy lives in the per-PTE metadata (the paper's §4.5 plan);\n\
+       faults allocate per policy, remote allocations pay the interconnect.\n\n";
+    Tablefmt.print
+      ~header:[ "policy"; "cycles/fault" ]
+      (List.map
+         (fun (name, _policy) -> [ name; string_of_int (Plan.cycles (take ())) ])
+         ext_numa_policies);
+    Printf.printf
+      "\nExpected: local == bind-local < interleave < bind-remote.\n\n"
+  in
+  { Plan.cells; render }
 
 (* -- ext-thp: huge-page promotion effect on TLB reach -- *)
 
@@ -147,44 +162,65 @@ let ext_swapd () =
   Printf.printf "\nExpected: all 32 hot pages survive the reclaim pass.\n\n"
 
 
-(* -- ext-trace: workload-trace replay across every system -- *)
+(* -- ext-trace: workload-trace replay across every system (cell-based:
+      one world per (profile, system); trace generation is seeded and
+      deterministic, so each cell regenerates its own copy) -- *)
 
-let ext_trace () =
-  Printf.printf
-    "## ext-trace — synthetic MM traces replayed on every system\n\
-     The same operation stream (8 CPUs, 150 ops/CPU, region ids portable\n\
-     across VA allocators) replayed everywhere; ops/s of whole-trace\n\
-     throughput. Generate/replay your own with `mmrepro trace`.\n\n";
-  let systems =
-    [
-      Mm_workloads.System.Linux;
-      Mm_workloads.System.Radixvm;
-      Mm_workloads.System.Nros;
-      Mm_workloads.System.Corten Config.rw;
-      Mm_workloads.System.Corten Config.adv;
-    ]
-  in
-  let header =
-    "profile" :: List.map Mm_workloads.System.kind_name systems
-  in
-  let rows =
-    List.map
+let ext_trace_systems =
+  [
+    Mm_workloads.System.Linux;
+    Mm_workloads.System.Radixvm;
+    Mm_workloads.System.Nros;
+    Mm_workloads.System.Corten Config.rw;
+    Mm_workloads.System.Corten Config.adv;
+  ]
+
+let ext_trace_profiles =
+  [ Mm_workloads.Trace.Churn; Mm_workloads.Trace.Faults;
+    Mm_workloads.Trace.Mixed ]
+
+let ext_trace_plan () =
+  let cells =
+    List.concat_map
       (fun profile ->
-        let t =
-          Mm_workloads.Trace.generate ~profile ~ncpus:8 ~ops_per_cpu:150
-            ~seed:42
-        in
-        Mm_workloads.Trace.profile_name profile
-        :: List.map
-             (fun kind ->
-               let s = Mm_workloads.Trace.replay ~kind t in
-               Tablefmt.fmt_si
-                 s.Mm_workloads.Trace.result.Mm_workloads.Runner.ops_per_sec)
-             systems)
-      [ Mm_workloads.Trace.Churn; Mm_workloads.Trace.Faults;
-        Mm_workloads.Trace.Mixed ]
+        List.map
+          (fun kind ->
+            Plan.cell
+              ~label:
+                (Printf.sprintf "%s/%s"
+                   (Mm_workloads.Trace.profile_name profile)
+                   (Mm_workloads.System.kind_name kind))
+              ~weight:8.0
+              (fun () ->
+                let t =
+                  Mm_workloads.Trace.generate ~profile ~ncpus:8
+                    ~ops_per_cpu:150 ~seed:42
+                in
+                let s = Mm_workloads.Trace.replay ~kind t in
+                Some s.Mm_workloads.Trace.result))
+          ext_trace_systems)
+      ext_trace_profiles
   in
-  Tablefmt.print ~header rows;
-  Printf.printf
-    "\nExpected: CortenMM leads on churn (map/unmap-heavy) and mixed;\n\
-     the gap narrows on the fault-only profile.\n\n"
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## ext-trace — synthetic MM traces replayed on every system\n\
+       The same operation stream (8 CPUs, 150 ops/CPU, region ids portable\n\
+       across VA allocators) replayed everywhere; ops/s of whole-trace\n\
+       throughput. Generate/replay your own with `mmrepro trace`.\n\n";
+    let header =
+      "profile" :: List.map Mm_workloads.System.kind_name ext_trace_systems
+    in
+    let rows =
+      List.map
+        (fun profile ->
+          Mm_workloads.Trace.profile_name profile
+          :: List.map (fun _kind -> Plan.fmt_tp (take ())) ext_trace_systems)
+        ext_trace_profiles
+    in
+    Tablefmt.print ~header rows;
+    Printf.printf
+      "\nExpected: CortenMM leads on churn (map/unmap-heavy) and mixed;\n\
+       the gap narrows on the fault-only profile.\n\n"
+  in
+  { Plan.cells; render }

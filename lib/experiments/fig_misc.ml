@@ -42,34 +42,55 @@ let tab2 () =
   Tablefmt.print ~header:("system" :: System.table2_headers) rows;
   print_newline ()
 
-(* -- Fig 20: LMbench process benchmarks -- *)
+(* -- Fig 20: LMbench process benchmarks (cell-based: one world per
+      (bench, kind), cycle counts carried via [Plan.of_cycles]) -- *)
 
-let fig20 () =
-  Printf.printf
-    "## Fig 20 — LMbench fork / fork+exec / shell (cycles per iteration; \
-     lower is better)\n\
-     These enumerate the address space: CortenMM walks page tables, Linux\n\
-     walks its VMA list — the paper's worst case for CortenMM.\n\n";
-  let kinds = [ ("linux", `Linux); ("cortenmm-adv", `Corten Cortenmm.Config.adv) ] in
-  let header = "bench" :: List.map fst kinds @ [ "adv vs linux" ] in
-  let rows =
-    List.map
+let fig20_kinds =
+  [ ("linux", `Linux); ("cortenmm-adv", `Corten Cortenmm.Config.adv) ]
+
+let fig20_benches = [ Lmbench.Fork; Lmbench.Fork_exec; Lmbench.Shell ]
+
+let fig20_plan () =
+  let cells =
+    List.concat_map
       (fun bench ->
-        let vals =
-          List.map (fun (_, kind) -> Lmbench.run ~kind ~bench ()) kinds
-        in
-        let linux = float_of_int (List.nth vals 0) in
-        let adv = float_of_int (List.nth vals 1) in
-        Lmbench.bench_name bench
-        :: List.map (fun v -> Tablefmt.fmt_si (float_of_int v)) vals
-        @ [ Printf.sprintf "%+.1f%%" ((adv /. linux -. 1.0) *. 100.0) ])
-      [ Lmbench.Fork; Lmbench.Fork_exec; Lmbench.Shell ]
+        List.map
+          (fun (name, kind) ->
+            Plan.cell
+              ~label:(Printf.sprintf "%s/%s" (Lmbench.bench_name bench) name)
+              ~weight:1.0
+              (fun () -> Plan.of_cycles (Lmbench.run ~kind ~bench ())))
+          fig20_kinds)
+      fig20_benches
   in
-  Tablefmt.print ~header rows;
-  Printf.printf
-    "\nPaper: fork 17.7%% slower than Linux (PT walk beats VMA walk for\n\
-     enumeration), fork+exec 23%% faster (faster faults dominate), shell\n\
-     about equal.\n\n"
+  let render celled =
+    let take = Plan.taker celled in
+    Printf.printf
+      "## Fig 20 — LMbench fork / fork+exec / shell (cycles per iteration; \
+       lower is better)\n\
+       These enumerate the address space: CortenMM walks page tables, Linux\n\
+       walks its VMA list — the paper's worst case for CortenMM.\n\n";
+    let header = "bench" :: List.map fst fig20_kinds @ [ "adv vs linux" ] in
+    let rows =
+      List.map
+        (fun bench ->
+          let vals =
+            List.map (fun (_ : string * _) -> Plan.cycles (take ())) fig20_kinds
+          in
+          let linux = float_of_int (List.nth vals 0) in
+          let adv = float_of_int (List.nth vals 1) in
+          Lmbench.bench_name bench
+          :: List.map (fun v -> Tablefmt.fmt_si (float_of_int v)) vals
+          @ [ Printf.sprintf "%+.1f%%" ((adv /. linux -. 1.0) *. 100.0) ])
+        fig20_benches
+    in
+    Tablefmt.print ~header rows;
+    Printf.printf
+      "\nPaper: fork 17.7%% slower than Linux (PT walk beats VMA walk for\n\
+       enumeration), fork+exec 23%% faster (faster faults dominate), shell\n\
+       about equal.\n\n"
+  in
+  { Plan.cells; render }
 
 (* -- Fig 22: memory overhead under metis -- *)
 

@@ -53,11 +53,31 @@ let timed_call f =
   let value = f () in
   { value; seconds = Unix.gettimeofday () -. t0 }
 
+(* [order] is a permutation of [0 .. n-1]: the order in which workers
+   *claim* tasks. It exists purely as a scheduling hint (start the
+   heaviest tasks first so no domain is left finishing a giant task
+   alone at the end); result slots, merge order and emission order are
+   always submission order, so it can never change an observable
+   output. *)
+let check_order ~n order =
+  if Array.length order <> n then
+    invalid_arg
+      (Printf.sprintf "Par.run_timed: order has %d entries for %d tasks"
+         (Array.length order) n);
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Par.run_timed: order is not a permutation of the tasks";
+      seen.(i) <- true)
+    order
+
 let run_timed ?(emit = fun (_ : 'a timed) -> ()) ?(worker_init = fun () -> ())
-    ~jobs tasks =
+    ?order ~jobs tasks =
   if jobs <= 0 then invalid_arg "Par.run_timed: jobs must be positive";
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
+  Option.iter (check_order ~n) order;
   if n = 0 then []
   else if min jobs n = 1 then begin
     (* Inline sequential path: same per-task code, no domains. Emission
@@ -74,8 +94,20 @@ let run_timed ?(emit = fun (_ : 'a timed) -> ()) ?(worker_init = fun () -> ())
   end
   else begin
     let slots : 'a slot option array = Array.make n None in
+    let claim_order =
+      match order with Some o -> o | None -> Array.init n Fun.id
+    in
     let next = Atomic.make 0 in
-    let failed = Atomic.make false in
+    (* Lowest *submission* index that has failed so far (max_int = none).
+       Tasks the sequential run would have reached — submission index
+       below every failure — always execute, even when a custom [order]
+       ran a later-submitted task (and failed it) first. *)
+    let failed_min = Atomic.make max_int in
+    let rec note_failure i =
+      let cur = Atomic.get failed_min in
+      if i < cur && not (Atomic.compare_and_set failed_min cur i) then
+        note_failure i
+    in
     let m = Mutex.create () in
     let filled = Condition.create () in
     let post i r =
@@ -87,12 +119,13 @@ let run_timed ?(emit = fun (_ : 'a timed) -> ()) ?(worker_init = fun () -> ())
     let worker () =
       worker_init ();
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (if Atomic.get failed then
-             (* A task already failed: don't start later work the
-                sequential run would never have reached. The slot must
-                still be filled so the merge loop can pass it by. *)
+        let k = Atomic.fetch_and_add next 1 in
+        if k < n then begin
+          let i = claim_order.(k) in
+          (if i > Atomic.get failed_min then
+             (* A lower-submitted task already failed: don't start work
+                the sequential run would never have reached. The slot
+                must still be filled so the merge loop can pass it by. *)
              post i
                (Error
                   ( Failure "Par: task skipped after an earlier failure",
@@ -102,7 +135,7 @@ let run_timed ?(emit = fun (_ : 'a timed) -> ()) ?(worker_init = fun () -> ())
              | r -> post i (Ok r)
              | exception e ->
                let bt = Printexc.get_raw_backtrace () in
-               Atomic.set failed true;
+               note_failure i;
                post i (Error (e, bt)));
           loop ()
         end

@@ -22,6 +22,7 @@ val jobs_of_string : string -> (int, string) result
 val run_timed :
   ?emit:('a timed -> unit) ->
   ?worker_init:(unit -> unit) ->
+  ?order:int array ->
   jobs:int ->
   (unit -> 'a) list ->
   'a timed list
@@ -34,12 +35,21 @@ val run_timed :
     on the calling domain. [jobs = 1] (or a single task) executes inline
     on the calling domain through the same per-task path.
 
-    If a task raises, later unstarted tasks are skipped and, after all
-    workers join, the exception of the lowest-indexed failed task is
-    re-raised with its backtrace — the same exception a sequential run
-    would have surfaced first.
+    [order], a permutation of [0 .. n-1], is a scheduling hint: workers
+    claim tasks in that order (put the heaviest first so no domain ends
+    up finishing a giant task alone). It only ever changes wall-clock
+    time — result slots, merge order and emission order stay submission
+    order — and is ignored on the inline [jobs = 1] path, which always
+    executes in submission order.
 
-    @raise Invalid_argument if [jobs <= 0]. *)
+    If a task raises, tasks submitted after the failure are skipped
+    (tasks submitted before it always run, whatever [order] says) and,
+    after all workers join, the exception of the lowest-submitted failed
+    task is re-raised with its backtrace — the same exception a
+    sequential run would have surfaced first.
+
+    @raise Invalid_argument if [jobs <= 0] or [order] is not a
+    permutation of the task indices. *)
 
 val run :
   ?worker_init:(unit -> unit) -> jobs:int -> (unit -> 'a) list -> 'a list

@@ -101,6 +101,55 @@ let test_jobs_zero_rejected () =
   | _ -> Alcotest.fail "jobs:0 accepted"
   | exception Invalid_argument _ -> ()
 
+(* -- ~order is a pure scheduling hint: any permutation of the claim
+      order leaves results and emission in submission order -- *)
+
+let test_order_hint () =
+  let n = 12 in
+  let expected = List.init n (fun i -> i * 3) in
+  List.iter
+    (fun order ->
+      let emitted = ref [] in
+      let results =
+        Par.run_timed
+          ~emit:(fun t -> emitted := t.Par.value :: !emitted)
+          ~order ~jobs:3
+          (List.init n (fun i () -> i * 3))
+      in
+      check (Alcotest.list int) "results in submission order" expected
+        (List.map (fun t -> t.Par.value) results);
+      check (Alcotest.list int) "emission in submission order" expected
+        (List.rev !emitted))
+    [
+      Array.init n (fun k -> n - 1 - k) (* reversed *);
+      Array.init n (fun k -> (k * 5) mod n) (* 5 coprime to 12: scrambled *);
+      Array.init n Fun.id (* identity *);
+    ];
+  (* Non-permutations are rejected up front. *)
+  List.iter
+    (fun order ->
+      match Par.run_timed ~order ~jobs:2 [ (fun () -> 0); (fun () -> 1) ] with
+      | _ -> Alcotest.fail "bad order accepted"
+      | exception Invalid_argument _ -> ())
+    [ [| 0 |]; [| 0; 0 |]; [| 0; 2 |]; [| -1; 0 |] ]
+
+(* With ~order, a failure in a late-submitted task must not skip
+   earlier-submitted tasks (the sequential run would have completed
+   them): the lowest-submitted failure still wins. *)
+let test_order_failure_lowest_submitted () =
+  List.iter
+    (fun jobs ->
+      match
+        Par.run_timed ~jobs
+          ~order:(Array.init 8 (fun k -> 7 - k))
+          (List.init 8 (fun i () ->
+               if i = 2 || i = 5 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.failf "-j%d: no exception raised" jobs
+      | exception Boom i ->
+        check int (Printf.sprintf "-j%d first failure" jobs) 2 i)
+    [ 1; 4 ]
+
 (* -- Byte identity: bench's experiment driver -- *)
 
 let entries_of ids =
@@ -125,6 +174,71 @@ let test_driver_identical () =
       if String.length a.Driver.t_output = 0 then
         Alcotest.failf "%s: empty captured output" a.Driver.t_id)
     r1 r4
+
+(* -- Byte identity: cell-decomposed entries. A reduced fig14 sweep
+   (the heaviest cell-based entry) must render the same bytes and
+   collect the same results whether its cells run on one domain or
+   four. -- *)
+
+let reduced_fig14_entry =
+  {
+    Registry.id = "fig14";
+    title = "reduced multithreaded microbenchmark sweep";
+    body =
+      Registry.Cells
+        (fun () ->
+          Mm_experiments.Fig_micro.fig14_plan
+            ~systems:
+              [ System.Linux; System.Corten Cortenmm.Config.adv ]
+            ~benches:[ Mm_workloads.Micro.Mmap_pf ]
+            ~cores:[ 1; 2 ] ~iters:5 ());
+  }
+
+let test_cells_identical () =
+  let run jobs =
+    Driver.run_entries ~collect:true ~jobs [ reduced_fig14_entry ]
+  in
+  match (run 1, run 4) with
+  | [ a ], [ b ] ->
+    check string "output -j1 = -j4" a.Driver.t_output b.Driver.t_output;
+    if a.Driver.t_results <> b.Driver.t_results then
+      Alcotest.fail "collected results differ across -j";
+    if List.length a.Driver.t_cells < 2 then
+      Alcotest.fail "expected a multi-cell decomposition";
+    if
+      List.map (fun c -> c.Driver.ct_label) a.Driver.t_cells
+      <> List.map (fun c -> c.Driver.ct_label) b.Driver.t_cells
+    then Alcotest.fail "cell labels differ across -j"
+  | _ -> Alcotest.fail "expected exactly one task result per run"
+
+(* A raising cell fails its entry with the lowest-submitted exception,
+   exactly as the sequential render would have seen it. *)
+let test_cell_failure_lowest_index () =
+  let entry =
+    {
+      Registry.id = "boom";
+      title = "raising cells";
+      body =
+        Registry.Cells
+          (fun () ->
+            let cells =
+              List.init 6 (fun i ->
+                  Mm_experiments.Plan.cell
+                    ~label:(Printf.sprintf "cell%d" i)
+                    ~weight:(float_of_int i)
+                    (fun () ->
+                      if i = 1 || i = 3 then raise (Boom i) else None))
+            in
+            { Mm_experiments.Plan.cells; render = (fun _ -> ()) });
+    }
+  in
+  List.iter
+    (fun jobs ->
+      match Driver.run_entries ~jobs [ entry ] with
+      | _ -> Alcotest.failf "-j%d: no exception raised" jobs
+      | exception Boom i ->
+        check int (Printf.sprintf "-j%d first failing cell" jobs) 1 i)
+    [ 1; 4 ]
 
 (* -- Byte identity: serving matrix -- *)
 
@@ -234,10 +348,17 @@ let () =
           Alcotest.test_case "lowest-index failure" `Quick
             test_exception_lowest_index;
           Alcotest.test_case "jobs 0 rejected" `Quick test_jobs_zero_rejected;
+          Alcotest.test_case "order hint" `Quick test_order_hint;
+          Alcotest.test_case "order + lowest-submitted failure" `Quick
+            test_order_failure_lowest_submitted;
         ] );
       ( "byte-identity",
         [
           Alcotest.test_case "experiment driver" `Slow test_driver_identical;
+          Alcotest.test_case "cell-decomposed fig14" `Slow
+            test_cells_identical;
+          Alcotest.test_case "cell failure" `Quick
+            test_cell_failure_lowest_index;
           Alcotest.test_case "serve matrix" `Slow test_serve_matrix_identical;
           Alcotest.test_case "differential oracle" `Slow
             test_oracle_identical;

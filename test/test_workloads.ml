@@ -357,7 +357,7 @@ let test_fig1_golden_digest () =
   in
   Mm_workloads.Runner.start_collecting ();
   Mm_workloads.Runner.set_label e.Mm_experiments.Registry.id;
-  e.Mm_experiments.Registry.run ();
+  Mm_experiments.Registry.run_entry e;
   let results = Mm_workloads.Runner.stop_collecting () in
   check Alcotest.bool "fig1 produced results" true (results <> []);
   let buf = Buffer.create 1024 in
