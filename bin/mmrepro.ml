@@ -319,6 +319,7 @@ let trace_cmd =
                ("churn", Mm_workloads.Trace.Churn);
                ("faults", Mm_workloads.Trace.Faults);
                ("mixed", Mm_workloads.Trace.Mixed);
+               ("forks", Mm_workloads.Trace.Forks);
              ])
           Mm_workloads.Trace.Mixed
       & info [ "profile" ] ~doc:"Workload profile for gen.")
@@ -356,14 +357,15 @@ let trace_cmd =
       let s = Mm_workloads.Trace.replay ~kind:system t in
       Printf.printf
         "replayed %d ops on %s (%d cpus): %s ops/s\n\
-         mmaps %d, munmaps %d, touches %d, denied %d\n"
+         mmaps %d, munmaps %d, touches %d, forks %d, denied %d\n"
         s.Mm_workloads.Trace.result.Mm_workloads.Runner.ops
         (Mm_workloads.System.kind_name system)
         t.Mm_workloads.Trace.ncpus
         (Mm_util.Tablefmt.fmt_si
            s.Mm_workloads.Trace.result.Mm_workloads.Runner.ops_per_sec)
         s.Mm_workloads.Trace.mmaps s.Mm_workloads.Trace.munmaps
-        s.Mm_workloads.Trace.touches s.Mm_workloads.Trace.faults_denied
+        s.Mm_workloads.Trace.touches s.Mm_workloads.Trace.forks
+        s.Mm_workloads.Trace.faults_denied
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ mode $ path $ profile $ ncpus $ ops $ seed $ system)
@@ -391,6 +393,7 @@ let oracle_cmd =
                ("churn", Mm_workloads.Trace.Churn);
                ("faults", Mm_workloads.Trace.Faults);
                ("mixed", Mm_workloads.Trace.Mixed);
+               ("forks", Mm_workloads.Trace.Forks);
              ])
           Mm_workloads.Trace.Mixed
       & info [ "profile" ] ~doc:"Workload profile when generating.")
@@ -405,7 +408,17 @@ let oracle_cmd =
       value & opt int 16
       & info [ "every" ] ~doc:"Snapshot-compare cadence in operations.")
   in
-  let run path profile ncpus ops seed every jobs systems =
+  let cow_mutant =
+    Arg.(
+      value & flag
+      & info [ "cow-mutant" ]
+          ~doc:
+            "Arm the injected CortenMM fork bug (clone_for_fork skips the \
+             parent-side write-protect); the oracle must then report a \
+             divergence at the first child read observing a leaked parent \
+             store.")
+  in
+  let run path profile ncpus ops seed every cow_mutant jobs systems =
     let trace =
       match path with
       | Some p -> Mm_workloads.Trace.load p
@@ -416,7 +429,10 @@ let oracle_cmd =
     let backends =
       List.map (fun e -> e.Mm_workloads.System.Registry.r_backend) entries
     in
-    match Mm_workloads.Diff.run ~check_every:every ~jobs ~backends trace with
+    match
+      Mm_workloads.Diff.run ~check_every:every ~jobs ~cow_mutant ~backends
+        trace
+    with
     | Ok n ->
       Printf.printf "oracle: %d ops, %d backends, no divergence\n" n
         (List.length entries)
@@ -426,8 +442,8 @@ let oracle_cmd =
   in
   Cmd.v (Cmd.info "oracle" ~doc)
     Term.(
-      const run $ path $ profile $ ncpus $ ops $ seed $ every $ jobs_arg
-      $ systems_arg)
+      const run $ path $ profile $ ncpus $ ops $ seed $ every $ cow_mutant
+      $ jobs_arg $ systems_arg)
 
 let serve_cmd =
   let doc =

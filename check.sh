@@ -59,12 +59,22 @@ done
 echo "== differential oracle: seeded traces across all backends =="
 dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 --seed 42
 dune exec bin/mmrepro.exe -- oracle --profile churn --cpus 2 --ops 150 --seed 7
+dune exec bin/mmrepro.exe -- oracle --profile forks --cpus 2 --ops 60 --seed 4
 dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 \
   --seed 42 -j 2 > /tmp/oracle_j2.out
 dune exec bin/mmrepro.exe -- oracle --profile mixed --cpus 4 --ops 120 \
   --seed 42 > /tmp/oracle_j1.out
 cmp /tmp/oracle_j1.out /tmp/oracle_j2.out \
   || { echo "oracle: -j 2 verdict differs from -j 1"; exit 1; }
+
+echo "== oracle: the injected COW fork mutant is caught =="
+# clone_for_fork "forgets" to write-protect the parent, so a post-fork
+# parent store leaks into a still-shared frame and the child's read
+# observes it; the fork-tree value model must report the divergence.
+if dune exec bin/mmrepro.exe -- oracle --profile forks --cpus 2 --ops 60 \
+     --seed 5 --cow-mutant > /dev/null 2>&1; then
+  echo "oracle: --cow-mutant NOT caught"; exit 1
+fi
 
 echo "== schedcheck: fixed-seed schedule exploration smoke (both protocols) =="
 dune exec bin/mmrepro.exe -- schedcheck --protocol both --cpus 4 --ops 10 \
@@ -117,6 +127,22 @@ if dune exec bin/mmrepro.exe -- serve --mix bogus > /dev/null 2>&1; then
   echo "serve: unknown mix NOT rejected"; exit 1
 fi
 
+echo "== serve smoke: fork_fleet mix, determinism =="
+dune exec bin/mmrepro.exe -- serve --mix fork_fleet --sessions 240 --cpus 2 \
+  --json /tmp/fleet1.json > /tmp/check_fleet.out 2>&1 \
+  || { cat /tmp/check_fleet.out; exit 1; }
+tail -n +3 /tmp/check_fleet.out | head -n 4
+dune exec bin/mmrepro.exe -- serve --mix fork_fleet --sessions 240 --cpus 2 \
+  --json /tmp/fleet2.json -j 2 > /dev/null
+cmp /tmp/fleet1.json /tmp/fleet2.json \
+  || { echo "serve: fork_fleet -j 2 or rerun gave different JSON"; exit 1; }
+
+echo "== ext-fleet: process-fleet experiment, -j 2 byte-identical =="
+dune exec bench/main.exe -- --only ext-fleet > /tmp/fleet_j1.out 2>/dev/null
+dune exec bench/main.exe -- --only ext-fleet -j 2 > /tmp/fleet_j2.out 2>/dev/null
+cmp /tmp/fleet_j1.out /tmp/fleet_j2.out \
+  || { echo "ext-fleet: -j 2 output differs from -j 1"; exit 1; }
+
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
@@ -124,6 +150,7 @@ dune exec bin/jsoncheck.exe -- --wallclock /tmp/wallclock.json
 dune exec bin/jsoncheck.exe -- --wallclock /tmp/wallclock2.json
 dune exec bin/jsoncheck.exe -- --wallclock BENCH_wallclock.json
 dune exec bin/jsoncheck.exe -- /tmp/serve1.json
+dune exec bin/jsoncheck.exe -- /tmp/fleet1.json
 
 echo "== wall-clock summary =="
 grep -A 100 '## Wall-clock per experiment driver' /tmp/check_bench.out \

@@ -35,9 +35,39 @@ type t = {
   mutable meta_arrays : int;
   mutable meta_bytes : int;
   mutable stale_retries : int; (* CortenMM_adv retry-loop executions *)
+  mutable obj : Vm_object.t;
+      (* top of this space's anonymous backing chain (COW fork shadows) *)
 }
 
 exception Bad_range of string
+
+(* A broken *kernel* invariant — the page table or its metadata arrays
+   contradict themselves (dangling table entry, resident metadata under
+   an absent PTE, ...). Distinct from [Bad_range]/[Invalid_argument]
+   (caller contract) and from the typed [Errno.t] results (user-visible
+   outcomes): an [Invariant] means the simulated kernel itself is wrong,
+   so it carries the operation and the violated fact for the report. *)
+exception Invariant of { ctx : string; what : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invariant { ctx; what } ->
+      Some (Printf.sprintf "Addr_space.Invariant(%s: %s)" ctx what)
+    | _ -> None)
+
+let invariant ~ctx what = raise (Invariant { ctx; what })
+
+(* Fault-injection mutant for the differential oracle: when armed,
+   [clone_for_fork] "forgets" to write-protect the *parent's* private
+   leaves (the child still gets its read-only COW copies), so post-fork
+   parent writes land in the still-shared frames and the child observes
+   them. Domain-local like the lock-model mutants; cleared by
+   [Mm_workloads.Runner.reset_world_state]. *)
+let mutant_fork_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let set_mutant_fork_skip_parent_wp v = Domain.DLS.get mutant_fork_key := v
+let mutant_fork_skip_parent_wp () = !(Domain.DLS.get mutant_fork_key)
 
 (* User virtual address layout: skip the first 256 MiB (NULL guard, kernel
    image analog), use the rest of the canonical range. *)
@@ -70,6 +100,7 @@ let create ?va kernel (cfg : Config.t) =
     meta_arrays = 0;
     meta_bytes = 0;
     stale_retries = 0;
+    obj = Vm_object.create_anon ();
     }
   in
   (* Name the root PT page's locks: the root is the protocol's global
@@ -89,6 +120,12 @@ let tlb t = t.tlb
 let va_allocator t = t.va
 let page_size t = Kernel.page_size t.kernel
 let stale_retries t = t.stale_retries
+let vm_object t = t.obj
+
+(* exec support: once every mapping is gone, the space drops its whole
+   shadow chain and starts over on a fresh anonymous object (the caller
+   unrefs the old top). *)
+let reset_vm_object t = t.obj <- Vm_object.create_anon ()
 
 let note_cpu t =
   if Mm_sim.Engine.in_fiber () then
@@ -278,7 +315,7 @@ let adv_lock t ~lo ~hi =
                 Mm_sim.Mutex_s.lock child.Pt.frame.Mm_phys.Frame.lock;
                 locked := child :: !locked;
                 dfs child
-              | None -> failwith "adv_lock: dangling table entry")
+              | None -> invariant ~ctx:"adv_lock" "dangling table entry")
             | Pte.Absent | Pte.Leaf _ -> ()
           done
         end
@@ -475,7 +512,7 @@ let push_down_mark t (parent : node) idx (child : node) =
     done;
     meta_set t parent idx Status.M_invalid
   | Status.M_resident _ | Status.M_swapped _ ->
-    failwith "push_down_mark: non-mark metadata on a table slot"
+    invariant ~ctx:"push_down_mark" "non-mark metadata on a table slot"
 
 (* Create (or fetch) the child under [idx], locking it when the protocol
    requires (new PT pages are born locked so a concurrent lock-free
@@ -661,7 +698,12 @@ let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
     if
       frame.Mm_phys.Frame.map_count = 0
       && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
-    then free_or_defer c frame
+    then begin
+      (* Last mapping gone: retire the ownership record too, wherever it
+         sits in this space's shadow chain. *)
+      Vm_object.forget t.obj ~vpn:(vpn_of t vaddr);
+      free_or_defer c frame
+    end
   | Status.M_resident (Status.O_file (file, _))
   | Status.M_resident (Status.O_shm (file, _)) ->
     (* Page-cache pages stay resident in the file object. *)
@@ -673,7 +715,7 @@ let unmap_leaf c (node : node) idx (pfn, (perm : Perm.t)) =
       && frame.Mm_phys.Frame.kind = Mm_phys.Frame.Anon
     then free_or_defer c frame
   | Status.M_alloc _ | Status.M_swapped _ ->
-    failwith "unmap_leaf: inconsistent metadata under a present PTE")
+    invariant ~ctx:"unmap_leaf" "inconsistent metadata under a present PTE")
 
 (* Split a huge leaf at [node].[idx] into a child PT page of 4 KiB (or
    2 MiB) leaves so a partial-range operation can proceed. The physical
@@ -711,7 +753,7 @@ let split_huge c (node : node) idx (l : Pte.t) =
         meta_set t child i
           (Status.M_resident (origin_advance o ~by:(i * sub_bytes)))
       | Status.M_alloc _ | Status.M_swapped _ ->
-        failwith "split_huge: non-resident metadata under a present leaf");
+        invariant ~ctx:"split_huge" "non-resident metadata under a present leaf");
       (* Each sub-block head now carries its own map count. *)
       let f = Mm_phys.Phys.frame t.kernel.Kernel.phys (pfn + (i * sub_pages)) in
       f.Mm_phys.Frame.map_count <- f.Mm_phys.Frame.map_count + 1
@@ -741,7 +783,7 @@ let query c vaddr : Status.t =
     | Pte.Table { pfn } -> (
       match Pt.node_of_pfn t.pt pfn with
       | Some child -> go child
-      | None -> failwith "query: dangling table entry")
+      | None -> invariant ~ctx:"query" "dangling table entry")
     | Pte.Absent -> (
       match meta_get cur idx with
       | Status.M_invalid -> Status.Invalid
@@ -749,7 +791,7 @@ let query c vaddr : Status.t =
       | Status.M_swapped { dev; block; perm } ->
         Status.Swapped { dev; block; perm }
       | Status.M_resident _ ->
-        failwith "query: resident metadata under an absent PTE")
+        invariant ~ctx:"query" "resident metadata under an absent PTE")
   in
   go c.covering
 
@@ -778,7 +820,12 @@ let map c ~vaddr ~(frame : Mm_phys.Frame.t) ~perm ?(level = 1)
   frame.Mm_phys.Frame.map_count <- frame.Mm_phys.Frame.map_count + 1;
   (match origin with
   | Status.O_anon ->
-    Kernel.rmap_add t.kernel ~pfn:frame.Mm_phys.Frame.pfn ~asp_id:t.id ~vaddr
+    Kernel.rmap_add t.kernel ~pfn:frame.Mm_phys.Frame.pfn ~asp_id:t.id ~vaddr;
+    (* The page enters this space's top backing object: a fresh private
+       page, a COW copy, or a swapped-in page all belong to the chain
+       top (shared pre-fork pages stay recorded in the chain parent). *)
+    Vm_object.install t.obj ~vpn:(vpn_of t vaddr)
+      ~pfn:frame.Mm_phys.Frame.pfn
   | Status.O_file (file, offset) | Status.O_shm (file, offset) ->
     File.add_mapper file
       { File.asp_id = t.id; map_vaddr = vaddr; file_offset = offset;
@@ -805,13 +852,13 @@ let rec clear_whole_node c (node : node) =
       | Some child ->
         clear_whole_node c child;
         free_child c node idx child
-      | None -> failwith "clear_whole_node: dangling table entry")
+      | None -> invariant ~ctx:"clear_whole_node" "dangling table entry")
     | Pte.Absent -> (
       match meta_get node idx with
       | Status.M_swapped { dev; block; _ } -> Blockdev.free_block dev ~block
       | Status.M_invalid | Status.M_alloc _ -> ()
       | Status.M_resident _ ->
-        failwith "clear_whole_node: resident metadata under an absent PTE")
+        invariant ~ctx:"clear_whole_node" "resident metadata under an absent PTE")
   done;
   (* Drop the remaining marks wholesale. *)
   match node.Pt.meta with
@@ -842,7 +889,7 @@ let rec clear_range c (node : node) ~lo ~hi =
         | Some child ->
           clear_range c child ~lo:sub_lo ~hi:sub_hi;
           if node_is_empty child then free_child c node idx child
-        | None -> failwith "clear_range: dangling table entry")
+        | None -> invariant ~ctx:"clear_range" "dangling table entry")
       | Pte.Absent -> (
         match meta_get node idx with
         | Status.M_invalid -> ()
@@ -856,7 +903,7 @@ let rec clear_range c (node : node) ~lo ~hi =
           Blockdev.free_block dev ~block;
           meta_set t node idx Status.M_invalid
         | Status.M_resident _ ->
-          failwith "clear_range: resident metadata under an absent PTE"))
+          invariant ~ctx:"clear_range" "resident metadata under an absent PTE"))
 
 let unmap c ~lo ~hi =
   in_range c ~lo ~hi;
@@ -883,8 +930,8 @@ let rec mark_range c (node : node) ~lo ~hi ~base ~origin ~perm ~policy =
             clear_range c child ~lo:sub_lo ~hi:sub_hi;
             if node_is_empty child then free_child c node idx child
             else
-              failwith "mark: child not empty after full-range clear"
-          | None -> failwith "mark: dangling table entry")
+              invariant ~ctx:"mark" "child not empty after full-range clear"
+          | None -> invariant ~ctx:"mark" "dangling table entry")
         | Pte.Absent -> (
           match meta_get node idx with
           | Status.M_swapped { dev; block; _ } ->
@@ -903,7 +950,7 @@ let rec mark_range c (node : node) ~lo ~hi ~base ~origin ~perm ~policy =
           match Pt.node_of_pfn t.pt pfn with
           | Some child ->
             mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy
-          | None -> failwith "mark: dangling table entry")
+          | None -> invariant ~ctx:"mark" "dangling table entry")
         | Pte.Absent ->
           let child = ensure_child c node idx in
           mark_range c child ~lo:sub_lo ~hi:sub_hi ~base ~origin ~perm ~policy)
@@ -933,7 +980,7 @@ let rec set_policy_range c (node : node) ~lo ~hi policy =
       | Pte.Table { pfn } -> (
         match Pt.node_of_pfn t.pt pfn with
         | Some child -> set_policy_range c child ~lo:sub_lo ~hi:sub_hi policy
-        | None -> failwith "set_policy: dangling table entry")
+        | None -> invariant ~ctx:"set_policy" "dangling table entry")
       | Pte.Leaf _ -> () (* already resident: no migration *)
       | Pte.Absent -> (
         match meta_get node idx with
@@ -944,7 +991,7 @@ let rec set_policy_range c (node : node) ~lo ~hi policy =
           set_policy_range c child ~lo:sub_lo ~hi:sub_hi policy
         | Status.M_invalid | Status.M_swapped _ -> ()
         | Status.M_resident _ ->
-          failwith "set_policy: resident metadata under an absent PTE"))
+          invariant ~ctx:"set_policy" "resident metadata under an absent PTE"))
 
 let update_policy c ~lo ~hi policy =
   in_range c ~lo ~hi;
@@ -991,7 +1038,7 @@ let rec protect_range c (node : node) ~lo ~hi perm =
       | Pte.Table { pfn } -> (
         match Pt.node_of_pfn t.pt pfn with
         | Some child -> protect_range c child ~lo:sub_lo ~hi:sub_hi perm
-        | None -> failwith "protect: dangling table entry")
+        | None -> invariant ~ctx:"protect" "dangling table entry")
       | Pte.Absent -> (
         match meta_get node idx with
         | Status.M_invalid -> ()
@@ -1003,7 +1050,7 @@ let rec protect_range c (node : node) ~lo ~hi perm =
         | Status.M_swapped s ->
           meta_set t node idx (Status.M_swapped { s with perm })
         | Status.M_resident _ ->
-          failwith "protect: resident metadata under an absent PTE"))
+          invariant ~ctx:"protect" "resident metadata under an absent PTE"))
 
 let protect c ~lo ~hi perm =
   in_range c ~lo ~hi;
@@ -1079,7 +1126,7 @@ let iter_slots c ~lo ~hi f =
         | Pte.Table { pfn } -> (
           match Pt.node_of_pfn t.pt pfn with
           | Some child -> go child ~lo:sub_lo ~hi:sub_hi
-          | None -> failwith "iter_slots: dangling table entry")
+          | None -> invariant ~ctx:"iter_slots" "dangling table entry")
         | Pte.Absent -> (
           match meta_get node idx with
           | Status.M_invalid -> ()
@@ -1090,7 +1137,7 @@ let iter_slots c ~lo ~hi f =
             f e_lo (Pt.entry_coverage t.pt node)
               (Status.Swapped { dev; block; perm })
           | Status.M_resident _ ->
-            failwith "iter_slots: resident metadata under an absent PTE"))
+            invariant ~ctx:"iter_slots" "resident metadata under an absent PTE"))
   in
   go c.covering ~lo ~hi
 
@@ -1128,6 +1175,14 @@ let move_range c ~old_lo ~old_hi ~new_lo =
       | Status.M_resident Status.O_anon ->
         Kernel.rmap_remove t.kernel ~pfn ~asp_id:t.id ~vaddr:ov;
         Kernel.rmap_add t.kernel ~pfn ~asp_id:t.id ~vaddr:nv;
+        (* Rekey the ownership record when the top object holds it; a
+           record in a shared chain parent stays put (the other side
+           still maps the page at the old address). *)
+        (match Vm_object.lookup t.obj ~vpn:(ov / ps) with
+        | Some (holder, _) when holder == t.obj ->
+          Vm_object.forget t.obj ~vpn:(ov / ps);
+          Vm_object.install t.obj ~vpn:(nv / ps) ~pfn
+        | _ -> ());
         meta_set t nnode nidx origin
       | Status.M_resident (Status.O_file (f, _) as o)
       | Status.M_resident (Status.O_shm (f, _) as o) ->
@@ -1140,7 +1195,7 @@ let move_range c ~old_lo ~old_hi ~new_lo =
             len = ps };
         meta_set t nnode nidx origin
       | m -> meta_set t nnode nidx m)
-    | Pte.Table _ -> failwith "move_range: table entry at leaf level"
+    | Pte.Table _ -> invariant ~ctx:"move_range" "table entry at leaf level"
     | Pte.Absent -> (
       match meta_get onode oidx with
       | Status.M_invalid -> ()
@@ -1150,16 +1205,28 @@ let move_range c ~old_lo ~old_hi ~new_lo =
         let nidx = Pt.index t.pt ~level:1 ~vaddr:nv in
         meta_set t nnode nidx m
       | Status.M_resident _ ->
-        failwith "move_range: resident metadata under an absent PTE")
+        invariant ~ctx:"move_range" "resident metadata under an absent PTE")
   done
 
-(* Bulk address-space clone for fork: mirror the parent's page-table
-   subtree into the empty child, one streaming copy per PT page (PTE array
-   + metadata array), write-protecting private mappings on both sides
-   (COW). This is how a real kernel forks — per-page-table memcpy plus
-   per-present-leaf fixups — rather than replaying per-slot operations. *)
+(* Bulk address-space clone for fork. On the ownership graph this is
+   just "push a shadow object on both sides" ({!Vm_object.fork_push}):
+   the parent's old top object — holding every resident anonymous page —
+   becomes the shared chain parent of two fresh shadows, one per space,
+   and post-fork pages land in the faulting side's shadow. The x86
+   mechanism beneath is unchanged: mirror the parent's page-table
+   subtree into the empty child, one streaming copy per PT page (PTE
+   array + metadata array), write-protecting private mappings on both
+   sides (COW) — how a real kernel forks, per-page-table memcpy plus
+   per-present-leaf fixups, rather than replaying per-slot operations. *)
 let clone_for_fork pc cc =
   let t = pc.asp and ct = cc.asp in
+  (* The child was created with its own (empty) chain bottom; it is
+     replaced by a shadow over the parent's chain. *)
+  let sp, sc = Vm_object.fork_push t.obj in
+  Vm_object.unref ct.obj;
+  t.obj <- sp;
+  ct.obj <- sc;
+  let skip_parent_wp = mutant_fork_skip_parent_wp () in
   let phys = t.kernel.Kernel.phys in
   let geo = t.kernel.Kernel.isa.Isa.geo in
   let rec clone (pn : node) (cn : node) =
@@ -1203,7 +1270,7 @@ let clone_for_fork pc cc =
           Pt.set ct.pt cn idx
             (Pte.Table { pfn = cchild.Pt.frame.Mm_phys.Frame.pfn });
           clone pchild cchild
-        | None -> failwith "clone_for_fork: dangling table entry")
+        | None -> invariant ~ctx:"clone_for_fork" "dangling table entry")
       | Pte.Leaf { pfn; perm; accessed; dirty; global } ->
         let vaddr = Pt.node_base t.pt pn + (idx * Pt.entry_coverage t.pt pn) in
         let frame = Mm_phys.Phys.frame phys pfn in
@@ -1217,10 +1284,13 @@ let clone_for_fork pc cc =
           if (not shared) && (perm.Perm.write || perm.Perm.cow) then begin
             (* Write-protect both sides and set the COW bit (Fig 8). *)
             let p = Perm.with_cow (Perm.with_write perm false) true in
-            Pt.set t.pt pn idx (Pte.Leaf { pfn; perm = p; accessed; dirty; global });
-            note_tlb pc ~vaddr
-              ~pages:(Geometry.pages_per_entry geo ~level:pn.Pt.level);
-            pc.tlb_targets <- pc.tlb_targets lor pn.Pt.touched;
+            if not skip_parent_wp then begin
+              Pt.set t.pt pn idx
+                (Pte.Leaf { pfn; perm = p; accessed; dirty; global });
+              note_tlb pc ~vaddr
+                ~pages:(Geometry.pages_per_entry geo ~level:pn.Pt.level);
+              pc.tlb_targets <- pc.tlb_targets lor pn.Pt.touched
+            end;
             p
           end
           else perm
@@ -1236,7 +1306,7 @@ let clone_for_fork pc cc =
             { File.asp_id = ct.id; map_vaddr = vaddr; file_offset = offset;
               len = Pt.entry_coverage t.pt pn }
         | Status.M_alloc _ | Status.M_swapped _ ->
-          failwith "clone_for_fork: inconsistent metadata under a leaf")
+          invariant ~ctx:"clone_for_fork" "inconsistent metadata under a leaf")
     done
   in
   (* Both cursors must cover the whole space (covering = root). *)
@@ -1266,7 +1336,7 @@ let promote_huge c ~vaddr =
     let child =
       match Pt.node_of_pfn t.pt pfn with
       | Some n -> n
-      | None -> failwith "promote_huge: dangling table entry"
+      | None -> invariant ~ctx:"promote_huge" "dangling table entry"
     in
     let n = entries_per_node t in
     if child.Pt.present <> n then false
@@ -1341,7 +1411,7 @@ let origin_at c vaddr =
     | Pte.Table { pfn } -> (
       match Pt.node_of_pfn t.pt pfn with
       | Some child -> go child
-      | None -> failwith "origin_at: dangling table entry")
+      | None -> invariant ~ctx:"origin_at" "dangling table entry")
     | Pte.Leaf _ | Pte.Absent -> meta_get cur idx
   in
   go c.covering

@@ -25,6 +25,14 @@ type t
 
 exception Bad_range of string
 
+exception Invariant of { ctx : string; what : string }
+(** A broken kernel invariant: the page table or its metadata arrays
+    contradict themselves (e.g. a dangling table entry, or resident
+    metadata under an absent PTE). [ctx] names the operation that
+    noticed; [what] the violated fact. Distinct from {!Bad_range} and
+    [Invalid_argument] (caller contract) and from typed [Errno.t]
+    results (user-visible outcomes). *)
+
 val va_lo : int
 (** Lowest user virtual address handed out by the VA allocator. *)
 
@@ -39,6 +47,25 @@ val page_size : t -> int
 
 val stale_retries : t -> int
 (** How many times the adv protocol's retry loop fired (Fig 6 L10-13). *)
+
+val vm_object : t -> Vm_object.t
+(** The top of this space's anonymous backing chain. Fresh spaces sit on
+    a depth-one chain; [clone_for_fork] pushes a shadow per side; COW
+    faults copy or promote pages into the top ({!Vm_object}). *)
+
+val reset_vm_object : t -> unit
+(** Replace the space's backing chain with a fresh anonymous object —
+    exec support, called by {!Mm.destroy} after the old top is unmapped
+    and unreffed so the same space can be repopulated. *)
+
+val set_mutant_fork_skip_parent_wp : bool -> unit
+(** Fault-injection mutant for the differential oracle: when armed,
+    {!clone_for_fork} skips write-protecting the *parent's* private
+    leaves, so post-fork parent writes land in still-shared frames and
+    the child observes them. Domain-local; cleared by
+    [Mm_workloads.Runner.reset_world_state]. *)
+
+val mutant_fork_skip_parent_wp : unit -> bool
 
 (** {2 Transactions}
 

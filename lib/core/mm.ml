@@ -239,7 +239,10 @@ let page_fault asp ~vaddr ~write =
         end
       | Status.Mapped { pfn; perm } ->
         if write && perm.Perm.cow then begin
-          (* Fig 8 L25-35: copy-on-write break. *)
+          (* Fig 8 L25-35: copy-on-write break, resolved against the
+             backing chain: the page's owning object is found by chain
+             walk; the copy (or the reclaimed original) always ends up
+             in the faulting space's top shadow. *)
           let frame = Mm_phys.Phys.frame phys pfn in
           if
             frame.Mm_phys.Frame.map_count = 1
@@ -247,9 +250,12 @@ let page_fault asp ~vaddr ~write =
             (* Page-cache frames are never reused in place: the cache
                itself keeps a reference. *)
           then begin
-            (* The other side has gone: just restore write access. *)
+            (* The other side has gone: just restore write access, and
+               promote the ownership record out of the shared chain
+               parent — the page is exclusively ours again. *)
             let p = Perm.with_cow (Perm.with_write perm true) false in
             Addr_space.remap_pte c ~vaddr:page ~pfn ~perm:p;
+            Vm_object.promote (Addr_space.vm_object asp) ~vpn:(page / ps);
             Handled
           end
           else begin
@@ -257,7 +263,10 @@ let page_fault asp ~vaddr ~write =
             let copy = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.Anon () in
             copy.Mm_phys.Frame.contents <- frame.Mm_phys.Frame.contents;
             let p = Perm.with_cow (Perm.with_write perm true) false in
-            (* map over the existing PTE releases the shared frame. *)
+            (* map over the existing PTE releases the shared frame; the
+               original's record stays with the chain parent (the other
+               side still reaches it), the copy joins our top shadow
+               inside [Addr_space.map]. *)
             Addr_space.map c ~vaddr:page ~frame:copy ~perm:p
               ~origin:Status.O_anon ();
             Handled
@@ -413,7 +422,15 @@ let fork parent =
 
 let destroy asp =
   let lo, hi = user_range asp in
-  Addr_space.with_lock asp ~lo ~hi (fun c -> Addr_space.unmap c ~lo ~hi)
+  Addr_space.with_lock asp ~lo ~hi (fun c -> Addr_space.unmap c ~lo ~hi);
+  (* Drop the space's reference on its chain top. A parent object left
+     with a single surviving shadow collapses into it, so a fork tree
+     torn down child-by-child ends with the root space back on a
+     depth-one chain (refcount 1). *)
+  Vm_object.unref (Addr_space.vm_object asp);
+  (* Leave the space on a fresh depth-one chain: exec destroys the old
+     image and repopulates the same space (LMbench fork+exec). *)
+  Addr_space.reset_vm_object asp
 
 (* khugepaged: scan the address space and promote every qualifying
    region; returns the number promoted. *)

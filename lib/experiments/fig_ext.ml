@@ -224,3 +224,85 @@ let ext_trace_plan () =
        the gap narrows on the fault-only profile.\n\n"
   in
   { Plan.cells; render }
+
+(* -- ext-fleet: the fork_fleet serving mix across every system ×
+      shootdown policy (cell-based: one open-loop serving world per
+      (system, policy); the mix is seeded, so each cell is
+      self-contained) -- *)
+
+let ext_fleet_sessions = 600
+let ext_fleet_cpus = 4
+
+let ext_fleet_policies =
+  [
+    ("immediate", Mm_tlb.Tlb.Immediate);
+    ("batched", Mm_serve.Serve.batched_default);
+  ]
+
+let ext_fleet_plan () =
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun (policy_name, policy) ->
+            Plan.cell
+              ~label:
+                (Printf.sprintf "fleet/%s/%s"
+                   (Mm_workloads.System.kind_name kind)
+                   policy_name)
+              ~weight:10.0
+              (fun () ->
+                let r =
+                  Mm_serve.Serve.run
+                    ~backend:(Mm_workloads.System.backend_of_kind kind)
+                    ~mix:Mm_serve.Mix.fork_fleet ~policy_name ~policy
+                    ~ncpus:ext_fleet_cpus ~sessions:ext_fleet_sessions
+                    ~seed:42 ()
+                in
+                (* Open-loop arrivals pin the throughput, so the signal
+                   is session latency: pack p50/p99 into a plain record
+                   (the [of_cycles] convention — never registered, so
+                   [bench --json] is unaffected). *)
+                Some
+                  {
+                    Mm_workloads.Runner.ops =
+                      r.Mm_serve.Serve.r_session.Mm_serve.Serve.s_p50;
+                    cycles = r.Mm_serve.Serve.r_session.Mm_serve.Serve.s_p99;
+                    ops_per_sec = 0.0;
+                  }))
+          ext_fleet_policies)
+      ext_trace_systems
+  in
+  let render celled =
+    let take = Plan.taker celled in
+    let p50 = function Some r -> r.Mm_workloads.Runner.ops | None -> 0 in
+    Printf.printf
+      "## ext-fleet — process-fleet serving: fork / COW-break / exit\n\
+       The fork_fleet mix forks every session off a long-lived per-CPU\n\
+       parent, COW-breaks the inherited hot pages, runs one private burst\n\
+       and exits (%d sessions, %d CPUs, open-loop arrivals). Session\n\
+       latency in cycles, arrival to completion, per TLB-shootdown\n\
+       policy; full SLO tables: `mmrepro serve --mix fork_fleet`.\n\n"
+      ext_fleet_sessions ext_fleet_cpus;
+    Tablefmt.print
+      ~header:
+        ("system"
+        :: List.concat_map
+             (fun (n, _) -> [ n ^ " p50"; n ^ " p99" ])
+             ext_fleet_policies)
+      (List.map
+         (fun kind ->
+           Mm_workloads.System.kind_name kind
+           :: List.concat_map
+                (fun _ ->
+                  let r = take () in
+                  [ string_of_int (p50 r); string_of_int (Plan.cycles r) ])
+                ext_fleet_policies)
+         ext_trace_systems);
+    Printf.printf
+      "\nExpected: the address-space clone dominates every session, so\n\
+       linux's VMA-list fork leads while CortenMM pays its paper-admitted\n\
+       worst case (full-PT-walk enumeration, cf. LMbench fork §6.2);\n\
+       batching trims only the systems that broadcast shootdown IPIs.\n\n"
+  in
+  { Plan.cells; render }

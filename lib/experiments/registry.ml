@@ -39,6 +39,7 @@ let all =
     { id = "ext-thp"; title = "extension: transparent huge pages"; body = Run Fig_ext.ext_thp };
     { id = "ext-swapd"; title = "extension: second-chance swap daemon"; body = Run Fig_ext.ext_swapd };
     { id = "ext-trace"; title = "extension: trace replay across systems"; body = Cells (fun () -> Fig_ext.ext_trace_plan ()) };
+    { id = "ext-fleet"; title = "extension: fork_fleet process-fleet serving"; body = Cells (fun () -> Fig_ext.ext_fleet_plan ()) };
   ]
 
 let ids = List.map (fun e -> e.id) all

@@ -234,6 +234,121 @@ let replicated_pt_bytes t =
 
 let log_length t = t.log_len
 
+(* -- fork: eager copy. NrOS does not claim COW; enumerate the parent's
+   local replica under its lock (after catching it up, so the snapshot
+   reflects the whole log) and give the child fresh frames mapped in
+   every one of its own replicas, plus an empty log of its own. *)
+
+let fork t =
+  charge Mm_sim.Cost.syscall;
+  note_cpu t;
+  let cpu = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.cpu_id () else 0 in
+  let child =
+    {
+      phys = t.phys;
+      isa = t.isa;
+      ncpus = t.ncpus;
+      nreplicas = t.nreplicas;
+      log = Array.make 0 (L_unmap { lo = 0; len = 0 });
+      log_len = 0;
+      log_tail_line = Mm_sim.Engine.Line.make ();
+      replicas =
+        Array.init t.nreplicas (fun _ ->
+            {
+              rep_lock = Mm_sim.Mutex_s.make ~name:"nros.rep_lock" ();
+              pt = Pt.create t.phys t.isa;
+              applied = 0;
+            });
+      tlb = Mm_tlb.Tlb.create ~ncpus:t.ncpus ~strategy:Mm_tlb.Tlb.Sync ();
+      va = Va_alloc.clone t.va;
+      cpu_mask = Array.make t.ncpus false;
+    }
+  in
+  with_replica t ~cpu (fun rep ->
+      Pt.iter_leaves rep.pt (Pt.root rep.pt) (fun vaddr _level pte ->
+          match pte with
+          | Pte.Leaf { pfn; perm; _ } ->
+            charge (Mm_sim.Cost.page_alloc + Mm_sim.Cost.page_copy);
+            let src = Mm_phys.Phys.frame t.phys pfn in
+            let f = Mm_phys.Phys.alloc t.phys ~kind:Mm_phys.Frame.Anon () in
+            f.Mm_phys.Frame.contents <- src.Mm_phys.Frame.contents;
+            f.Mm_phys.Frame.map_count <- 1;
+            Array.iter
+              (fun crep ->
+                let node = Pt.walk_create crep.pt ~to_level:1 vaddr in
+                Pt.set crep.pt node
+                  (Pt.index crep.pt ~level:1 ~vaddr)
+                  (Pte.leaf ~pfn:f.Mm_phys.Frame.pfn ~perm ()))
+              child.replicas
+          | Pte.Absent | Pte.Table _ -> ()));
+  child
+
+(* Tear one replica's page table down, releasing anon frames with the
+   same kind-guarded decrement [apply_op]'s unmap path uses (the first
+   replica to reach a frame frees it; the rest see [Free] and skip). *)
+let teardown_pt t pt =
+  let rec go node =
+    for idx = 0 to Pt.entries_per_node pt - 1 do
+      match Pt.get_uncharged pt node idx with
+      | Pte.Table { pfn } -> (
+        match Pt.node_of_pfn pt pfn with
+        | Some _ ->
+          let c = Pt.detach_child pt node idx in
+          go c;
+          Pt.free_node pt c
+        | None -> ())
+      | Pte.Leaf { pfn; _ } ->
+        Pt.set pt node idx Pte.Absent;
+        let f = Mm_phys.Phys.frame t.phys pfn in
+        if f.Mm_phys.Frame.kind = Mm_phys.Frame.Anon then begin
+          f.Mm_phys.Frame.map_count <- f.Mm_phys.Frame.map_count - 1;
+          if f.Mm_phys.Frame.map_count <= 0 then begin
+            charge Mm_sim.Cost.page_free;
+            Mm_phys.Phys.free t.phys f
+          end
+        end
+      | Pte.Absent -> ()
+    done
+  in
+  go (Pt.root pt)
+
+let destroy t =
+  charge Mm_sim.Cost.syscall;
+  (* Catch every replica up first so each has seen every map/unmap, then
+     tear the replicas down in order. *)
+  Array.iter
+    (fun rep ->
+      Mm_sim.Mutex_s.lock rep.rep_lock;
+      while rep.applied < t.log_len do
+        apply_op t rep t.log.(rep.applied);
+        rep.applied <- rep.applied + 1
+      done;
+      teardown_pt t rep.pt;
+      Mm_sim.Mutex_s.unlock rep.rep_lock)
+    t.replicas;
+  t.log_len <- 0
+
+(* Simulated data access for the COW-fork oracle: touch resolves the
+   mapping (raising {!Fault} when absent), then the local replica names
+   the frame whose contents token we read or write. *)
+let with_pfn t ~vaddr f =
+  let cpu = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.cpu_id () else 0 in
+  with_replica t ~cpu (fun rep ->
+      let node = Pt.walk_opt rep.pt ~to_level:1 vaddr in
+      if node.Pt.level <> 1 then raise (Fault vaddr)
+      else
+        match Pt.get_uncharged rep.pt node (Pt.index rep.pt ~level:1 ~vaddr) with
+        | Pte.Leaf { pfn; _ } -> f (Mm_phys.Phys.frame t.phys pfn)
+        | Pte.Absent | Pte.Table _ -> raise (Fault vaddr))
+
+let write_value t ~vaddr ~value =
+  touch t ~vaddr ~write:true;
+  with_pfn t ~vaddr (fun f -> f.Mm_phys.Frame.contents <- value)
+
+let read_value t ~vaddr =
+  touch t ~vaddr ~write:false;
+  with_pfn t ~vaddr (fun f -> f.Mm_phys.Frame.contents)
+
 (* Normalized observation of one page for the differential oracle: catch
    the observing CPU's replica up with the log (what any real NrOS read
    must do) and read its page table. NrOS has no demand paging, so a

@@ -30,3 +30,20 @@ val log_length : t -> int
 val page_state : t -> vaddr:int -> [ `Unmapped | `Lazy of bool | `Resident of bool ]
 (** Observation of one page for the differential oracle. NrOS backs
     eagerly, so [`Lazy _] never occurs. *)
+
+val fork : t -> t
+(** Eager-copy fork (NrOS claims no COW): snapshot the parent's local
+    replica under its lock after catching it up, map freshly copied
+    frames into every child replica; the child starts an empty log. *)
+
+val destroy : t -> unit
+(** Catch every replica up with the log, then free the mapped frames and
+    all replica page tables (process exit). *)
+
+val write_value : t -> vaddr:int -> value:int -> unit
+(** Touch for write, then store a data token in the page's frame. Raises
+    {!Fault} when unmapped. *)
+
+val read_value : t -> vaddr:int -> int
+(** Touch for read, then load the page's data token. Raises {!Fault}
+    when unmapped. *)

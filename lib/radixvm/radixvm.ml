@@ -353,3 +353,134 @@ let page_state t ~vaddr =
     | R_empty -> `Unmapped
     | R_reserved perm -> `Lazy perm.Perm.write
     | R_mapped { perm; _ } -> `Resident perm.Perm.write)
+
+(* -- fork: eager copy. RadixVM does not claim COW; the child gets its
+   own radix tree with fresh frames (contents copied) and empty per-core
+   page tables that refill on its own faults — observationally identical
+   to a COW fork for private memory, which is what the oracle diffs. *)
+
+let fork t =
+  charge Mm_sim.Cost.syscall;
+  let child =
+    {
+      phys = t.phys;
+      isa = t.isa;
+      ncpus = t.ncpus;
+      root = make_node ~level:levels;
+      pts = Array.make t.ncpus None;
+      tlb = Mm_tlb.Tlb.create ~ncpus:t.ncpus ~strategy:Mm_tlb.Tlb.Sync ();
+      va = Va_alloc.clone t.va;
+      radix_nodes = 1;
+    }
+  in
+  Mm_phys.Phys.kernel_alloc_bytes t.phys ~bytes:radix_node_bytes;
+  let rec copy node ~vpn_base =
+    charge Mm_sim.Cost.vma_node_visit;
+    if node.level = 1 then begin
+      Mm_sim.Mutex_s.lock node.lock;
+      for idx = 0 to fanout - 1 do
+        match node.entries.(idx) with
+        | R_empty -> ()
+        | R_reserved _ as e ->
+          let vpn = vpn_base + idx in
+          let leaf = leaf_create child ~vpn in
+          charge Mm_sim.Cost.meta_write;
+          leaf.entries.(entry_idx ~vpn) <- e
+        | R_mapped { pfn; perm } ->
+          let vpn = vpn_base + idx in
+          charge (Mm_sim.Cost.page_alloc + Mm_sim.Cost.page_copy);
+          let f = Mm_phys.Phys.alloc t.phys ~kind:Mm_phys.Frame.Anon () in
+          let src = Mm_phys.Phys.frame t.phys pfn in
+          f.Mm_phys.Frame.contents <- src.Mm_phys.Frame.contents;
+          f.Mm_phys.Frame.map_count <- 1;
+          let leaf = leaf_create child ~vpn in
+          leaf.entries.(entry_idx ~vpn) <-
+            R_mapped { pfn = f.Mm_phys.Frame.pfn; perm }
+      done;
+      Mm_sim.Mutex_s.unlock node.lock
+    end
+    else
+      let span = 1 lsl (fanout_bits * (node.level - 1)) in
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some c -> copy c ~vpn_base:(vpn_base + (i * span))
+          | None -> ())
+        node.children
+  in
+  copy t.root ~vpn_base:0;
+  child
+
+(* Tear one per-core page-table replica down: clear leaves (the radix
+   sweep owns frame lifetimes) and free the interior PT pages. *)
+let free_pt_pages pt =
+  let rec go node =
+    for idx = 0 to Pt.entries_per_node pt - 1 do
+      match Pt.get_uncharged pt node idx with
+      | Mm_hal.Pte.Table { pfn } -> (
+        match Pt.node_of_pfn pt pfn with
+        | Some _ ->
+          let c = Pt.detach_child pt node idx in
+          go c;
+          Pt.free_node pt c
+        | None -> ())
+      | Mm_hal.Pte.Leaf _ -> Pt.set pt node idx Mm_hal.Pte.Absent
+      | Mm_hal.Pte.Absent -> ()
+    done
+  in
+  go (Pt.root pt)
+
+let destroy t =
+  charge Mm_sim.Cost.syscall;
+  (* The radix tree is authoritative for frame lifetimes: free every
+     mapped anon frame once, then drop the derived per-core caches. *)
+  let rec sweep node =
+    if node.level = 1 then
+      for idx = 0 to fanout - 1 do
+        match node.entries.(idx) with
+        | R_mapped { pfn; _ } ->
+          node.entries.(idx) <- R_empty;
+          let f = Mm_phys.Phys.frame t.phys pfn in
+          f.Mm_phys.Frame.map_count <- 0;
+          if f.Mm_phys.Frame.kind = Mm_phys.Frame.Anon then begin
+            charge Mm_sim.Cost.page_free;
+            Mm_phys.Phys.free t.phys f
+          end
+        | R_reserved _ -> node.entries.(idx) <- R_empty
+        | R_empty -> ()
+      done
+    else
+      Array.iter (function Some c -> sweep c | None -> ()) node.children
+  in
+  sweep t.root;
+  Mm_phys.Phys.kernel_free_bytes t.phys
+    ~bytes:(t.radix_nodes * radix_node_bytes);
+  t.radix_nodes <- 0;
+  Array.iteri
+    (fun i pt ->
+      match pt with
+      | Some pt ->
+        free_pt_pages pt;
+        t.pts.(i) <- None
+      | None -> ())
+    t.pts
+
+(* Simulated data access, mirroring Cortenmm.Mm for the COW-fork oracle:
+   touch resolves residency, then the authoritative radix entry names the
+   frame whose contents token we read or write. *)
+let with_pfn t ~vaddr f =
+  let vpn = vaddr / page_size t in
+  match leaf_opt t ~vpn with
+  | None -> raise (Fault vaddr)
+  | Some leaf -> (
+    match leaf.entries.(entry_idx ~vpn) with
+    | R_mapped { pfn; _ } -> f (Mm_phys.Phys.frame t.phys pfn)
+    | R_empty | R_reserved _ -> raise (Fault vaddr))
+
+let write_value t ~vaddr ~value =
+  touch t ~vaddr ~write:true;
+  with_pfn t ~vaddr (fun f -> f.Mm_phys.Frame.contents <- value)
+
+let read_value t ~vaddr =
+  touch t ~vaddr ~write:false;
+  with_pfn t ~vaddr (fun f -> f.Mm_phys.Frame.contents)

@@ -29,3 +29,20 @@ val radix_bytes : t -> int
 val page_state : t -> vaddr:int -> [ `Unmapped | `Lazy of bool | `Resident of bool ]
 (** Observation of one page for the differential oracle, read from the
     radix tree (the authoritative state; per-core PTs are caches). *)
+
+val fork : t -> t
+(** Eager-copy fork (RadixVM claims no COW): the child gets its own radix
+    tree with freshly copied frames and empty per-core page tables that
+    refill on its own faults. *)
+
+val destroy : t -> unit
+(** Free every mapped frame, the radix-tree bytes and the per-core
+    page-table replicas (process exit). *)
+
+val write_value : t -> vaddr:int -> value:int -> unit
+(** Touch for write, then store a data token in the page's frame. Raises
+    {!Fault} when unmapped. *)
+
+val read_value : t -> vaddr:int -> int
+(** Touch for read, then load the page's data token. Raises {!Fault}
+    when unmapped. *)

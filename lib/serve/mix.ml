@@ -18,6 +18,7 @@ type t = {
   max_pages : int;
   bursts : int; (* mmap/touch/munmap bursts per session *)
   mprotect_prob : float; (* chance a burst read-only-seals before unmap *)
+  fork : bool; (* fork a child per session; bursts run in the child *)
 }
 
 let short =
@@ -30,6 +31,7 @@ let short =
     max_pages = 2;
     bursts = 1;
     mprotect_prob = 0.0;
+    fork = false;
   }
 
 let mixed =
@@ -42,6 +44,7 @@ let mixed =
     max_pages = 8;
     bursts = 2;
     mprotect_prob = 0.25;
+    fork = false;
   }
 
 let faulty =
@@ -54,9 +57,28 @@ let faulty =
     max_pages = 16;
     bursts = 1;
     mprotect_prob = 0.0;
+    fork = false;
   }
 
-let all = [ short; mixed; faulty ]
+(* The process-fleet mix: every session is a forked child of a
+   long-lived per-CPU parent. The child COW-breaks the parent's hot
+   pages it inherited, runs one small private burst, and exits — the
+   shape of a pre-fork server (postgres, CGI pools) where address-space
+   cloning and COW resolution, not steady-state faults, dominate. *)
+let fork_fleet =
+  {
+    name = "fork_fleet";
+    desc = "pre-fork process fleet: fork, COW-break inherited pages, exit";
+    interarrival = 150_000;
+    think = 500;
+    min_pages = 1;
+    max_pages = 4;
+    bursts = 1;
+    mprotect_prob = 0.0;
+    fork = true;
+  }
+
+let all = [ short; mixed; faulty; fork_fleet ]
 let names = List.map (fun m -> m.name) all
 
 (* Same convention as [System.Registry.find]: the error message carries

@@ -11,11 +11,20 @@ type t = {
   max_pages : int;
   bursts : int;  (** mmap/touch/munmap bursts per session *)
   mprotect_prob : float;  (** chance a burst read-only-seals before unmap *)
+  fork : bool;
+      (** fork a child per session: the child COW-breaks the parent's
+          hot pages, runs its bursts privately, and is destroyed *)
 }
 
 val short : t
 val mixed : t
 val faulty : t
+
+val fork_fleet : t
+(** The process-fleet mix: every session forks a child off a long-lived
+    per-CPU parent, COW-breaks the inherited hot pages, runs one small
+    private burst, and exits — a pre-fork server's lifecycle. *)
+
 val all : t list
 val names : string list
 

@@ -78,6 +78,7 @@ type report = {
   r_fault : phase_stats;
   r_mprotect : phase_stats;
   r_munmap : phase_stats;
+  r_fork : phase_stats; (* address-space clone, fork mixes only *)
   r_session : phase_stats; (* arrival-to-completion, includes queueing *)
   r_ipis : int;
   r_batched : int; (* shootdown records deferred to a batch *)
@@ -110,8 +111,19 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
   and h_fault = Metrics.unregistered "serve.fault"
   and h_mprotect = Metrics.unregistered "serve.mprotect"
   and h_munmap = Metrics.unregistered "serve.munmap"
+  and h_fork = Metrics.unregistered "serve.fork"
   and h_session = Metrics.unregistered "serve.session" in
   let total_ops = ref 0 in
+  (* Fork mixes: one hot region per generator CPU, mapped and written in
+     the parent before the measured interval, so every session's child
+     inherits pages it must COW-break. Child TLBs are fresh per fork, so
+     their shootdown traffic is accumulated here as each child drains. *)
+  let hot_pages = 4 in
+  let hot = Array.make ncpus 0 in
+  let child_ipis = ref 0
+  and child_batched = ref 0
+  and child_flushes = ref 0
+  and child_stall = ref 0 in
   (* Spread the session quota over the CPUs; remainder to the low ids. *)
   let quota cpu =
     (sessions / ncpus) + if cpu < sessions mod ncpus then 1 else 0
@@ -139,17 +151,44 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
          queueing delay and stays inside the session latency. *)
       if Engine.now () < !next_arrival then Engine.advance_to !next_arrival;
       let arrival = !next_arrival in
+      (* A fork-fleet session runs in its own forked child: clone the
+         shared parent (the mix's signature cost, in its own histogram),
+         COW-break every inherited hot page, then run the bursts in the
+         child's private space. Non-fork mixes run directly on [sys]. *)
+      let ssys =
+        if not mix.Mix.fork then sys
+        else begin
+          let t0 = Engine.now () in
+          let child = System.fork_exn sys in
+          Metrics.observe h_fork (Engine.now () - t0);
+          (* The child's TLB is fresh: re-arm the run's policy so its
+             unmaps see the same shootdown regime as the parent's. *)
+          System.set_shootdown_policy child policy;
+          op_done ();
+          think ();
+          for p = 0 to hot_pages - 1 do
+            let t0 = Engine.now () in
+            System.write_value_exn child
+              ~vaddr:(hot.(cpu) + (p * ps))
+              ~value:(((cpu + 1) * 1_000_000) + p);
+            Metrics.observe h_fault (Engine.now () - t0);
+            op_done ()
+          done;
+          think ();
+          child
+        end
+      in
       for _ = 1 to mix.Mix.bursts do
         let pages = Rng.int_in rng ~lo:mix.Mix.min_pages ~hi:mix.Mix.max_pages in
         let len = pages * ps in
         let t0 = Engine.now () in
-        let addr = System.mmap_exn sys ~len ~perm:Perm.rw () in
+        let addr = System.mmap_exn ssys ~len ~perm:Perm.rw () in
         Metrics.observe h_mmap (Engine.now () - t0);
         op_done ();
         think ();
         for p = 0 to pages - 1 do
           let t0 = Engine.now () in
-          (match System.touch sys ~vaddr:(addr + (p * ps)) ~write:true with
+          (match System.touch ssys ~vaddr:(addr + (p * ps)) ~write:true with
           | Ok () -> ()
           | Error _ -> ());
           Metrics.observe h_fault (Engine.now () - t0);
@@ -159,25 +198,47 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
         (* Draw the seal coin unconditionally so the arrival/size stream
            stays identical across backends with and without mprotect. *)
         let seal = Rng.float rng < mix.Mix.mprotect_prob in
-        if seal && System.has_mprotect sys then begin
+        if seal && System.has_mprotect ssys then begin
           let t0 = Engine.now () in
-          System.mprotect_exn sys ~addr ~len ~perm:Perm.r;
+          System.mprotect_exn ssys ~addr ~len ~perm:Perm.r;
           Metrics.observe h_mprotect (Engine.now () - t0);
           op_done ();
           think ()
         end;
         let t0 = Engine.now () in
-        System.munmap_exn sys ~addr ~len;
+        System.munmap_exn ssys ~addr ~len;
         Metrics.observe h_munmap (Engine.now () - t0);
         op_done ()
       done;
+      if mix.Mix.fork then begin
+        (* Drain the child's pending shootdown batch (deferred frame
+           frees must land before teardown), bank its TLB accounting,
+           and retire the process. *)
+        System.set_shootdown_policy ssys Tlb.Immediate;
+        let cc = System.tlb_counters ssys in
+        child_ipis := !child_ipis + cc.Tlb.ipis;
+        child_batched := !child_batched + cc.Tlb.batched;
+        child_flushes := !child_flushes + cc.Tlb.batch_flushes;
+        child_stall := max !child_stall cc.Tlb.worst_stall;
+        System.destroy ssys;
+        op_done ()
+      end;
       Metrics.observe h_session (Engine.now () - arrival)
     done
   in
-  let cycles =
-    Runner.run_phases ~prep:(fun cpu -> System.warm sys ~cpu) ~ncpus ~measure
-      ()
+  let prep cpu =
+    System.warm sys ~cpu;
+    if mix.Mix.fork then begin
+      let addr = System.mmap_exn sys ~len:(hot_pages * ps) ~perm:Perm.rw () in
+      hot.(cpu) <- addr;
+      for p = 0 to hot_pages - 1 do
+        System.write_value_exn sys
+          ~vaddr:(addr + (p * ps))
+          ~value:(((cpu + 1) * 1000) + p)
+      done
+    end
   in
+  let cycles = Runner.run_phases ~prep ~ncpus ~measure () in
   (* Drain: reverting to Immediate completes any still-pending batch, so
      every deferred frame free lands before we read the counters. *)
   System.set_shootdown_policy sys Tlb.Immediate;
@@ -193,11 +254,12 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
     r_fault = stats_of h_fault;
     r_mprotect = stats_of h_mprotect;
     r_munmap = stats_of h_munmap;
+    r_fork = stats_of h_fork;
     r_session = stats_of h_session;
-    r_ipis = c.Tlb.ipis;
-    r_batched = c.Tlb.batched;
-    r_batch_flushes = c.Tlb.batch_flushes;
-    r_worst_stall = c.Tlb.worst_stall;
+    r_ipis = c.Tlb.ipis + !child_ipis;
+    r_batched = c.Tlb.batched + !child_batched;
+    r_batch_flushes = c.Tlb.batch_flushes + !child_flushes;
+    r_worst_stall = max c.Tlb.worst_stall !child_stall;
   }
 
 (* Every (system, policy) combination, in the given order. Each cell is
@@ -247,6 +309,7 @@ let json_of_report r =
       ("fault", json_of_stats r.r_fault);
       ("mprotect", json_of_stats r.r_mprotect);
       ("munmap", json_of_stats r.r_munmap);
+      ("fork", json_of_stats r.r_fork);
       ("session", json_of_stats r.r_session);
       ("ipis", Json.Int r.r_ipis);
       ("batched", Json.Int r.r_batched);

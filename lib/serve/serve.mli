@@ -48,6 +48,8 @@ type report = {
   r_fault : phase_stats;
   r_mprotect : phase_stats;
   r_munmap : phase_stats;
+  r_fork : phase_stats;
+      (** address-space clone latency; zero samples for non-fork mixes *)
   r_session : phase_stats;
       (** arrival-to-completion, includes queueing delay *)
   r_ipis : int;
@@ -70,7 +72,13 @@ val run :
 (** One serving run: [sessions] sessions spread over [ncpus] generator
     CPUs against a fresh instance of [backend] under [policy]. Ends by
     reverting the instance to [Immediate], which drains any pending
-    shootdown batch (and its deferred frame frees). *)
+    shootdown batch (and its deferred frame frees).
+
+    When [mix.fork] is set, each session forks a child off the shared
+    parent (re-armed with [policy] — fork children start with a fresh
+    TLB), COW-breaks the per-CPU hot region it inherited, runs its
+    bursts privately, and is drained and destroyed at session end; the
+    children's shootdown counters fold into the report totals. *)
 
 val run_matrix :
   ?isa:Mm_hal.Isa.t ->

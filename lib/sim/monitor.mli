@@ -34,6 +34,19 @@ type event =
   | Frame_allocated of { pfn : int; pages : int }
       (** Any frame allocation (emitted only while a monitor is
           installed) — lets a checker detect reuse-before-flush. *)
+  | Obj_created of { obj : int; parent : int }
+      (** A backing object came to life; [parent] is the shadow-chain
+          parent's id, or -1 for a chain bottom. *)
+  | Obj_ref of { obj : int; refs : int }
+      (** Reference count after the increment. *)
+  | Obj_unref of { obj : int; refs : int }
+      (** Reference count after the decrement (>= 0). *)
+  | Obj_collapsed of { obj : int; into : int }
+      (** A singly-referenced chain parent merged its pages into its only
+          remaining shadow and died; [into] survives with the shortened
+          chain. *)
+  | Obj_destroyed of { obj : int }
+      (** The object's last reference was dropped (refs = 0). *)
 
 val set : (event -> unit) -> unit
 (** Install the (single) checker callback. *)

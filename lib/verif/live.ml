@@ -33,6 +33,20 @@ type txn = { t_asp : int; t_cpu : int; t_lo : int; t_hi : int }
 
 type rw_state = { mutable w_cpu : int (* -1: none *); mutable n_readers : int }
 
+(* Mirror of one backing object's lifecycle, rebuilt purely from Obj_*
+   events: reference-count transitions must match what the events claim,
+   dead objects must stay dead, and shadow chains must stay shallow. *)
+type obj_state = {
+  o_parent : int; (* -1: chain bottom *)
+  o_depth : int;
+  mutable o_refs : int;
+  mutable o_dead : bool;
+}
+
+(* Shadow chains grow one hop per live fork generation; anything deeper
+   means collapse never fires (a leak the refcount alone cannot see). *)
+let max_chain_depth = 64
+
 type t = {
   ncpus : int;
   mutexes : (int, int) Hashtbl.t; (* lock id -> holder cpu *)
@@ -43,6 +57,7 @@ type t = {
       (* cb id -> [(cpu, epoch at defer)] still required to advance *)
   pending_frames : (int, int) Hashtbl.t;
       (* pfn -> pages: frames deferred behind an unflushed shootdown *)
+  objs : (int, obj_state) Hashtbl.t; (* backing-object id -> mirror *)
   mutable txns : txn list;
   mutable violations : string list; (* newest first *)
   mutable events : int;
@@ -59,6 +74,7 @@ let create ~ncpus =
     rcu_in_rs = Array.make ncpus false;
     rcu_defers = Hashtbl.create 64;
     pending_frames = Hashtbl.create 64;
+    objs = Hashtbl.create 64;
     txns = [];
     violations = [];
     events = 0;
@@ -185,6 +201,70 @@ let observe t (ev : Mm_sim.Monitor.event) =
              flushed (deferred as %#x+%d)"
             pfn p0 n0)
       t.pending_frames
+  | Obj_created { obj; parent } ->
+    if Hashtbl.mem t.objs obj then
+      violate t "obj#%d: created twice (id reuse within one world)" obj;
+    let depth =
+      if parent < 0 then 1
+      else
+        match Hashtbl.find_opt t.objs parent with
+        | None ->
+          violate t "obj#%d: created over unknown parent obj#%d" obj parent;
+          1
+        | Some p ->
+          if p.o_dead then
+            violate t "obj#%d: created over dead parent obj#%d" obj parent;
+          p.o_depth + 1
+    in
+    if depth > max_chain_depth then
+      violate t "obj#%d: shadow chain depth %d exceeds %d (collapse leak?)"
+        obj depth max_chain_depth;
+    Hashtbl.replace t.objs obj
+      { o_parent = parent; o_depth = depth; o_refs = 1; o_dead = false }
+  | Obj_ref { obj; refs } -> (
+    match Hashtbl.find_opt t.objs obj with
+    | None -> violate t "obj#%d: referenced but never created" obj
+    | Some o ->
+      if o.o_dead then violate t "obj#%d: referenced after destruction" obj;
+      o.o_refs <- o.o_refs + 1;
+      if o.o_refs <> refs then
+        violate t "obj#%d: ref reports %d refs, checker tracks %d" obj refs
+          o.o_refs)
+  | Obj_unref { obj; refs } -> (
+    match Hashtbl.find_opt t.objs obj with
+    | None -> violate t "obj#%d: unreferenced but never created" obj
+    | Some o ->
+      if o.o_dead then violate t "obj#%d: unreferenced after destruction" obj;
+      o.o_refs <- o.o_refs - 1;
+      if o.o_refs < 0 then violate t "obj#%d: refcount went negative" obj;
+      if o.o_refs <> refs then
+        violate t "obj#%d: unref reports %d refs, checker tracks %d" obj refs
+          o.o_refs)
+  | Obj_collapsed { obj; into } -> (
+    (match Hashtbl.find_opt t.objs into with
+    | None -> violate t "obj#%d: collapsed into unknown obj#%d" obj into
+    | Some s ->
+      if s.o_dead then violate t "obj#%d: collapsed into dead obj#%d" obj into);
+    match Hashtbl.find_opt t.objs obj with
+    | None -> violate t "obj#%d: collapsed but never created" obj
+    | Some o ->
+      if o.o_dead then violate t "obj#%d: collapsed after destruction" obj;
+      if o.o_refs <> 1 then
+        violate t
+          "obj#%d: collapsed with %d refs (only a singly-referenced chain \
+           parent may collapse)"
+          obj o.o_refs;
+      (* The survivor absorbs the chain hop; the collapsed object's one
+         reference (the survivor's) is gone. *)
+      o.o_refs <- 0)
+  | Obj_destroyed { obj } -> (
+    match Hashtbl.find_opt t.objs obj with
+    | None -> violate t "obj#%d: destroyed but never created" obj
+    | Some o ->
+      if o.o_dead then violate t "obj#%d: destroyed twice" obj;
+      if o.o_refs <> 0 then
+        violate t "obj#%d: destroyed with %d live refs" obj o.o_refs;
+      o.o_dead <- true)
 
 let violations t = List.rev t.violations
 let ok t = t.violations = []
@@ -215,4 +295,12 @@ let check_quiescent t =
          flushed)"
         pfn)
     t.pending_frames;
-  Hashtbl.reset t.pending_frames
+  Hashtbl.reset t.pending_frames;
+  (* Live backing objects (still-running address spaces) are fine, but a
+     zero-ref object that never saw its Obj_destroyed is a lifecycle
+     bug. *)
+  Hashtbl.iter
+    (fun obj (o : obj_state) ->
+      if (not o.o_dead) && o.o_refs = 0 then
+        violate t "obj#%d: zero refs at end but never destroyed" obj)
+    t.objs

@@ -83,6 +83,24 @@ module type S = sig
       bookkeeping beyond what an inspection transaction legitimately
       charges in its own world. *)
 
+  val fork : t -> (t, Errno.t) result
+  (** A child instance duplicating this one's address space (same
+      addresses, same logical contents). COW-capable backends share
+      frames copy-on-write; the rest copy eagerly — observationally
+      identical for private memory, which is what the oracle diffs. *)
+
+  val destroy : t -> unit
+  (** Tear the instance's address space down (process exit). The
+      instance must not be used afterwards. *)
+
+  val write_value : t -> vaddr:int -> value:int -> (unit, Errno.t) result
+  (** A user store of a data token: touches for write, then records
+      [value] as the page's contents — the observable the oracle uses to
+      prove parent/child COW isolation. *)
+
+  val read_value : t -> vaddr:int -> (int, Errno.t) result
+  (** A user load of the page's data token. *)
+
   val timer_tick : t -> unit
   val mem_stats : t -> mem_stats
 

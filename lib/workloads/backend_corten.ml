@@ -61,6 +61,18 @@ let make cfg : Backend.b =
           | Cortenmm.Status.Swapped { perm; _ } ->
             Backend.P_mapped { writable = perm.Perm.write; resident = false })
 
+    let fork t =
+      match Cortenmm.Mm.fork t.asp with
+      | child -> Ok { kernel = t.kernel; asp = child }
+      | exception Out_of_memory -> Error Errno.ENOMEM
+
+    let destroy t = Cortenmm.Mm.destroy t.asp
+
+    let write_value t ~vaddr ~value =
+      Cortenmm.Mm.write_value_r t.asp ~vaddr ~value
+
+    let read_value t ~vaddr = Cortenmm.Mm.read_value_r t.asp ~vaddr
+
     let timer_tick t = Cortenmm.Mm.timer_tick t.asp
 
     let set_shootdown_policy t p =

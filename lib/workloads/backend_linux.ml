@@ -49,6 +49,20 @@ let backend : Backend.b =
       | `Lazy w -> Backend.P_mapped { writable = w; resident = false }
       | `Resident w -> Backend.P_mapped { writable = w; resident = true }
 
+    let fork t =
+      try Ok (L.fork t)
+      with Mm_phys.Buddy.Out_of_memory -> Error Errno.ENOMEM
+
+    let destroy t = L.destroy t
+
+    let write_value t ~vaddr ~value =
+      try Ok (L.write_value t ~vaddr ~value)
+      with L.Fault v -> Error (Errno.SIGSEGV v)
+
+    let read_value t ~vaddr =
+      try Ok (L.read_value t ~vaddr)
+      with L.Fault v -> Error (Errno.SIGSEGV v)
+
     let timer_tick t =
       if Mm_sim.Engine.in_fiber () then
         Mm_tlb.Tlb.timer_tick (L.tlb t) ~cpu:(Mm_sim.Engine.cpu_id ())

@@ -46,7 +46,8 @@ let describe d =
       d.d_what
 
 type snapshot = {
-  s_regions : (int * Backend.page_state array) list; (* sorted by id *)
+  s_regions : ((int * int) * Backend.page_state array) list;
+      (* keyed (proc, region id), sorted *)
 }
 
 type run_log = {
@@ -60,181 +61,11 @@ type run_log = {
 
 let page = 4096
 
-(* Replay the whole trace on one backend, inside a single fiber of a
-   private world (sequential global op order: the oracle checks
-   functional equivalence, not interleavings). *)
-let replay_one ?isa ~check_every (b : System.backend) trace =
-  let sys = System.of_backend ?isa b ~ncpus:1 in
-  let ps = sys.System.page_size in
-  let entries = trace.Trace.entries in
-  let nops = Array.length entries in
-  let regions : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-  let outcomes = Array.make nops O_skip in
-  let violations = ref [] in
-  let snapshots = ref [] in
-  let skipped_mprotect = ref false in
-  let violate i what = violations := (i, what) :: !violations in
-  let probe_region (addr, len) =
-    Array.init (len / ps) (fun i -> System.page_state sys ~vaddr:(addr + (i * ps)))
-  in
-  let check_stats i =
-    let m = System.mem_stats sys in
-    if m.System.resident_bytes < 0 then
-      violate i
-        (Printf.sprintf "mem_stats: negative resident_bytes %d"
-           m.System.resident_bytes);
-    if m.System.peak_resident_bytes < m.System.resident_bytes then
-      violate i
-        (Printf.sprintf "mem_stats: peak %d below resident %d"
-           m.System.peak_resident_bytes m.System.resident_bytes);
-    if m.System.pt_bytes < 0 || m.System.kernel_bytes < 0 then
-      violate i "mem_stats: negative pt/kernel bytes"
-  in
-  let snapshot i =
-    let ids =
-      List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) regions [])
-    in
-    let s_regions =
-      List.map
-        (fun id ->
-          let r = Hashtbl.find regions id in
-          let states = probe_region r in
-          (* Eager backends have no lazy pages: mapped implies resident. *)
-          if not sys.System.caps.System.demand_paging then
-            Array.iteri
-              (fun p st ->
-                match st with
-                | Backend.P_mapped { resident = false; _ } ->
-                  violate i
-                    (Printf.sprintf
-                       "eager backend holds non-resident page %d of region %d"
-                       p id)
-                | Backend.P_mapped _ | Backend.P_unmapped -> ())
-              states;
-          (id, states))
-        ids
-    in
-    check_stats i;
-    snapshots := (i, { s_regions }) :: !snapshots
-  in
-  let run_op i =
-    match entries.(i).Trace.op with
-    | Trace.T_mmap { id; len; writable } -> (
-      let perm = if writable then Perm.rw else Perm.r in
-      match System.mmap sys ~len ~perm () with
-      | Error e -> outcomes.(i) <- O_err e
-      | Ok addr ->
-        outcomes.(i) <- O_ok;
-        Hashtbl.replace regions id (addr, len);
-        for p = 0 to (len / ps) - 1 do
-          match System.page_state sys ~vaddr:(addr + (p * ps)) with
-          | Backend.P_unmapped ->
-            violate i
-              (Printf.sprintf "page %d of region %d unmapped after mmap" p id)
-          | Backend.P_mapped _ -> ()
-        done)
-    | Trace.T_munmap { id } -> (
-      match Hashtbl.find_opt regions id with
-      | None -> outcomes.(i) <- O_skip
-      | Some (addr, len) -> (
-        match System.munmap sys ~addr ~len with
-        | Error e -> outcomes.(i) <- O_err e
-        | Ok () ->
-          outcomes.(i) <- O_ok;
-          Hashtbl.remove regions id;
-          for p = 0 to (len / ps) - 1 do
-            match System.page_state sys ~vaddr:(addr + (p * ps)) with
-            | Backend.P_mapped _ ->
-              violate i
-                (Printf.sprintf "page %d of region %d mapped after munmap" p
-                   id)
-            | Backend.P_unmapped -> ()
-          done))
-    | Trace.T_touch { id; page = p; write } -> (
-      match Hashtbl.find_opt regions id with
-      | Some (addr, len) when p * page < len ->
-        outcomes.(i) <-
-          (match System.touch sys ~vaddr:(addr + (p * page)) ~write with
-          | Ok () -> O_ok
-          | Error e -> O_err e)
-      | Some _ | None -> outcomes.(i) <- O_skip)
-    | Trace.T_mprotect { id; writable } -> (
-      match Hashtbl.find_opt regions id with
-      | None -> outcomes.(i) <- O_skip
-      | Some (addr, len) ->
-        if not (System.has_mprotect sys) then begin
-          skipped_mprotect := true;
-          outcomes.(i) <- O_skip
-        end
-        else
-          let perm = if writable then Perm.rw else Perm.r in
-          outcomes.(i) <-
-            (match System.mprotect sys ~addr ~len ~perm with
-            | Ok () -> O_ok
-            | Error e -> O_err e))
-  in
-  let w = Mm_sim.Engine.create ~ncpus:1 in
-  Mm_sim.Engine.spawn w ~cpu:0 (fun () ->
-      for i = 0 to nops - 1 do
-        run_op i;
-        if (i + 1) mod check_every = 0 then snapshot i
-      done;
-      if nops > 0 then snapshot (nops - 1));
-  Mm_sim.Engine.run w;
-  {
-    l_name = sys.System.name;
-    l_caps = sys.System.caps;
-    l_skipped_mprotect = !skipped_mprotect;
-    l_outcomes = outcomes;
-    l_violations = List.rev !violations;
-    l_snapshots = List.rev !snapshots;
-  }
-
-(* -- Pairwise comparison against the reference (first) backend -- *)
-
-let compare_outcomes trace (a : run_log) (b : run_log) =
-  let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
-  let divs = ref [] in
-  Array.iteri
-    (fun i oa ->
-      let ob = b.l_outcomes.(i) in
-      let is_touch =
-        match trace.Trace.entries.(i).Trace.op with
-        | Trace.T_touch _ -> true
-        | _ -> false
-      in
-      let mismatch what =
-        divs :=
-          {
-            d_op = i;
-            d_backend_a = a.l_name;
-            d_backend_b = b.l_name;
-            d_what = what;
-          }
-          :: !divs
-      in
-      match (oa, ob) with
-      | O_skip, _ | _, O_skip -> ()
-      | O_ok, O_ok -> ()
-      | O_err ea, O_err eb ->
-        if not (Errno.same_class ea eb) then
-          mismatch
-            (Printf.sprintf "outcome %s vs %s" (Errno.to_string ea)
-               (Errno.to_string eb))
-      | (O_ok, O_err _ | O_err _, O_ok) when is_touch && not parity ->
-        (* A skipped mprotect legitimately changes later touch results. *)
-        ()
-      | (O_ok | O_err _), (O_ok | O_err _) ->
-        mismatch
-          (Printf.sprintf "outcome %s vs %s" (outcome_to_string oa)
-             (outcome_to_string ob)))
-    a.l_outcomes;
-  !divs
-
-(* The per-page comparison shared by the oracle's snapshot check and the
-   schedule-exploration harness's final-state check (schedcheck compares
-   a concurrent run against its own sequential replay, so it passes both
-   flags as [true]). Returns human-readable mismatch descriptions. *)
+(* The per-page comparison shared by the oracle's snapshot check, its
+   post-fork parent/child postcondition, and the schedule-exploration
+   harness's final-state check (schedcheck compares a concurrent run
+   against its own sequential replay, so it passes both flags as
+   [true]). Returns human-readable mismatch descriptions. *)
 let compare_page_states ?(check_writable = true) ?(check_resident = true)
     ~region (pa : Backend.page_state array) (pb : Backend.page_state array) =
   if Array.length pa <> Array.length pb then
@@ -270,6 +101,269 @@ let compare_page_states ?(check_writable = true) ?(check_resident = true)
     List.rev !mismatches
   end
 
+(* Replay the whole trace on one backend, inside a single fiber of a
+   private world (sequential global op order: the oracle checks
+   functional equivalence, not interleavings). *)
+let replay_one ?isa ~check_every (b : System.backend) trace =
+  let root = System.of_backend ?isa b ~ncpus:1 in
+  let ps = root.System.page_size in
+  let entries = trace.Trace.entries in
+  let nops = Array.length entries in
+  (* proc -> live instance; process 0 is the root and never exits. *)
+  let procs : (int, System.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace procs 0 root;
+  let regions : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* The solo value model: expected data token per (proc, region, page),
+     written by T_write and copied to the child at fork. A read is only
+     checked when the model has an entry (a never-written page's raw
+     contents are not comparable). This is what proves parent/child COW
+     isolation: a fork that forgets to write-protect the parent leaks
+     the parent's later stores into the child's reads, and the model
+     pins the divergence to the exact read op. *)
+  let model : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let outcomes = Array.make nops O_skip in
+  let violations = ref [] in
+  let snapshots = ref [] in
+  let skipped_mprotect = ref false in
+  let violate i what = violations := (i, what) :: !violations in
+  let probe_region sys (addr, len) =
+    Array.init (len / ps) (fun i -> System.page_state sys ~vaddr:(addr + (i * ps)))
+  in
+  let check_stats i =
+    let m = System.mem_stats root in
+    if m.System.resident_bytes < 0 then
+      violate i
+        (Printf.sprintf "mem_stats: negative resident_bytes %d"
+           m.System.resident_bytes);
+    if m.System.peak_resident_bytes < m.System.resident_bytes then
+      violate i
+        (Printf.sprintf "mem_stats: peak %d below resident %d"
+           m.System.peak_resident_bytes m.System.resident_bytes);
+    if m.System.pt_bytes < 0 || m.System.kernel_bytes < 0 then
+      violate i "mem_stats: negative pt/kernel bytes"
+  in
+  let snapshot i =
+    let keys =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) regions [])
+    in
+    let s_regions =
+      List.map
+        (fun ((proc, id) as k) ->
+          let r = Hashtbl.find regions k in
+          let sys = Hashtbl.find procs proc in
+          let states = probe_region sys r in
+          (* Eager backends have no lazy pages: mapped implies resident. *)
+          if not root.System.caps.System.demand_paging then
+            Array.iteri
+              (fun p st ->
+                match st with
+                | Backend.P_mapped { resident = false; _ } ->
+                  violate i
+                    (Printf.sprintf
+                       "eager backend holds non-resident page %d of proc %d \
+                        region %d"
+                       p proc id)
+                | Backend.P_mapped _ | Backend.P_unmapped -> ())
+              states;
+          (k, states))
+        keys
+    in
+    check_stats i;
+    snapshots := (i, { s_regions }) :: !snapshots
+  in
+  let run_op i =
+    let proc = entries.(i).Trace.proc in
+    match Hashtbl.find_opt procs proc with
+    | None -> outcomes.(i) <- O_skip (* defunct process: skip *)
+    | Some sys -> (
+      match entries.(i).Trace.op with
+      | Trace.T_mmap { id; len; writable } -> (
+        let perm = if writable then Perm.rw else Perm.r in
+        match System.mmap sys ~len ~perm () with
+        | Error e -> outcomes.(i) <- O_err e
+        | Ok addr ->
+          outcomes.(i) <- O_ok;
+          Hashtbl.replace regions (proc, id) (addr, len);
+          for p = 0 to (len / ps) - 1 do
+            match System.page_state sys ~vaddr:(addr + (p * ps)) with
+            | Backend.P_unmapped ->
+              violate i
+                (Printf.sprintf "page %d of region %d unmapped after mmap" p id)
+            | Backend.P_mapped _ -> ()
+          done)
+      | Trace.T_munmap { id } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | None -> outcomes.(i) <- O_skip
+        | Some (addr, len) -> (
+          match System.munmap sys ~addr ~len with
+          | Error e -> outcomes.(i) <- O_err e
+          | Ok () ->
+            outcomes.(i) <- O_ok;
+            Hashtbl.remove regions (proc, id);
+            for p = 0 to (len / ps) - 1 do
+              Hashtbl.remove model (proc, id, p);
+              match System.page_state sys ~vaddr:(addr + (p * ps)) with
+              | Backend.P_mapped _ ->
+                violate i
+                  (Printf.sprintf "page %d of region %d mapped after munmap" p
+                     id)
+              | Backend.P_unmapped -> ()
+            done))
+      | Trace.T_touch { id; page = p; write } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | Some (addr, len) when p * page < len ->
+          outcomes.(i) <-
+            (match System.touch sys ~vaddr:(addr + (p * page)) ~write with
+            | Ok () -> O_ok
+            | Error e -> O_err e)
+        | Some _ | None -> outcomes.(i) <- O_skip)
+      | Trace.T_mprotect { id; writable } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | None -> outcomes.(i) <- O_skip
+        | Some (addr, len) ->
+          if not (System.has_mprotect sys) then begin
+            skipped_mprotect := true;
+            outcomes.(i) <- O_skip
+          end
+          else
+            let perm = if writable then Perm.rw else Perm.r in
+            outcomes.(i) <-
+              (match System.mprotect sys ~addr ~len ~perm with
+              | Ok () -> O_ok
+              | Error e -> O_err e))
+      | Trace.T_fork { child } -> (
+        match System.fork sys with
+        | Error e -> outcomes.(i) <- O_err e
+        | Ok csys ->
+          outcomes.(i) <- O_ok;
+          Hashtbl.replace procs child csys;
+          let inherited =
+            List.sort compare
+              (Hashtbl.fold
+                 (fun (p, id) v acc -> if p = proc then (id, v) :: acc else acc)
+                 regions [])
+          in
+          List.iter
+            (fun (id, v) -> Hashtbl.replace regions (child, id) v)
+            inherited;
+          Hashtbl.fold
+            (fun (p, id, pg) v acc -> if p = proc then (id, pg, v) :: acc else acc)
+            model []
+          |> List.iter (fun (id, pg, v) ->
+                 Hashtbl.replace model (child, id, pg) v);
+          (* Post-fork postcondition: parent and child observe identical
+             page states over every inherited region — this is where a
+             fork that breaks the parent's or child's mappings is caught,
+             at the fork op itself. *)
+          List.iter
+            (fun (id, r) ->
+              List.iter (violate i)
+                (compare_page_states
+                   ~region:
+                     (Printf.sprintf "fork of proc %d (child %d), region %d"
+                        proc child id)
+                   (probe_region sys r) (probe_region csys r)))
+            inherited)
+      | Trace.T_exit ->
+        outcomes.(i) <- O_ok;
+        if proc <> 0 then begin
+          System.destroy sys;
+          Hashtbl.remove procs proc;
+          Hashtbl.fold
+            (fun (p, id) _ acc -> if p = proc then (p, id) :: acc else acc)
+            regions []
+          |> List.iter (Hashtbl.remove regions);
+          Hashtbl.fold
+            (fun (p, id, pg) _ acc ->
+              if p = proc then (p, id, pg) :: acc else acc)
+            model []
+          |> List.iter (Hashtbl.remove model)
+        end
+      | Trace.T_write { id; page = p; value } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | Some (addr, len) when p * page < len -> (
+          match System.write_value sys ~vaddr:(addr + (p * page)) ~value with
+          | Ok () ->
+            outcomes.(i) <- O_ok;
+            Hashtbl.replace model (proc, id, p) value
+          | Error e -> outcomes.(i) <- O_err e)
+        | Some _ | None -> outcomes.(i) <- O_skip)
+      | Trace.T_read { id; page = p } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | Some (addr, len) when p * page < len -> (
+          match System.read_value sys ~vaddr:(addr + (p * page)) with
+          | Ok v ->
+            outcomes.(i) <- O_ok;
+            (match Hashtbl.find_opt model (proc, id, p) with
+            | Some expected when expected <> v ->
+              violate i
+                (Printf.sprintf
+                   "proc %d read %d from page %d of region %d, expected %d"
+                   proc v p id expected)
+            | Some _ | None -> ())
+          | Error e -> outcomes.(i) <- O_err e)
+        | Some _ | None -> outcomes.(i) <- O_skip))
+  in
+  let w = Mm_sim.Engine.create ~ncpus:1 in
+  Mm_sim.Engine.spawn w ~cpu:0 (fun () ->
+      for i = 0 to nops - 1 do
+        run_op i;
+        if (i + 1) mod check_every = 0 then snapshot i
+      done;
+      if nops > 0 then snapshot (nops - 1));
+  Mm_sim.Engine.run w;
+  {
+    l_name = root.System.name;
+    l_caps = root.System.caps;
+    l_skipped_mprotect = !skipped_mprotect;
+    l_outcomes = outcomes;
+    l_violations = List.rev !violations;
+    l_snapshots = List.rev !snapshots;
+  }
+
+(* -- Pairwise comparison against the reference (first) backend -- *)
+
+let compare_outcomes trace (a : run_log) (b : run_log) =
+  let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
+  let divs = ref [] in
+  Array.iteri
+    (fun i oa ->
+      let ob = b.l_outcomes.(i) in
+      let is_touch =
+        (* Write/read data accesses fault exactly like touches, so the
+           mprotect-parity mask applies to them too. *)
+        match trace.Trace.entries.(i).Trace.op with
+        | Trace.T_touch _ | Trace.T_write _ | Trace.T_read _ -> true
+        | _ -> false
+      in
+      let mismatch what =
+        divs :=
+          {
+            d_op = i;
+            d_backend_a = a.l_name;
+            d_backend_b = b.l_name;
+            d_what = what;
+          }
+          :: !divs
+      in
+      match (oa, ob) with
+      | O_skip, _ | _, O_skip -> ()
+      | O_ok, O_ok -> ()
+      | O_err ea, O_err eb ->
+        if not (Errno.same_class ea eb) then
+          mismatch
+            (Printf.sprintf "outcome %s vs %s" (Errno.to_string ea)
+               (Errno.to_string eb))
+      | (O_ok, O_err _ | O_err _, O_ok) when is_touch && not parity ->
+        (* A skipped mprotect legitimately changes later touch results. *)
+        ()
+      | (O_ok | O_err _), (O_ok | O_err _) ->
+        mismatch
+          (Printf.sprintf "outcome %s vs %s" (outcome_to_string oa)
+             (outcome_to_string ob)))
+    a.l_outcomes;
+  !divs
+
 let compare_snapshots (a : run_log) (b : run_log) =
   let parity = a.l_skipped_mprotect = b.l_skipped_mprotect in
   let dp_eq =
@@ -290,18 +384,21 @@ let compare_snapshots (a : run_log) (b : run_log) =
           :: !divs
       in
       let ids s = List.map fst s.s_regions in
+      let show ids =
+        String.concat ";"
+          (List.map (fun (p, id) -> Printf.sprintf "%d:%d" p id) ids)
+      in
       if ids sa <> ids sb then
         mismatch
-          (Printf.sprintf "live region ids differ ([%s] vs [%s])"
-             (String.concat ";" (List.map string_of_int (ids sa)))
-             (String.concat ";" (List.map string_of_int (ids sb))))
+          (Printf.sprintf "live (proc, region) ids differ ([%s] vs [%s])"
+             (show (ids sa)) (show (ids sb)))
       else
         List.iter2
-          (fun (id, pa) (_, pb) ->
+          (fun ((proc, id), pa) (_, pb) ->
             List.iter mismatch
               (compare_page_states ~check_writable:parity
                  ~check_resident:(parity && dp_eq)
-                 ~region:(Printf.sprintf "region %d" id)
+                 ~region:(Printf.sprintf "proc %d region %d" proc id)
                  pa pb))
           sa.s_regions sb.s_regions)
     a.l_snapshots b.l_snapshots;
@@ -315,7 +412,8 @@ let default_backends () =
    [jobs > 1] they run on separate domains; the logs come back in
    backend order either way, and the comparison below is sequential, so
    the verdict is identical for any [jobs]. *)
-let run ?isa ?(check_every = 16) ?(jobs = 1) ?backends trace =
+let run ?isa ?(check_every = 16) ?(jobs = 1) ?(cow_mutant = false) ?backends
+    trace =
   let backends =
     match backends with Some l -> l | None -> default_backends ()
   in
@@ -324,6 +422,11 @@ let run ?isa ?(check_every = 16) ?(jobs = 1) ?backends trace =
     Mm_par.Par.map ~jobs
       (fun b ->
         Runner.reset_world_state ();
+        (* Arm the injected CortenMM fork mutant (skip the parent-side
+           write-protect) per task, after the world reset cleared it:
+           each replay domain sees its own copy of the flag. *)
+        if cow_mutant then
+          Cortenmm.Addr_space.set_mutant_fork_skip_parent_wp true;
         replay_one ?isa ~check_every b trace)
       backends
   in

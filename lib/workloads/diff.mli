@@ -40,6 +40,7 @@ val run :
   ?isa:Mm_hal.Isa.t ->
   ?check_every:int ->
   ?jobs:int ->
+  ?cow_mutant:bool ->
   ?backends:System.backend list ->
   Trace.t ->
   (int, divergence) result
@@ -47,4 +48,15 @@ val run :
     the earliest divergence by op index. [check_every] defaults to 16;
     [backends] to {!default_backends} (the first entry is the
     reference). [jobs] (default 1) shards the per-backend replays
-    across domains; the verdict is identical for any value. *)
+    across domains; the verdict is identical for any value.
+
+    Fork ops replay as {!System.fork}: the child process inherits the
+    parent's regions, a per-(proc, region, page) value model written by
+    the trace's [write] ops and checked at its [read] ops proves COW
+    isolation, and a post-fork solo postcondition requires parent and
+    child page states to agree over every inherited region.
+
+    [cow_mutant] (default [false]) arms an injected CortenMM fork bug —
+    clone_for_fork skips the parent-side write-protect — which the
+    value model must catch at the exact first child read observing a
+    leaked parent store. *)

@@ -134,6 +134,24 @@ let page_state t ~vaddr =
   let (Instance ((module B), st)) = t.instance in
   B.page_state st ~vaddr
 
+let fork t =
+  let (Instance ((module B), st)) = t.instance in
+  match B.fork st with
+  | Error _ as e -> e
+  | Ok child -> Ok { t with instance = Instance ((module B), child) }
+
+let destroy t =
+  let (Instance ((module B), st)) = t.instance in
+  B.destroy st
+
+let write_value t ~vaddr ~value =
+  let (Instance ((module B), st)) = t.instance in
+  B.write_value st ~vaddr ~value
+
+let read_value t ~vaddr =
+  let (Instance ((module B), st)) = t.instance in
+  B.read_value st ~vaddr
+
 let timer_tick t =
   let (Instance ((module B), st)) = t.instance in
   B.timer_tick st
@@ -160,6 +178,10 @@ let touch_exn t ~vaddr ~write = ok_exn (touch t ~vaddr ~write)
 
 let touch_range_exn t ~addr ~len ~write =
   ok_exn (touch_range t ~addr ~len ~write)
+
+let fork_exn t = ok_exn (fork t)
+let write_value_exn t ~vaddr ~value = ok_exn (write_value t ~vaddr ~value)
+let read_value_exn t ~vaddr = ok_exn (read_value t ~vaddr)
 
 (* The feature matrix of the paper's Table 2 (claims of the respective
    papers/systems, reproduced verbatim). *)

@@ -100,6 +100,25 @@ val touch_range :
   t -> addr:int -> len:int -> write:bool -> (unit, Mm_hal.Errno.t) result
 
 val page_state : t -> vaddr:int -> page_state
+
+val fork : t -> (t, Mm_hal.Errno.t) result
+(** A child instance duplicating this one's address space (same
+    addresses, same logical contents). COW-capable backends share frames
+    copy-on-write; the rest copy eagerly. The child shares the backend
+    module (and simulated machine) with the parent. *)
+
+val destroy : t -> unit
+(** Tear the instance's address space down (process exit). The instance
+    must not be used afterwards. *)
+
+val write_value : t -> vaddr:int -> value:int -> (unit, Mm_hal.Errno.t) result
+(** A user store of a data token: touches for write, then records
+    [value] as the page's contents — the observable the oracle uses to
+    prove parent/child COW isolation. *)
+
+val read_value : t -> vaddr:int -> (int, Mm_hal.Errno.t) result
+(** A user load of the page's data token. *)
+
 val timer_tick : t -> unit
 val mem_stats : t -> mem_stats
 
@@ -119,6 +138,9 @@ val munmap_exn : t -> addr:int -> len:int -> unit
 val mprotect_exn : t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit
 val touch_exn : t -> vaddr:int -> write:bool -> unit
 val touch_range_exn : t -> addr:int -> len:int -> write:bool -> unit
+val fork_exn : t -> t
+val write_value_exn : t -> vaddr:int -> value:int -> unit
+val read_value_exn : t -> vaddr:int -> int
 
 val warm : t -> cpu:int -> unit
 (** One throwaway mapping on the calling CPU's fiber, materializing its

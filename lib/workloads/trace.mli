@@ -8,8 +8,17 @@ type op =
   | T_munmap of { id : int }
   | T_touch of { id : int; page : int; write : bool }
   | T_mprotect of { id : int; writable : bool }
+  | T_fork of { child : int }  (** the executing process is the parent *)
+  | T_exit
+  | T_write of { id : int; page : int; value : int }
+      (** store a data token (touches for write first) *)
+  | T_read of { id : int; page : int }  (** load the page's data token *)
 
-type entry = { cpu : int; op : op }
+type entry = { cpu : int; proc : int; op : op }
+(** [proc] is the process executing the operation; 0 is the root.
+    Serialized as a trailing ["@<proc>"], omitted for process 0, so
+    pre-fork traces round-trip byte-identically. *)
+
 type t = { ncpus : int; entries : entry array }
 
 exception Parse_error of int * string
@@ -19,7 +28,7 @@ val entry_of_string : line:int -> string -> entry
 val save : t -> string -> unit
 val load : string -> t
 
-type profile = Churn | Faults | Mixed
+type profile = Churn | Faults | Mixed | Forks
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -27,17 +36,21 @@ val profile_of_name : string -> profile option
 val generate : profile:profile -> ncpus:int -> ops_per_cpu:int -> seed:int -> t
 (** Deterministic synthetic trace: [Churn] = allocator-like
     map/touch/unmap cycles; [Faults] = few large regions, many touches;
-    [Mixed] = a blend with occasional mprotects. *)
+    [Mixed] = a blend with occasional mprotects; [Forks] = per-CPU
+    process trees (depth <= 3) of fork / COW write / read / exit, every
+    forked process exiting before its CPU's stream ends. *)
 
 type replay_stats = {
   result : Runner.result;
   mmaps : int;
   munmaps : int;
   touches : int;
+  forks : int;
   faults_denied : int;
 }
 
 val replay : ?isa:Mm_hal.Isa.t -> kind:System.kind -> t -> replay_stats
-(** Replay the trace's per-CPU streams on a fresh instance of the system
-    (pre-warmed); unknown/defunct region references are skipped, denied
-    accesses counted. *)
+(** Replay the trace's per-CPU streams, each on the process named by its
+    entries ([fork] creating child instances via {!System.fork}, [exit]
+    destroying them); unknown/defunct region or process references are
+    skipped, denied accesses counted. *)

@@ -221,6 +221,116 @@ let test_destroy cfg =
       check Alcotest.int "only root PT page left" 1
         (Mm_pt.Pt.pt_page_count (Addr_space.pt asp)))
 
+(* -- Backing objects: the shadow-chain story behind COW fork -- *)
+
+(* Both sides of a fork are write-protected and COW-marked on every
+   private resident page — the x86 mechanism the object layer rides. *)
+let test_fork_wp_both_sides cfg =
+  in_sim (fun () ->
+      let _, asp = make_asp ~cfg () in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      Mm.touch_range asp ~addr ~len:(kib 16) ~write:true;
+      let child = Mm.fork asp in
+      let assert_cow name sp =
+        Addr_space.with_lock sp ~lo:addr ~hi:(addr + kib 16) (fun c ->
+            for i = 0 to 3 do
+              match Addr_space.query c (addr + (i * page)) with
+              | Status.Mapped { perm; _ } ->
+                check Alcotest.bool
+                  (Printf.sprintf "%s page %d write-protected" name i)
+                  false perm.Perm.write;
+                check Alcotest.bool
+                  (Printf.sprintf "%s page %d COW-marked" name i)
+                  true perm.Perm.cow
+              | s ->
+                Alcotest.failf "%s: expected mapped, got %s" name
+                  (Status.to_string s)
+            done)
+      in
+      assert_cow "parent" asp;
+      assert_cow "child" child;
+      Mm.destroy child)
+
+(* fork pushes one shadow per side over a shared base holding the
+   pre-fork records; the sibling's exit collapses the base into the
+   survivor, records and all, refcount back to a depth-one chain. *)
+let test_fork_chain_collapse cfg =
+  in_sim (fun () ->
+      let _, asp = make_asp ~cfg () in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      Mm.write_value asp ~vaddr:addr ~value:1;
+      check Alcotest.int "pre-fork depth 1" 1
+        (Vm_object.depth (Addr_space.vm_object asp));
+      let child = Mm.fork asp in
+      let ptop = Addr_space.vm_object asp
+      and ctop = Addr_space.vm_object child in
+      check Alcotest.int "parent depth 2" 2 (Vm_object.depth ptop);
+      check Alcotest.int "child depth 2" 2 (Vm_object.depth ctop);
+      let base =
+        match Vm_object.parent ptop with
+        | Some b -> b
+        | None -> Alcotest.fail "parent shadow has no base"
+      in
+      (match Vm_object.parent ctop with
+      | Some b -> check Alcotest.bool "one shared base" true (b == base)
+      | None -> Alcotest.fail "child shadow has no base");
+      check Alcotest.int "base referenced by both shadows" 2
+        (Vm_object.refs base);
+      check Alcotest.int "base owns the pre-fork record" 1
+        (Vm_object.page_slots base);
+      check Alcotest.int "parent shadow starts empty" 0
+        (Vm_object.page_slots ptop);
+      Mm.destroy child;
+      check Alcotest.bool "base collapsed (dead)" true (Vm_object.is_dead base);
+      check Alcotest.int "parent back on depth 1" 1
+        (Vm_object.depth (Addr_space.vm_object asp));
+      check Alcotest.int "record migrated into the survivor" 1
+        (Vm_object.page_slots (Addr_space.vm_object asp));
+      check Alcotest.int "data intact across the collapse" 1
+        (Mm.read_value asp ~vaddr:addr))
+
+(* Parent and child diverge at exactly the pages someone wrote after the
+   fork — everything else stays shared and equal, and only the written
+   page is recorded privately in the writer's shadow. *)
+let test_fork_divergence_only_at_writes cfg =
+  in_sim (fun () ->
+      let _, asp = make_asp ~cfg () in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      for i = 0 to 3 do
+        Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(100 + i)
+      done;
+      let child = Mm.fork asp in
+      Mm.write_value child ~vaddr:(addr + page) ~value:777;
+      for i = 0 to 3 do
+        let p = Mm.read_value asp ~vaddr:(addr + (i * page))
+        and c = Mm.read_value child ~vaddr:(addr + (i * page)) in
+        if i = 1 then begin
+          check Alcotest.int "parent keeps the pre-fork value" 101 p;
+          check Alcotest.int "child sees its own write" 777 c
+        end
+        else check Alcotest.int (Printf.sprintf "page %d identical" i) p c
+      done;
+      check Alcotest.int "exactly one private record in the child" 1
+        (Vm_object.page_slots (Addr_space.vm_object child));
+      Addr_space.check_well_formed asp;
+      Addr_space.check_well_formed child;
+      Mm.destroy child)
+
+(* exec: destroy tears the image down but leaves the space reusable on a
+   fresh depth-one chain (the LMbench fork+exec pattern). *)
+let test_destroy_then_repopulate cfg =
+  in_sim (fun () ->
+      let _, asp = make_asp ~cfg () in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      Mm.write_value asp ~vaddr:addr ~value:9;
+      Mm.destroy asp;
+      check Alcotest.int "fresh depth-one chain" 1
+        (Vm_object.depth (Addr_space.vm_object asp));
+      let addr2 = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
+      Mm.write_value asp ~vaddr:addr2 ~value:11;
+      check Alcotest.int "repopulated space works" 11
+        (Mm.read_value asp ~vaddr:addr2))
+
 (* -- Swap -- *)
 
 let test_swap_roundtrip cfg =
@@ -753,6 +863,12 @@ let () =
           proto_case "fork inherits marks" test_fork_unfaulted_marks;
           proto_case "fork shares shm" test_fork_shared_anon;
           proto_case "destroy releases all" test_destroy;
+          proto_case "fork write-protects both sides" test_fork_wp_both_sides;
+          proto_case "shadow chain collapses on exit" test_fork_chain_collapse;
+          proto_case "divergence only at written pages"
+            test_fork_divergence_only_at_writes;
+          proto_case "destroy then repopulate (exec)"
+            test_destroy_then_repopulate;
         ] );
       ( "swap",
         [

@@ -27,6 +27,7 @@ let assert_clean ~profile ~ncpus ~ops ~seed =
 let test_churn_clean () = assert_clean ~profile:Trace.Churn ~ncpus:4 ~ops:120 ~seed:42
 let test_faults_clean () = assert_clean ~profile:Trace.Faults ~ncpus:2 ~ops:150 ~seed:7
 let test_mixed_clean () = assert_clean ~profile:Trace.Mixed ~ncpus:4 ~ops:120 ~seed:11
+let test_forks_clean () = assert_clean ~profile:Trace.Forks ~ncpus:2 ~ops:100 ~seed:9
 
 (* Fine-grained checking must agree with the default cadence. *)
 let test_check_every_1_clean () =
@@ -82,7 +83,7 @@ let silent_mprotect (b : System.backend) : System.backend =
   end)
 
 let test_silent_mprotect_caught () =
-  let e cpu op = { Trace.cpu; op } in
+  let e cpu op = { Trace.cpu; proc = 0; op } in
   let trace =
     {
       Trace.ncpus = 1;
@@ -128,6 +129,40 @@ let test_stats_invariant_caught () =
       (String.length d.Diff.d_what >= 9
       && String.sub d.Diff.d_what 0 9 = "mem_stats")
 
+(* The canonical COW-isolation trace: fork, a parent store after the
+   fork, then a child read that must still see the pre-fork value. Clean
+   across the whole registry; with the injected CortenMM fork mutant
+   (clone_for_fork skips the parent-side write-protect) the parent's
+   post-fork store lands in the shared frame unprotected, and the value
+   model must pin the divergence to the child's read — the exact op. *)
+let cow_trace =
+  let e proc op = { Trace.cpu = 0; proc; op } in
+  {
+    Trace.ncpus = 1;
+    entries =
+      [|
+        e 0 (Trace.T_mmap { id = 1; len = 16384; writable = true });
+        e 0 (Trace.T_write { id = 1; page = 0; value = 11111 });
+        e 0 (Trace.T_fork { child = 1 });
+        e 0 (Trace.T_write { id = 1; page = 0; value = 22222 });
+        e 1 (Trace.T_read { id = 1; page = 0 });
+        e 1 Trace.T_exit;
+      |];
+  }
+
+let test_fork_cow_clean () =
+  match Diff.run ~check_every:1 cow_trace with
+  | Ok n -> check Alcotest.int "all ops checked" 6 n
+  | Error d -> Alcotest.failf "clean fork trace diverged: %s" (Diff.describe d)
+
+let test_fork_cow_mutant_caught () =
+  match Diff.run ~check_every:1 ~cow_mutant:true cow_trace with
+  | Ok _ -> Alcotest.fail "fork COW mutant not caught"
+  | Error d ->
+    check Alcotest.int "attributed to the child's read" 4 d.Diff.d_op;
+    check Alcotest.string "solo violation on the mutated backend"
+      d.Diff.d_backend_a d.Diff.d_backend_b
+
 (* The masking rules: backends without mprotect legitimately diverge on
    post-mprotect writability, so a Mixed trace across the full registry
    (which pairs linux with radixvm/nros) must still be clean — covered by
@@ -148,14 +183,19 @@ let () =
           Alcotest.test_case "churn across registry" `Quick test_churn_clean;
           Alcotest.test_case "faults across registry" `Quick test_faults_clean;
           Alcotest.test_case "mixed across registry" `Quick test_mixed_clean;
+          Alcotest.test_case "forks across registry" `Quick test_forks_clean;
           Alcotest.test_case "check_every=1" `Quick test_check_every_1_clean;
           Alcotest.test_case "corten vs linux, mixed" `Quick
             test_corten_vs_linux_mixed;
+          Alcotest.test_case "fork COW isolation clean" `Quick
+            test_fork_cow_clean;
         ] );
       ( "mutations",
         [
           Alcotest.test_case "broken munmap caught at op" `Quick
             test_broken_munmap_caught;
+          Alcotest.test_case "fork COW mutant caught at child read" `Quick
+            test_fork_cow_mutant_caught;
           Alcotest.test_case "silent mprotect caught" `Quick
             test_silent_mprotect_caught;
           Alcotest.test_case "stats invariant caught" `Quick

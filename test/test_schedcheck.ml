@@ -185,6 +185,129 @@ let test_live_batched_unmap_clean () =
   | v :: _ -> Alcotest.failf "live checker violation: %s" v);
   check bool "clean" true (Live.ok live)
 
+(* -- Backing-object lifecycle invariants -- *)
+
+(* A well-formed fork/exit episode: base, two shadows, sibling exits
+   (unref + destroy), base collapses into the survivor. *)
+let test_live_obj_lifecycle_clean () =
+  let live =
+    feed
+      [
+        Monitor.Obj_created { obj = 1; parent = -1 };
+        Monitor.Obj_created { obj = 2; parent = 1 };
+        Monitor.Obj_ref { obj = 1; refs = 2 };
+        Monitor.Obj_created { obj = 3; parent = 1 };
+        Monitor.Obj_ref { obj = 1; refs = 3 };
+        (* space 1 hands its own reference to the shadows *)
+        Monitor.Obj_unref { obj = 1; refs = 2 };
+        (* sibling 3 exits: base drops to one referent and collapses *)
+        Monitor.Obj_unref { obj = 3; refs = 0 };
+        Monitor.Obj_destroyed { obj = 3 };
+        Monitor.Obj_unref { obj = 1; refs = 1 };
+        Monitor.Obj_collapsed { obj = 1; into = 2 };
+        Monitor.Obj_destroyed { obj = 1 };
+      ]
+  in
+  Live.check_quiescent live;
+  (match Live.violations live with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "live checker violation: %s" v);
+  check bool "clean" true (Live.ok live)
+
+let test_live_obj_refcount_lie () =
+  let live =
+    feed
+      [
+        Monitor.Obj_created { obj = 1; parent = -1 };
+        Monitor.Obj_ref { obj = 1; refs = 5 };
+      ]
+  in
+  check bool "reported refcount != tracked is a violation" false
+    (Live.ok live)
+
+let test_live_obj_bad_collapse () =
+  let live =
+    feed
+      [
+        Monitor.Obj_created { obj = 1; parent = -1 };
+        Monitor.Obj_created { obj = 2; parent = 1 };
+        Monitor.Obj_ref { obj = 1; refs = 2 };
+        Monitor.Obj_created { obj = 3; parent = 1 };
+        Monitor.Obj_ref { obj = 1; refs = 3 };
+        (* collapsing a base both shadows still reference *)
+        Monitor.Obj_collapsed { obj = 1; into = 2 };
+      ]
+  in
+  check bool "multi-referent collapse is a violation" false (Live.ok live)
+
+let test_live_obj_use_after_death () =
+  let live =
+    feed
+      [
+        Monitor.Obj_created { obj = 1; parent = -1 };
+        Monitor.Obj_unref { obj = 1; refs = 0 };
+        Monitor.Obj_destroyed { obj = 1 };
+        Monitor.Obj_ref { obj = 1; refs = 1 };
+      ]
+  in
+  check bool "referencing a destroyed object is a violation" false
+    (Live.ok live)
+
+let test_live_obj_leak_at_quiescence () =
+  let live =
+    feed
+      [
+        Monitor.Obj_created { obj = 1; parent = -1 };
+        Monitor.Obj_unref { obj = 1; refs = 0 };
+        (* dropped to zero refs but its Obj_destroyed never came *)
+      ]
+  in
+  check bool "no violation while running" true (Live.ok live);
+  Live.check_quiescent live;
+  check bool "zero-ref undestroyed object flagged at quiescence" false
+    (Live.ok live)
+
+(* The real thing: a monitored CortenMM world runs a two-level fork
+   tree with COW breaks on both sides; the event stream must replay
+   cleanly through every object invariant, and teardown must end with
+   the root space back on a depth-one chain. *)
+let test_live_obj_fork_world_clean () =
+  let ncpus = 2 in
+  let live = Live.create ~ncpus in
+  let obj_events = ref 0 in
+  Monitor.set (fun ev ->
+      (match ev with
+      | Monitor.Obj_created _ | Monitor.Obj_ref _ | Monitor.Obj_unref _
+      | Monitor.Obj_collapsed _ | Monitor.Obj_destroyed _ ->
+        incr obj_events
+      | _ -> ());
+      Live.observe live ev);
+  Fun.protect ~finally:Monitor.clear @@ fun () ->
+  let module Engine = Mm_sim.Engine in
+  let kernel = Cortenmm.Kernel.create ~ncpus () in
+  let asp = Cortenmm.Addr_space.create kernel Cortenmm.Config.adv in
+  let w = Engine.create ~ncpus in
+  Engine.spawn w ~cpu:0 (fun () ->
+      let addr =
+        Mm_compat.mmap asp ~len:(4 * 4096) ~perm:Mm_hal.Perm.rw ()
+      in
+      Cortenmm.Mm.write_value asp ~vaddr:addr ~value:1;
+      let child = Cortenmm.Mm.fork asp in
+      let grandchild = Cortenmm.Mm.fork child in
+      Cortenmm.Mm.write_value child ~vaddr:addr ~value:2;
+      Cortenmm.Mm.write_value grandchild ~vaddr:addr ~value:3;
+      Cortenmm.Mm.write_value asp ~vaddr:addr ~value:4;
+      Cortenmm.Mm.destroy grandchild;
+      Cortenmm.Mm.destroy child;
+      Cortenmm.Mm.destroy asp);
+  Engine.run w;
+  check bool "object events flowed" true (!obj_events > 0);
+  Live.check_quiescent live;
+  (match Live.violations live with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "live checker violation: %s" v);
+  check bool "clean" true (Live.ok live)
+
 (* -- Schedule files -- *)
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -292,6 +415,18 @@ let () =
             test_live_frame_reuse;
           Alcotest.test_case "frame deferral quiescence" `Quick
             test_live_frame_quiescence;
+          Alcotest.test_case "obj lifecycle clean" `Quick
+            test_live_obj_lifecycle_clean;
+          Alcotest.test_case "obj refcount lie" `Quick
+            test_live_obj_refcount_lie;
+          Alcotest.test_case "obj bad collapse" `Quick
+            test_live_obj_bad_collapse;
+          Alcotest.test_case "obj use after death" `Quick
+            test_live_obj_use_after_death;
+          Alcotest.test_case "obj leak at quiescence" `Quick
+            test_live_obj_leak_at_quiescence;
+          Alcotest.test_case "obj fork world clean (corten, 2 cpus)" `Quick
+            test_live_obj_fork_world_clean;
           Alcotest.test_case "batched unmap clean (corten, 4 cpus)" `Quick
             test_live_batched_unmap_clean;
         ] );

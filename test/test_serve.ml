@@ -78,6 +78,54 @@ let test_different_seed_differs () =
   check Alcotest.bool "different seeds, different reports" false
     (String.equal (run_json ~seed:42) (run_json ~seed:43))
 
+(* -- The fork_fleet mix -- *)
+
+let run_fleet_json ~seed =
+  let mix = Mix.fork_fleet in
+  let systems =
+    [ Result.get_ok (System.Registry.find "linux");
+      Result.get_ok (System.Registry.find "cortenmm-adv") ]
+  in
+  let reports =
+    Serve.run_matrix ~systems ~mix ~policies:Serve.policies ~ncpus:2
+      ~sessions:120 ~seed ()
+  in
+  ( reports,
+    Json.to_string
+      (Serve.report_json ~mix ~ncpus:2 ~sessions:120 ~seed reports) )
+
+(* Every fork_fleet session forks exactly once and COW-breaks the hot
+   pages; the fork histogram must carry one sample per session and the
+   whole report must be byte-stable across reruns (the -j gate in
+   check.sh covers cross-domain determinism on top). *)
+let test_fork_fleet_forks_every_session () =
+  let reports, j1 = run_fleet_json ~seed:42 in
+  let _, j2 = run_fleet_json ~seed:42 in
+  check Alcotest.string "equal seeds, byte-identical JSON" j1 j2;
+  List.iter
+    (fun (r : Serve.report) ->
+      check Alcotest.int
+        (Printf.sprintf "%s/%s: one fork per session" r.Serve.r_system
+           r.Serve.r_policy)
+        r.Serve.r_sessions r.Serve.r_fork.Serve.s_count;
+      check Alcotest.bool
+        (Printf.sprintf "%s/%s: forks cost cycles" r.Serve.r_system
+           r.Serve.r_policy)
+        true
+        (r.Serve.r_fork.Serve.s_p50 > 0))
+    reports
+
+(* Non-fork mixes must not fork: their histogram stays empty, so the
+   pre-fleet report shape is unchanged. *)
+let test_short_mix_never_forks () =
+  let e = Result.get_ok (System.Registry.find "linux") in
+  let r =
+    Serve.run ~backend:e.System.Registry.r_backend ~mix:Mix.short
+      ~policy_name:"immediate" ~policy:Tlb.Immediate ~ncpus:2 ~sessions:60
+      ~seed:7 ()
+  in
+  check Alcotest.int "no fork samples" 0 r.Serve.r_fork.Serve.s_count
+
 (* -- The batched policy's effect -- *)
 
 let run_one ~system ~policy_name ~sessions =
@@ -164,6 +212,13 @@ let () =
             test_same_seed_byte_identical;
           Alcotest.test_case "different seed differs" `Quick
             test_different_seed_differs;
+        ] );
+      ( "fork_fleet",
+        [
+          Alcotest.test_case "one fork per session, byte-stable" `Quick
+            test_fork_fleet_forks_every_session;
+          Alcotest.test_case "non-fork mixes never fork" `Quick
+            test_short_mix_never_forks;
         ] );
       ( "policy",
         [

@@ -278,7 +278,12 @@ let test_trace_parse_errors () =
   rejects "bad access" "0 touch 1 0 x";
   rejects "negative cpu" "-1 munmap 1";
   rejects "cpu out of range" "70000 munmap 1";
-  rejects "empty line" ""
+  rejects "empty line" "";
+  rejects "fork of the root" "0 fork 0";
+  rejects "negative fork child" "0 fork -2";
+  rejects "bad process id" "0 exit @x";
+  rejects "negative process id" "0 munmap 1 @-1";
+  rejects "exit with arguments" "0 exit 1"
 
 (* Every line the serializer emits must parse back to the same entry. *)
 let test_trace_line_roundtrip () =
@@ -325,6 +330,56 @@ let test_trace_replay_corten_faster_on_churn () =
     true
     (corten.Trace.result.Runner.ops_per_sec
     > linux.Trace.result.Runner.ops_per_sec)
+
+(* Format v2: the "@<proc>" suffix appears exactly on non-root entries
+   (so pre-fork traces round-trip byte-identically) and every Forks line
+   — fork, exit, write, read included — parses back to itself. *)
+let test_trace_forks_roundtrip () =
+  let t = Trace.generate ~profile:Trace.Forks ~ncpus:3 ~ops_per_cpu:80 ~seed:21 in
+  let has p = Array.exists p t.Trace.entries in
+  check Alcotest.bool "generator forks" true
+    (has (fun e -> match e.Trace.op with Trace.T_fork _ -> true | _ -> false));
+  check Alcotest.bool "generator writes" true
+    (has (fun e -> match e.Trace.op with Trace.T_write _ -> true | _ -> false));
+  check Alcotest.bool "non-root processes execute ops" true
+    (has (fun e -> e.Trace.proc <> 0));
+  Array.iter
+    (fun e ->
+      let s = Trace.entry_to_string e in
+      check Alcotest.bool
+        (s ^ " mentions @ iff non-root")
+        (e.Trace.proc <> 0) (String.contains s '@');
+      check Alcotest.bool (s ^ " roundtrips") true
+        (Trace.entry_of_string ~line:1 s = e))
+    t.Trace.entries;
+  let path = Filename.temp_file "mmtrace" ".txt" in
+  Trace.save t path;
+  let t' = Trace.load path in
+  Sys.remove path;
+  check Alcotest.bool "file roundtrip" true (t.Trace.entries = t'.Trace.entries)
+
+(* Fork-tree replay: the same Forks trace performs the same process
+   lifecycle everywhere — identical fork counts and touch totals, every
+   backend tearing the tree down without leaking a divergence. *)
+let test_trace_forks_replay_consistent () =
+  let t = Trace.generate ~profile:Trace.Forks ~ncpus:2 ~ops_per_cpu:80 ~seed:17 in
+  let stats =
+    List.map (fun kind -> Trace.replay ~kind t)
+      [ System.Linux; corten_adv; System.Radixvm; System.Nros ]
+  in
+  match stats with
+  | a :: rest ->
+    check Alcotest.bool "trace has forks" true (a.Trace.forks > 0);
+    List.iter
+      (fun b ->
+        check Alcotest.int "same forks" a.Trace.forks b.Trace.forks;
+        check Alcotest.int "same mmaps" a.Trace.mmaps b.Trace.mmaps;
+        check Alcotest.int "same munmaps" a.Trace.munmaps b.Trace.munmaps;
+        check Alcotest.int "same touches" a.Trace.touches b.Trace.touches;
+        check Alcotest.int "same denials" a.Trace.faults_denied
+          b.Trace.faults_denied)
+      rest
+  | [] -> assert false
 
 (* -- Memory accounting across systems (fig22 machinery) -- *)
 
@@ -436,6 +491,10 @@ let () =
             test_trace_replay_consistent_across_systems;
           Alcotest.test_case "corten faster on churn" `Quick
             test_trace_replay_corten_faster_on_churn;
+          Alcotest.test_case "forks roundtrip" `Quick
+            test_trace_forks_roundtrip;
+          Alcotest.test_case "forks replay consistent" `Quick
+            test_trace_forks_replay_consistent;
         ] );
       ( "memory",
         [
