@@ -320,6 +320,7 @@ let trace_cmd =
                ("faults", Mm_workloads.Trace.Faults);
                ("mixed", Mm_workloads.Trace.Mixed);
                ("forks", Mm_workloads.Trace.Forks);
+               ("reclaim", Mm_workloads.Trace.Reclaim);
              ])
           Mm_workloads.Trace.Mixed
       & info [ "profile" ] ~doc:"Workload profile for gen.")
@@ -394,6 +395,7 @@ let oracle_cmd =
                ("faults", Mm_workloads.Trace.Faults);
                ("mixed", Mm_workloads.Trace.Mixed);
                ("forks", Mm_workloads.Trace.Forks);
+               ("reclaim", Mm_workloads.Trace.Reclaim);
              ])
           Mm_workloads.Trace.Mixed
       & info [ "profile" ] ~doc:"Workload profile when generating.")
@@ -418,7 +420,18 @@ let oracle_cmd =
              divergence at the first child read observing a leaked parent \
              store.")
   in
-  let run path profile ncpus ops seed every cow_mutant jobs systems =
+  let reclaim_mutant =
+    Arg.(
+      value & flag
+      & info [ "reclaim-mutant" ]
+          ~doc:
+            "Arm the injected pager bug (put_pages skips the dirty \
+             writeback, losing the page's data token at page-out); the \
+             oracle must then report a divergence at the first read \
+             observing the lost token.")
+  in
+  let run path profile ncpus ops seed every cow_mutant reclaim_mutant jobs
+      systems =
     let trace =
       match path with
       | Some p -> Mm_workloads.Trace.load p
@@ -430,8 +443,8 @@ let oracle_cmd =
       List.map (fun e -> e.Mm_workloads.System.Registry.r_backend) entries
     in
     match
-      Mm_workloads.Diff.run ~check_every:every ~jobs ~cow_mutant ~backends
-        trace
+      Mm_workloads.Diff.run ~check_every:every ~jobs ~cow_mutant
+        ~reclaim_mutant ~backends trace
     with
     | Ok n ->
       Printf.printf "oracle: %d ops, %d backends, no divergence\n" n
@@ -443,7 +456,7 @@ let oracle_cmd =
   Cmd.v (Cmd.info "oracle" ~doc)
     Term.(
       const run $ path $ profile $ ncpus $ ops $ seed $ every $ cow_mutant
-      $ jobs_arg $ systems_arg)
+      $ reclaim_mutant $ jobs_arg $ systems_arg)
 
 let serve_cmd =
   let doc =

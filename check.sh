@@ -143,6 +143,44 @@ dune exec bench/main.exe -- --only ext-fleet -j 2 > /tmp/fleet_j2.out 2>/dev/nul
 cmp /tmp/fleet_j1.out /tmp/fleet_j2.out \
   || { echo "ext-fleet: -j 2 output differs from -j 1"; exit 1; }
 
+echo "== oracle: reclaim trace clean across backends, -j 2 identical =="
+# mlock/munlock/pressure ops run on the reclaim-capable backends and are
+# capability-masked elsewhere; residency is compared only under equal
+# reclaim coverage while the value model is compared everywhere.
+dune exec bin/mmrepro.exe -- oracle --profile reclaim --cpus 2 --ops 150 \
+  --seed 7 > /tmp/reclaim_j1.out
+cat /tmp/reclaim_j1.out
+dune exec bin/mmrepro.exe -- oracle --profile reclaim --cpus 2 --ops 150 \
+  --seed 7 -j 2 > /tmp/reclaim_j2.out
+cmp /tmp/reclaim_j1.out /tmp/reclaim_j2.out \
+  || { echo "oracle: reclaim -j 2 verdict differs from -j 1"; exit 1; }
+
+echo "== oracle: the injected reclaim mutant is caught =="
+# put_pages "skips the dirty writeback": the swap block is reserved but
+# the token never reaches the device, so the refault after a page-out
+# reads zero and the value model must report the divergence.
+if dune exec bin/mmrepro.exe -- oracle --profile reclaim --cpus 2 --ops 150 \
+     --seed 7 --reclaim-mutant > /dev/null 2>&1; then
+  echo "oracle: --reclaim-mutant NOT caught"; exit 1
+fi
+
+echo "== serve smoke: reclaim_storm mix, determinism =="
+dune exec bin/mmrepro.exe -- serve --mix reclaim_storm --sessions 240 --cpus 2 \
+  --json /tmp/storm1.json > /tmp/check_storm.out 2>&1 \
+  || { cat /tmp/check_storm.out; exit 1; }
+tail -n +3 /tmp/check_storm.out | head -n 4
+dune exec bin/mmrepro.exe -- serve --mix reclaim_storm --sessions 240 --cpus 2 \
+  --json /tmp/storm2.json -j 2 > /dev/null
+cmp /tmp/storm1.json /tmp/storm2.json \
+  || { echo "serve: reclaim_storm -j 2 or rerun gave different JSON"; exit 1; }
+
+echo "== fig1 golden digest: riders charge zero cycles when off =="
+# Re-run the pinned digest test by name: the daemon-off default world
+# must stay bit-identical to the seed across every feature rider.
+dune exec test/test_workloads.exe -- test golden > /tmp/check_golden.out 2>&1 \
+  || { cat /tmp/check_golden.out; exit 1; }
+tail -n 2 /tmp/check_golden.out
+
 echo "== validate JSON outputs =="
 dune exec bin/jsoncheck.exe -- /tmp/b.json
 dune exec bin/jsoncheck.exe -- --chrome /tmp/t.json
@@ -151,6 +189,7 @@ dune exec bin/jsoncheck.exe -- --wallclock /tmp/wallclock2.json
 dune exec bin/jsoncheck.exe -- --wallclock BENCH_wallclock.json
 dune exec bin/jsoncheck.exe -- /tmp/serve1.json
 dune exec bin/jsoncheck.exe -- /tmp/fleet1.json
+dune exec bin/jsoncheck.exe -- /tmp/storm1.json
 
 echo "== wall-clock summary =="
 grep -A 100 '## Wall-clock per experiment driver' /tmp/check_bench.out \

@@ -61,7 +61,7 @@ let () =
       in
       Mm.write_value asp ~vaddr:s ~value:31337;
       Printf.printf "   wrote through the shared mapping; msync wrote back %d page(s)\n"
-        (Mm.msync asp ~file:log);
+        (ok (Mm.msync_r asp ~file:log));
 
       Printf.printf "\n== reverse mapping ==\n";
       let rmapped =

@@ -65,6 +65,8 @@ let free_block t ~block =
   Hashtbl.remove t.blocks block;
   Queue.push block t.free_blocks
 
+let has_block t ~block = Hashtbl.mem t.blocks block
+
 let used_blocks t = Hashtbl.length t.blocks
 let writes t = t.writes
 let reads t = t.reads

@@ -16,6 +16,7 @@ val read_page : t -> block:int -> int
 (** Raises [Invalid_argument] for a block never written. *)
 
 val free_block : t -> block:int -> unit
+val has_block : t -> block:int -> bool
 val used_blocks : t -> int
 val writes : t -> int
 val reads : t -> int

@@ -5,22 +5,32 @@
    all AddrSpaces that map the file, enabling reverse mapping. Reverse
    mappings of shared anonymous mappings are supported by naming the pages
    within the kernel" — i.e. shared anonymous memory is a kernel-internal
-   file. [kind] distinguishes the two.
+   file. [kind] distinguishes the two. The mapper tree is a shared
+   {!Pager.Mapper_set} (the same container backs the anonymous rmap).
 
    Page contents are integer tokens derived from (file id, page index) so
-   tests can verify that a faulted-in mapping observes the right data. *)
+   tests can verify that a faulted-in mapping observes the right data.
+   Written-back contents persist in a [disk] store, so a cache page the
+   page-out daemon drops refaults with the last written-back data — the
+   value model sees reclaim as fully transparent. *)
 
 type kind = Regular of string | Shm
 
-type mapper = { asp_id : int; map_vaddr : int; file_offset : int; len : int }
+type mapper = Pager.mapping = {
+  asp_id : int;
+  map_vaddr : int;
+  file_offset : int;
+  len : int;
+}
 
 type t = {
   id : int;
   kind : kind;
   mutable size : int;
   pages : (int, Mm_phys.Frame.t) Hashtbl.t; (* page index -> cache frame *)
+  disk : (int, int) Hashtbl.t; (* page index -> written-back contents *)
   lock : Mm_sim.Mutex_s.t;
-  mutable mappers : mapper list; (* the AddrSpace tree, as a list *)
+  mappers : Pager.Mapper_set.t; (* the AddrSpace tree *)
   mutable dirty : (int, unit) Hashtbl.t; (* dirty page indexes *)
   mutable writebacks : int;
 }
@@ -42,8 +52,9 @@ let create ~kind ~size =
     kind;
     size;
     pages = Hashtbl.create 16;
+    disk = Hashtbl.create 16;
     lock = Mm_sim.Mutex_s.make ~name:"file.lock" ();
-    mappers = [];
+    mappers = Pager.Mapper_set.create ();
     dirty = Hashtbl.create 16;
     writebacks = 0;
   }
@@ -55,48 +66,152 @@ let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
 
 let page_token t ~page_index = (t.id * 1_000_003) + page_index
 
+let emit ev = if Mm_sim.Monitor.on () then Mm_sim.Monitor.emit ev
+
+(* The content a page (re)faults in with: written-back data wins over the
+   pristine token / zero fill. *)
+let backing_contents t ~page_index =
+  match Hashtbl.find_opt t.disk page_index with
+  | Some c -> Some c
+  | None -> None
+
 (* Fetch the cache frame for a page, faulting it in from "disk" on first
-   use. Shared-memory pages start zeroed instead of read. *)
+   use. Shared-memory pages start zeroed instead of read; a page that was
+   written back and dropped refaults with the stored contents. *)
 let get_page t phys ~page_index =
   match Hashtbl.find_opt t.pages page_index with
   | Some f -> f
   | None ->
     let f = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.File_page () in
-    (match t.kind with
-    | Regular _ ->
+    (match backing_contents t ~page_index with
+    | Some c ->
       charge io_read_cost;
-      f.Mm_phys.Frame.contents <- page_token t ~page_index
-    | Shm ->
-      charge Mm_sim.Cost.page_zero;
-      f.Mm_phys.Frame.contents <- 0);
+      f.Mm_phys.Frame.contents <- c
+    | None -> (
+      match t.kind with
+      | Regular _ ->
+        charge io_read_cost;
+        f.Mm_phys.Frame.contents <- page_token t ~page_index
+      | Shm ->
+        charge Mm_sim.Cost.page_zero;
+        f.Mm_phys.Frame.contents <- 0));
     Hashtbl.replace t.pages page_index f;
     f
 
 let lookup_page t ~page_index = Hashtbl.find_opt t.pages page_index
 
-let mark_dirty t ~page_index = Hashtbl.replace t.dirty page_index ()
+let mark_dirty t ~page_index =
+  emit (Mm_sim.Monitor.Page_dirtied { file = t.id; page = page_index });
+  Hashtbl.replace t.dirty page_index ()
+
+(* Store one page's contents in the backing store (one device write). *)
+let store_page t ~page_index ~contents =
+  charge Blockdev.write_cost;
+  t.writebacks <- t.writebacks + 1;
+  Hashtbl.replace t.disk page_index contents;
+  Hashtbl.remove t.dirty page_index;
+  emit (Mm_sim.Monitor.Reclaim_writeback { file = t.id; page = page_index })
 
 let writeback t =
-  let n = Hashtbl.length t.dirty in
-  if n > 0 then begin
-    charge (Blockdev.write_cost * n);
-    t.writebacks <- t.writebacks + n;
-    Hashtbl.reset t.dirty
-  end;
-  n
+  let idxs =
+    List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [])
+  in
+  List.iter
+    (fun i ->
+      let contents =
+        match Hashtbl.find_opt t.pages i with
+        | Some f -> f.Mm_phys.Frame.contents
+        | None -> ( match backing_contents t ~page_index:i with
+          | Some c -> c
+          | None -> ( match t.kind with
+            | Regular _ -> page_token t ~page_index:i
+            | Shm -> 0))
+      in
+      store_page t ~page_index:i ~contents)
+    idxs;
+  List.length idxs
 
-let add_mapper t m = t.mappers <- m :: t.mappers
+(* Drop a clean (written-back) cache page: the frame is released and a
+   later access refaults it from the backing store. The caller is
+   responsible for having unmapped it everywhere first. *)
+let drop_page t phys ~page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> ()
+  | Some f ->
+    emit
+      (Mm_sim.Monitor.Reclaim_drop
+         { file = t.id; page = page_index; pfn = f.Mm_phys.Frame.pfn });
+    Hashtbl.remove t.pages page_index;
+    Mm_phys.Phys.free phys f
+
+let add_mapper t m = Pager.Mapper_set.add t.mappers m
 
 let remove_mapper t ~asp_id ~map_vaddr =
-  t.mappers <-
-    List.filter
-      (fun m -> not (m.asp_id = asp_id && m.map_vaddr = map_vaddr))
-      t.mappers
+  Pager.Mapper_set.remove t.mappers ~asp_id ~map_vaddr
 
-let mappers t = t.mappers
+let mappers t = Pager.Mapper_set.to_list t.mappers
+let mapper_set t = t.mappers
 let cached_pages t = Hashtbl.length t.pages
+
+let cached_page_indexes t =
+  List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) t.pages [])
+
+(* Would dropping this cache page lose data? True when the page is
+   dirty-marked, or its frame contents differ from what the backing
+   store would refault (the "hardware dirty bit" the simulation does not
+   track per-PTE: user stores mutate the frame token directly). *)
+let needs_writeback t ~page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> false
+  | Some f ->
+    Hashtbl.mem t.dirty page_index
+    || f.Mm_phys.Frame.contents
+       <>
+       (match backing_contents t ~page_index with
+       | Some c -> c
+       | None -> (
+         match t.kind with
+         | Regular _ -> page_token t ~page_index
+         | Shm -> 0))
+let dirty_pages t = Hashtbl.length t.dirty
 let id t = t.id
 let size t = t.size
 
 let name t =
   match t.kind with Regular n -> n | Shm -> Printf.sprintf "shm:%d" t.id
+
+(* -- The pager provider (file and shm) -- *)
+
+let pager t phys =
+  {
+    Pager.name = (match t.kind with Regular _ -> "file" | Shm -> "shm");
+    get_page = (fun ~page_index -> get_page t phys ~page_index);
+    put_pages =
+      (fun pages ->
+        (* Reclaim-time writeback: page out the listed (index, contents)
+           pairs. The injected mutant "forgets" the store, so the refault
+           after a drop observes stale data. *)
+        List.map
+          (fun (page_index, contents) ->
+            if not (Pager.mutant_reclaim_skip_writeback ()) then
+              store_page t ~page_index ~contents
+            else Hashtbl.remove t.dirty page_index;
+            page_index)
+          pages);
+    has_page =
+      (fun ~page_index ->
+        Hashtbl.mem t.pages page_index || Hashtbl.mem t.disk page_index);
+    dealloc =
+      (fun () ->
+        let idxs = Hashtbl.fold (fun i _ acc -> i :: acc) t.pages [] in
+        List.iter
+          (fun i ->
+            match Hashtbl.find_opt t.pages i with
+            | Some f ->
+              Hashtbl.remove t.pages i;
+              Mm_phys.Phys.free phys f
+            | None -> ())
+          (List.sort compare idxs);
+        Hashtbl.reset t.disk;
+        Hashtbl.reset t.dirty);
+  }

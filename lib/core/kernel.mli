@@ -6,8 +6,10 @@ type t = {
   isa : Mm_hal.Isa.t;
   ncpus : int;
   rcu : Mm_sim.Rcu_s.t;
-  anon_rmap : (int, (int * int) list ref) Hashtbl.t;
+  anon_rmap : (int, Pager.Mapper_set.t) Hashtbl.t;
   mutable next_asp_id : int;
+  mutable wired_pages : int;
+  mutable wired_limit : int;
   pkru_access_deny : int array;
   pkru_write_deny : int array;
 }
@@ -15,12 +17,22 @@ type t = {
 val create : ?isa:Mm_hal.Isa.t -> ?numa_nodes:int -> ncpus:int -> unit -> t
 val fresh_asp_id : t -> int
 
+val set_wired_limit : t -> pages:int -> unit
+(** Cap on mlock-wired pages (RLIMIT_MEMLOCK); exceeding it makes
+    [Mm.mlock_r] fail with [EPERM]. Default: unlimited. *)
+
+val wired_pages : t -> int
+
 val rmap_add : t -> pfn:int -> asp_id:int -> vaddr:int -> unit
 val rmap_remove : t -> pfn:int -> asp_id:int -> vaddr:int -> unit
 
 val rmap_of : t -> pfn:int -> (int * int) list
 (** Mappers of an anonymous frame as [(address-space id, vaddr)] pairs.
     Reverse mappings are hints: re-validate through a transaction. *)
+
+val rmap_set : t -> pfn:int -> Pager.Mapper_set.t option
+(** The frame's raw reverse-mapping set (shared {!Pager.Mapper_set}
+    container, same as the file mapper tree). *)
 
 val page_size : t -> int
 val numa_nodes : t -> int

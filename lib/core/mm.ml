@@ -198,7 +198,8 @@ let page_fault asp ~vaddr ~write =
         if not (Perm.allows perm ~write) then Sigsegv
         else if write then begin
           (* Private write: immediately break from the page cache. *)
-          let cache = File.get_page file phys ~page_index:(offset / ps) in
+          let fpager = File.pager file phys in
+          let cache = fpager.Pager.get_page ~page_index:(offset / ps) in
           charge (Mm_sim.Cost.page_alloc + Mm_sim.Cost.page_copy);
           let frame = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.Anon () in
           frame.Mm_phys.Frame.contents <- cache.Mm_phys.Frame.contents;
@@ -207,7 +208,8 @@ let page_fault asp ~vaddr ~write =
         end
         else begin
           (* Private read: share the page-cache frame, copy-on-write. *)
-          let cache = File.get_page file phys ~page_index:(offset / ps) in
+          let fpager = File.pager file phys in
+          let cache = fpager.Pager.get_page ~page_index:(offset / ps) in
           let map_perm =
             Perm.with_cow (Perm.with_write perm false) perm.Perm.write
           in
@@ -219,7 +221,8 @@ let page_fault asp ~vaddr ~write =
       | Status.Shared_anon { shm; offset; perm } ->
         if not (Perm.allows perm ~write) then Sigsegv
         else begin
-          let frame = File.get_page shm phys ~page_index:(offset / ps) in
+          let fpager = File.pager shm phys in
+          let frame = fpager.Pager.get_page ~page_index:(offset / ps) in
           if write then File.mark_dirty shm ~page_index:(offset / ps);
           Addr_space.map c ~vaddr:page ~frame ~perm
             ~origin:(Status.O_shm (shm, offset))
@@ -229,11 +232,10 @@ let page_fault asp ~vaddr ~write =
       | Status.Swapped { dev; block; perm } ->
         if not (Perm.allows perm ~write) then Sigsegv
         else begin
-          (* Swap the page back in. *)
-          charge Mm_sim.Cost.page_alloc;
-          let frame = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.Anon () in
-          frame.Mm_phys.Frame.contents <- Blockdev.read_page dev ~block;
-          Blockdev.free_block dev ~block;
+          (* Swap the page back in through the anonymous pager (the swap
+             block is the pager's page index; the read frees it). *)
+          let apager = Vm_object.pager ~dev ~phys in
+          let frame = apager.Pager.get_page ~page_index:block in
           Addr_space.map c ~vaddr:page ~frame ~perm ~origin:Status.O_anon ();
           Handled
         end
@@ -455,15 +457,18 @@ let khugepaged asp =
 
 (* -- msync: write back dirty shared pages -- *)
 
-let msync _asp ~file =
+let msync_r _asp ~file =
   charge Mm_sim.Cost.syscall;
-  File.writeback file
+  Ok (File.writeback file)
 
 (* -- Swapping -- *)
 
-(* Swap one resident anonymous page out to [dev]. Returns false if the
-   page is not a singly-mapped resident anonymous page (shared and COW
-   pages are skipped, as simple swap daemons do). *)
+(* Swap one resident anonymous page out to [dev] through the anonymous
+   pager. Returns false if the page is not a singly-mapped resident
+   anonymous page (shared and COW pages are skipped, as simple swap
+   daemons do) or is wired by mlock. The unmap runs inside the
+   transaction, so the TLB shootdown commits before the frame can be
+   reused — the no-reuse-before-flush invariant covers reclaim. *)
 let swap_out asp ~vaddr ~dev =
   let ps = Addr_space.page_size asp in
   let page = Mm_util.Align.down vaddr ps in
@@ -474,17 +479,132 @@ let swap_out asp ~vaddr ~dev =
         match Addr_space.origin_at c page with
         | Status.M_resident Status.O_anon ->
           let frame = Mm_phys.Phys.frame kernel.Kernel.phys pfn in
-          if frame.Mm_phys.Frame.map_count <> 1 then false
+          if frame.Mm_phys.Frame.map_count <> 1 || frame.Mm_phys.Frame.wired
+          then false
           else begin
             let contents = frame.Mm_phys.Frame.contents in
-            let block = Blockdev.alloc_block dev in
-            Blockdev.write_page dev ~block ~contents;
-            Addr_space.unmap c ~lo:page ~hi:(page + ps);
-            Addr_space.set_swapped c ~vaddr:page ~dev ~block ~perm;
-            true
+            let apager =
+              Vm_object.pager ~dev ~phys:kernel.Kernel.phys
+            in
+            match apager.Pager.put_pages [ (0, contents) ] with
+            | [ block ] ->
+              Addr_space.unmap c ~lo:page ~hi:(page + ps);
+              Addr_space.set_swapped c ~vaddr:page ~dev ~block ~perm;
+              if Mm_sim.Monitor.on () then
+                Mm_sim.Monitor.emit (Mm_sim.Monitor.Reclaim_page { pfn });
+              true
+            | _ -> false
           end
         | _ -> false)
       | _ -> false)
+
+(* -- Reclaim of mapped file/shm pages -- *)
+
+(* Revert one resident file-backed page to its unfaulted backing status:
+   the PTE goes away (with its TLB shootdown committing before the
+   transaction ends) but the mapping itself stays, so the next access
+   refaults through the file pager. Returns false when the page is not a
+   resident file/shm page. *)
+let unmap_file_page asp ~vaddr =
+  let ps = Addr_space.page_size asp in
+  let page = Mm_util.Align.down vaddr ps in
+  Addr_space.with_lock asp ~lo:page ~hi:(page + ps) (fun c ->
+      match Addr_space.query c page with
+      | Status.Mapped { perm; _ } -> (
+        match Addr_space.origin_at c page with
+        | Status.M_resident (Status.O_file (file, offset)) ->
+          (* A COW-shared cache page was mapped read-only; the backing
+             status keeps the original protection. *)
+          let orig =
+            if perm.Perm.cow then
+              Perm.with_write (Perm.with_cow perm false) true
+            else perm
+          in
+          Addr_space.unmap c ~lo:page ~hi:(page + ps);
+          Addr_space.mark c ~lo:page ~hi:(page + ps)
+            (Status.Private_file { file; offset; perm = orig });
+          true
+        | Status.M_resident (Status.O_shm (shm, offset)) ->
+          Addr_space.unmap c ~lo:page ~hi:(page + ps);
+          Addr_space.mark c ~lo:page ~hi:(page + ps)
+            (Status.Shared_anon { shm; offset; perm });
+          true
+        | _ -> false)
+      | _ -> false)
+
+(* -- mlock / munlock: wire and unwire resident pages -- *)
+
+(* POSIX-shaped failures: EINVAL for a malformed range, EPERM when the
+   request would exceed the wired-page limit (RLIMIT_MEMLOCK), ENOMEM
+   when part of the range is not mapped, EAGAIN when some pages could
+   not be faulted in (frame exhaustion while populating). *)
+let mlock_r asp ~addr ~len =
+  let ps = Addr_space.page_size asp in
+  if len <= 0 || addr < 0 || addr mod ps <> 0 then Error Errno.EINVAL
+  else begin
+    charge Mm_sim.Cost.syscall;
+    let len = Mm_util.Align.up len ps in
+    let npages = len / ps in
+    let kernel = Addr_space.kernel asp in
+    if
+      kernel.Kernel.wired_limit <> max_int
+      && kernel.Kernel.wired_pages + npages > kernel.Kernel.wired_limit
+    then Error Errno.EPERM
+    else begin
+      (* mlock populates: fault every page of the range in. *)
+      let populated =
+        try touch_range_r asp ~addr ~len ~write:false
+        with Mm_phys.Buddy.Out_of_memory -> Error Errno.EAGAIN
+      in
+      match populated with
+      | Error (Errno.SIGSEGV _) -> Error Errno.ENOMEM (* unmapped range *)
+      | Error _ as e -> e
+      | Ok () ->
+        let phys = kernel.Kernel.phys in
+        Addr_space.with_lock asp ~lo:addr ~hi:(addr + len) (fun c ->
+            for i = 0 to npages - 1 do
+              let v = addr + (i * ps) in
+              match Addr_space.query c v with
+              | Status.Mapped { pfn; _ } ->
+                let f = Mm_phys.Phys.frame phys pfn in
+                if not f.Mm_phys.Frame.wired then begin
+                  f.Mm_phys.Frame.wired <- true;
+                  kernel.Kernel.wired_pages <-
+                    kernel.Kernel.wired_pages + 1;
+                  if Mm_sim.Monitor.on () then
+                    Mm_sim.Monitor.emit (Mm_sim.Monitor.Page_wired { pfn })
+                end
+              | _ -> ()
+            done);
+        Ok ()
+    end
+  end
+
+let munlock_r asp ~addr ~len =
+  let ps = Addr_space.page_size asp in
+  if len <= 0 || addr < 0 || addr mod ps <> 0 then Error Errno.EINVAL
+  else begin
+    charge Mm_sim.Cost.syscall;
+    let len = Mm_util.Align.up len ps in
+    let npages = len / ps in
+    let kernel = Addr_space.kernel asp in
+    let phys = kernel.Kernel.phys in
+    Addr_space.with_lock asp ~lo:addr ~hi:(addr + len) (fun c ->
+        for i = 0 to npages - 1 do
+          let v = addr + (i * ps) in
+          match Addr_space.query c v with
+          | Status.Mapped { pfn; _ } ->
+            let f = Mm_phys.Phys.frame phys pfn in
+            if f.Mm_phys.Frame.wired then begin
+              f.Mm_phys.Frame.wired <- false;
+              kernel.Kernel.wired_pages <- kernel.Kernel.wired_pages - 1;
+              if Mm_sim.Monitor.on () then
+                Mm_sim.Monitor.emit (Mm_sim.Monitor.Page_unwired { pfn })
+            end
+          | _ -> ()
+        done);
+    Ok ()
+  end
 
 (* -- pkey_mprotect: tag a range with an MPK protection key (x86-64) -- *)
 

@@ -13,31 +13,6 @@ type fault_outcome = Handled | Sigsegv
 exception Fault of int
 (** Raised by {!touch} on SIGSEGV, carrying the faulting address. *)
 
-val mmap :
-  Addr_space.t ->
-  ?addr:int ->
-  ?backing:backing ->
-  ?policy:Numa.policy ->
-  len:int ->
-  perm:Mm_hal.Perm.t ->
-  unit ->
-  int
-[@@ocaml.deprecated "use Mm.mmap_r (typed errors) instead"]
-(** Virtually allocate [len] bytes (page-rounded); on-demand paging backs
-    them at fault time. Explicit [addr] replaces existing mappings
-    (POSIX fixed semantics). Returns the start address.
-
-    @deprecated Exception-style wrapper kept for the legacy tests;
-    new code uses {!mmap_r}. *)
-
-val munmap : Addr_space.t -> addr:int -> len:int -> unit
-[@@ocaml.deprecated "use Mm.munmap_r (typed errors) instead"]
-(** @deprecated Exception-style wrapper; new code uses {!munmap_r}. *)
-
-val mprotect : Addr_space.t -> addr:int -> len:int -> perm:Mm_hal.Perm.t -> unit
-[@@ocaml.deprecated "use Mm.mprotect_r (typed errors) instead"]
-(** @deprecated Exception-style wrapper; new code uses {!mprotect_r}. *)
-
 exception Mremap_failed of string
 
 val mremap : Addr_space.t -> addr:int -> old_len:int -> new_len:int -> int
@@ -68,12 +43,15 @@ val fork : Addr_space.t -> Addr_space.t
 val destroy : Addr_space.t -> unit
 (** Unmap the whole user range (exec/exit teardown). *)
 
-val msync : Addr_space.t -> file:File.t -> int
-(** Write back the file's dirty pages; returns how many. *)
-
 val swap_out : Addr_space.t -> vaddr:int -> dev:Blockdev.t -> bool
-(** Swap one resident, singly-mapped anonymous page out to the device;
-    [false] when the page does not qualify (shared / COW / not anon). *)
+(** Swap one resident, singly-mapped anonymous page out through the
+    anonymous pager ({!Vm_object.pager}); [false] when the page does not
+    qualify (shared / COW / not anon / wired by mlock). *)
+
+val unmap_file_page : Addr_space.t -> vaddr:int -> bool
+(** Reclaim helper: revert one resident file/shm page to its unfaulted
+    backing status (the mapping stays; the next access refaults through
+    the pager). [false] when the page is not a resident file page. *)
 
 val promote_huge : Addr_space.t -> vaddr:int -> bool
 (** Promote the 2 MiB region of [vaddr] to a huge page if it qualifies
@@ -151,3 +129,18 @@ val write_value_r :
     the locked store surfaces as [Error (SIGSEGV page)]. *)
 
 val read_value_r : Addr_space.t -> vaddr:int -> (int, Mm_hal.Errno.t) result
+
+val msync_r : Addr_space.t -> file:File.t -> (int, Mm_hal.Errno.t) result
+(** Write back the file's dirty pages; returns how many. *)
+
+val mlock_r :
+  Addr_space.t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+(** Populate and wire the range: every page is faulted in and its frame
+    pinned against reclaim. [Error EINVAL] for a malformed range,
+    [Error EPERM] past the wired-page limit ({!Kernel.set_wired_limit}),
+    [Error ENOMEM] when part of the range is unmapped, [Error EAGAIN]
+    when frames ran out while populating. *)
+
+val munlock_r :
+  Addr_space.t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+(** Unwire the range's resident pages (idempotent). *)

@@ -1,0 +1,187 @@
+(* The global page-out daemon: one reclaimer over *every* registered
+   backing store, generalizing {!Swapd}'s per-address-space clock scan.
+
+   Registered address spaces contribute anonymous pages (second-chance
+   clock scan, swapped to the daemon's swap partition through the
+   anonymous pager); registered files contribute page-cache pages
+   (unmapped from every mapper via the shared {!Pager.Mapper_set} rmap,
+   written back if modified, then dropped through the file pager).
+
+   Pressure is simulated: watermarks are defined over the machine's
+   resident data frames ({!Mm_phys.Phys.data_frames}). [balance] is the
+   kswapd wakeup — when residency exceeds the high watermark it reclaims
+   down to the low one; [pressure] forces a reclaim of a given size
+   (the harness's knob for reclaim storms). The daemon never runs unless
+   one of the two is called, so worlds that ignore it are byte-identical
+   to pre-daemon worlds.
+
+   Correctness properties (checked by [Mm_verif.Live] via the Reclaim_*
+   monitor events): wired (mlock'd) pages are never taken; dirty pages
+   are written back before their cache frame is dropped; every unmap
+   happens inside a transaction, so the TLB shootdown commits before the
+   frame can be reused. *)
+
+type stats = {
+  swap : Swapd.stats; (* the clock scan's scanned/second_chances/swapped *)
+  mutable file_written_back : int;
+  mutable file_dropped : int;
+  mutable wakeups : int;
+}
+
+let fresh_stats () =
+  {
+    swap = Swapd.fresh_stats ();
+    file_written_back = 0;
+    file_dropped = 0;
+    wakeups = 0;
+  }
+
+type t = {
+  kernel : Kernel.t;
+  dev : Blockdev.t;
+  mutable low : int; (* reclaim down to this many data frames *)
+  mutable high : int; (* [balance] wakes above this *)
+  mutable spaces : Addr_space.t list; (* in registration order *)
+  mutable files : File.t list;
+  stats : stats;
+}
+
+let create ?(low = 0) ?(high = max_int) kernel ~dev () =
+  { kernel; dev; low; high; spaces = []; files = []; stats = fresh_stats () }
+
+let set_watermarks t ~low ~high =
+  if low > high then invalid_arg "Pageoutd.set_watermarks";
+  t.low <- low;
+  t.high <- high
+
+let stats t = t.stats
+let dev t = t.dev
+
+let register_space t asp =
+  if not (List.exists (fun a -> a == asp) t.spaces) then
+    t.spaces <- t.spaces @ [ asp ]
+
+let unregister_space t asp =
+  t.spaces <- List.filter (fun a -> not (a == asp)) t.spaces
+
+let register_file t file =
+  if not (List.exists (fun f -> f == file) t.files) then
+    t.files <- t.files @ [ file ]
+
+let emit ev = if Mm_sim.Monitor.on () then Mm_sim.Monitor.emit ev
+
+let space_of t asp_id =
+  List.find_opt (fun a -> Addr_space.id a = asp_id) t.spaces
+
+(* -- Page-cache reclaim --
+
+   For each cache page of [file] (in sorted index order, a deterministic
+   scan): skip wired frames; unmap the page from every registered mapper
+   (each unmap is its own transaction, like the clock scan's swap-outs);
+   once no mapping remains, write the contents back if dropping would
+   lose data, then release the frame. A page mapped by an address space
+   the daemon does not know is left alone. *)
+let reclaim_file_pages t file ~target =
+  let ps = Kernel.page_size t.kernel in
+  let phys = t.kernel.Kernel.phys in
+  let fpager = File.pager file phys in
+  let dropped = ref 0 in
+  List.iter
+    (fun page_index ->
+      if !dropped < target then
+        match File.lookup_page file ~page_index with
+        | None -> ()
+        | Some f when f.Mm_phys.Frame.wired -> ()
+        | Some f ->
+          let offset = page_index * ps in
+          let covering =
+            List.filter
+              (fun m ->
+                offset >= m.Pager.file_offset
+                && offset < m.Pager.file_offset + m.Pager.len)
+              (File.mappers file)
+          in
+          let all_known =
+            List.for_all
+              (fun m -> space_of t m.Pager.asp_id <> None)
+              covering
+          in
+          if all_known then begin
+            List.iter
+              (fun m ->
+                match space_of t m.Pager.asp_id with
+                | Some asp ->
+                  ignore
+                    (Mm.unmap_file_page asp
+                       ~vaddr:
+                         (m.Pager.map_vaddr
+                         + (offset - m.Pager.file_offset)))
+                | None -> ())
+              covering;
+            if f.Mm_phys.Frame.map_count = 0 then begin
+              if File.needs_writeback file ~page_index then begin
+                ignore
+                  (fpager.Pager.put_pages
+                     [ (page_index, f.Mm_phys.Frame.contents) ]);
+                t.stats.file_written_back <- t.stats.file_written_back + 1
+              end;
+              emit (Mm_sim.Monitor.Reclaim_page { pfn = f.Mm_phys.Frame.pfn });
+              File.drop_page file phys ~page_index;
+              incr dropped;
+              t.stats.file_dropped <- t.stats.file_dropped + 1
+            end
+          end)
+    (File.cached_page_indexes file);
+  !dropped
+
+(* One full pass: page cache first (cheap, Linux-style preference), then
+   the anonymous clock scan per registered space. *)
+let run_once t ~target =
+  let got = ref 0 in
+  List.iter
+    (fun file ->
+      if !got < target then
+        got := !got + reclaim_file_pages t file ~target:(target - !got))
+    t.files;
+  List.iter
+    (fun asp ->
+      if !got < target then
+        got :=
+          !got
+          + Swapd.run_once ~stats:t.stats.swap asp ~dev:t.dev
+              ~target:(target - !got))
+    t.spaces;
+  !got
+
+let note_wakeup () =
+  if Mm_obs.Trace.on () then
+    Mm_obs.Metrics.inc (Mm_obs.Metrics.counter "pageoutd.wakeups")
+
+(* Forced reclaim of [target_pages] pages (or until two full passes make
+   no progress — everything left is hot, wired, or unknown). *)
+let pressure t ~target_pages =
+  if target_pages <= 0 then 0
+  else begin
+    t.stats.wakeups <- t.stats.wakeups + 1;
+    note_wakeup ();
+    emit
+      (Mm_sim.Monitor.Reclaim_waken
+         {
+           free = Mm_phys.Phys.data_frames t.kernel.Kernel.phys;
+           target = target_pages;
+         });
+    let rec go total dry =
+      if total >= target_pages || dry >= 2 then total
+      else
+        let got = run_once t ~target:(target_pages - total) in
+        go (total + got) (if got = 0 then dry + 1 else 0)
+    in
+    go 0 0
+  end
+
+(* The kswapd wakeup: reclaim down to the low watermark when residency
+   exceeds the high one. *)
+let balance t =
+  let resident = Mm_phys.Phys.data_frames t.kernel.Kernel.phys in
+  if resident > t.high then pressure t ~target_pages:(resident - t.low)
+  else 0

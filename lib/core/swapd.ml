@@ -21,6 +21,18 @@ type stats = {
 
 let fresh_stats () = { scanned = 0; second_chances = 0; swapped = 0 }
 
+(* Mirror a pass's increments into the metrics registry so reclaim
+   activity shows up in [--report]/[--json] like every other subsystem.
+   Guarded by the trace session (PR-1's zero-perturbation rule). *)
+let note_pass ~scanned ~second_chances ~swapped =
+  if Mm_obs.Trace.on () then begin
+    Mm_obs.Metrics.add (Mm_obs.Metrics.counter "swapd.scanned") scanned;
+    Mm_obs.Metrics.add
+      (Mm_obs.Metrics.counter "swapd.second_chances")
+      second_chances;
+    Mm_obs.Metrics.add (Mm_obs.Metrics.counter "swapd.swapped") swapped
+  end
+
 (* One clock pass: reclaim up to [target] pages. Candidate discovery walks
    the page table (a streaming scan, like kswapd's LRU walk); the actual
    reclaim of each page is its own transaction, so faults proceed
@@ -75,6 +87,9 @@ let run_once ?(stats = fresh_stats ()) asp ~dev ~target =
         stats.swapped <- stats.swapped + 1
       end)
     (List.rev !cold);
+  note_pass
+    ~scanned:(List.length !hot + List.length !cold)
+    ~second_chances:(List.length !hot) ~swapped:!swapped;
   !swapped
 
 (* Run passes until [target] pages are reclaimed or no progress is made

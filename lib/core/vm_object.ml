@@ -179,3 +179,44 @@ let fork_push base =
   let sc = shadow base in
   unref base;
   (sp, sc)
+
+(* -- The anonymous/shadow pager provider --
+
+   Anonymous pages have no named backing store; paged out, they live on a
+   swap partition. [page_index] is therefore the swap block: [put_pages]
+   allocates blocks and returns them (the caller records each in the PTE
+   as the swapped location), [get_page] reads a block back into a fresh
+   frame and frees it. Costs are exactly the historical swap-out /
+   swap-in arms' costs, so routing [Mm] through the pager changes no
+   simulated cycle. *)
+
+let charge c = if Mm_sim.Engine.in_fiber () then Mm_sim.Engine.tick c
+
+let pager ~dev ~phys =
+  {
+    Pager.name = "anon";
+    get_page =
+      (fun ~page_index ->
+        charge Mm_sim.Cost.page_alloc;
+        let frame = Mm_phys.Phys.alloc phys ~kind:Mm_phys.Frame.Anon () in
+        frame.Mm_phys.Frame.contents <-
+          Blockdev.read_page dev ~block:page_index;
+        Blockdev.free_block dev ~block:page_index;
+        frame);
+    put_pages =
+      (fun pages ->
+        List.map
+          (fun (_, contents) ->
+            let block = Blockdev.alloc_block dev in
+            (* The injected reclaim mutant "skips the dirty writeback":
+               the block is reserved but the content token never reaches
+               the device, so the swap-in reads back zero. *)
+            let contents =
+              if Pager.mutant_reclaim_skip_writeback () then 0 else contents
+            in
+            Blockdev.write_page dev ~block ~contents;
+            block)
+          pages);
+    has_page = (fun ~page_index -> Blockdev.has_block dev ~block:page_index);
+    dealloc = (fun () -> ());
+  }

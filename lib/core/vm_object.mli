@@ -65,3 +65,8 @@ val is_dead : t -> bool
 val reset_ids : unit -> unit
 (** Reset the domain-local id counter (one simulation world per parallel
     task; see [Mm_workloads.Runner.reset_world_state]). *)
+
+val pager : dev:Blockdev.t -> phys:Mm_phys.Phys.t -> Pager.ops
+(** The anonymous/shadow pager provider: pages out to swap blocks on
+    [dev] ([put_pages] returns the allocated blocks; [get_page] takes a
+    block as its page index and frees it after the read). *)

@@ -40,6 +40,7 @@ let all =
     { id = "ext-swapd"; title = "extension: second-chance swap daemon"; body = Run Fig_ext.ext_swapd };
     { id = "ext-trace"; title = "extension: trace replay across systems"; body = Cells (fun () -> Fig_ext.ext_trace_plan ()) };
     { id = "ext-fleet"; title = "extension: fork_fleet process-fleet serving"; body = Cells (fun () -> Fig_ext.ext_fleet_plan ()) };
+    { id = "ext-reclaim"; title = "extension: fault tails under page-out pressure"; body = Cells (fun () -> Fig_ext.ext_reclaim_plan ()) };
   ]
 
 let ids = List.map (fun e -> e.id) all

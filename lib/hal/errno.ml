@@ -8,6 +8,8 @@ type t =
   | ENOMEM (* out of physical frames or virtual address space *)
   | EACCES (* permission denied at syscall level *)
   | ENOSYS (* the backend does not implement this operation *)
+  | EAGAIN (* transient resource shortage; retry (mlock under pressure) *)
+  | EPERM (* operation exceeds a hard limit, e.g. the wired-page quota *)
   | SIGSEGV of int (* access faulted; carries the faulting vaddr *)
 
 exception Error of t
@@ -17,6 +19,8 @@ let to_string = function
   | ENOMEM -> "ENOMEM"
   | EACCES -> "EACCES"
   | ENOSYS -> "ENOSYS"
+  | EAGAIN -> "EAGAIN"
+  | EPERM -> "EPERM"
   | SIGSEGV vaddr -> Printf.sprintf "SIGSEGV@0x%x" vaddr
 
 (* Class label, without payloads: two backends faulting at different
@@ -26,6 +30,8 @@ let label = function
   | ENOMEM -> "ENOMEM"
   | EACCES -> "EACCES"
   | ENOSYS -> "ENOSYS"
+  | EAGAIN -> "EAGAIN"
+  | EPERM -> "EPERM"
   | SIGSEGV _ -> "SIGSEGV"
 
 let same_class a b = label a = label b

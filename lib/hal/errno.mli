@@ -8,6 +8,8 @@ type t =
   | ENOMEM  (** out of physical frames or virtual address space *)
   | EACCES  (** permission denied at syscall level *)
   | ENOSYS  (** the backend does not implement this operation *)
+  | EAGAIN  (** transient resource shortage; retry (mlock under pressure) *)
+  | EPERM  (** operation exceeds a hard limit, e.g. the wired-page quota *)
   | SIGSEGV of int  (** access faulted; carries the faulting vaddr *)
 
 exception Error of t

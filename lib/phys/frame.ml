@@ -35,6 +35,7 @@ type t = {
   line : Mm_sim.Engine.Line.t;
   mutable stale : bool;
   mutable map_count : int;
+  mutable wired : bool; (* mlock'd: the page-out daemon must never reclaim *)
   mutable contents : int;
 }
 
@@ -48,6 +49,7 @@ let make ~pfn =
     line = Mm_sim.Engine.Line.make ();
     stale = false;
     map_count = 0;
+    wired = false;
     contents = 0;
   }
 

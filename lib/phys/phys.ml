@@ -118,6 +118,7 @@ let alloc t ~kind ?(order = 0) ?(node = 0) () =
     f.Frame.order <- (if i = 0 then order else 0);
     f.Frame.stale <- false;
     f.Frame.map_count <- 0;
+    f.Frame.wired <- false;
     f.Frame.contents <- 0
   done;
   if Mm_sim.Monitor.on () then
@@ -180,3 +181,8 @@ let allocated_frames t =
 let buddy t = t.buddies.(0)
 
 let peak_data_bytes t = t.peak_data_frames * t.page_size
+
+(* Resident user data (anon + page-cache) frames right now; the pageout
+   daemon's watermarks compare against this, not the peak. *)
+let data_frames t =
+  t.counts.(kind_index Frame.Anon) + t.counts.(kind_index Frame.File_page)

@@ -40,3 +40,7 @@ val buddy : t -> Buddy.t
 val peak_data_bytes : t -> int
 (** High-water mark of user data (anon + page-cache) bytes, for the
     allocator memory-usage experiment (Fig 18). *)
+
+val data_frames : t -> int
+(** Currently resident user data (anon + page-cache) frames — the
+    quantity {!Pageoutd} watermarks are defined over. *)

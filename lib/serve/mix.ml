@@ -19,6 +19,9 @@ type t = {
   bursts : int; (* mmap/touch/munmap bursts per session *)
   mprotect_prob : float; (* chance a burst read-only-seals before unmap *)
   fork : bool; (* fork a child per session; bursts run in the child *)
+  mlock_prob : float; (* chance a burst wires its region while it lives *)
+  pressure_every : int; (* sessions between pressure waves (0 = never) *)
+  pressure_pages : int; (* reclaim target of one wave *)
 }
 
 let short =
@@ -32,6 +35,9 @@ let short =
     bursts = 1;
     mprotect_prob = 0.0;
     fork = false;
+    mlock_prob = 0.0;
+    pressure_every = 0;
+    pressure_pages = 0;
   }
 
 let mixed =
@@ -45,6 +51,9 @@ let mixed =
     bursts = 2;
     mprotect_prob = 0.25;
     fork = false;
+    mlock_prob = 0.0;
+    pressure_every = 0;
+    pressure_pages = 0;
   }
 
 let faulty =
@@ -58,6 +67,9 @@ let faulty =
     bursts = 1;
     mprotect_prob = 0.0;
     fork = false;
+    mlock_prob = 0.0;
+    pressure_every = 0;
+    pressure_pages = 0;
   }
 
 (* The process-fleet mix: every session is a forked child of a
@@ -76,9 +88,34 @@ let fork_fleet =
     bursts = 1;
     mprotect_prob = 0.0;
     fork = true;
+    mlock_prob = 0.0;
+    pressure_every = 0;
+    pressure_pages = 0;
   }
 
-let all = [ short; mixed; faulty; fork_fleet ]
+(* The reclaim-storm mix: fault-heavy bursts racing periodic pressure
+   waves from the page-out daemon, with a quarter of the regions wired
+   for their lifetime. The daemon's evictions force refaults (swap-in)
+   into the fault and session tails; wired regions must ride the storm
+   out untouched. Backends without a page-out daemon run the identical
+   arrival/size stream with the reclaim ops as no-ops. *)
+let reclaim_storm =
+  {
+    name = "reclaim_storm";
+    desc = "fault-heavy bursts under periodic pressure waves, some wired";
+    interarrival = 120_000;
+    think = 500;
+    min_pages = 8;
+    max_pages = 16;
+    bursts = 1;
+    mprotect_prob = 0.0;
+    fork = false;
+    mlock_prob = 0.25;
+    pressure_every = 4;
+    pressure_pages = 32;
+  }
+
+let all = [ short; mixed; faulty; fork_fleet; reclaim_storm ]
 let names = List.map (fun m -> m.name) all
 
 (* Same convention as [System.Registry.find]: the error message carries

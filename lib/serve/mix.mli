@@ -14,6 +14,13 @@ type t = {
   fork : bool;
       (** fork a child per session: the child COW-breaks the parent's
           hot pages, runs its bursts privately, and is destroyed *)
+  mlock_prob : float;
+      (** chance a burst wires its region for its lifetime (reclaim
+          backends only; the coin is only drawn when positive, so
+          pre-reclaim mixes keep their RNG streams) *)
+  pressure_every : int;
+      (** sessions between page-out daemon pressure waves, 0 = never *)
+  pressure_pages : int;  (** reclaim target of one wave *)
 }
 
 val short : t
@@ -24,6 +31,12 @@ val fork_fleet : t
 (** The process-fleet mix: every session forks a child off a long-lived
     per-CPU parent, COW-breaks the inherited hot pages, runs one small
     private burst, and exits — a pre-fork server's lifecycle. *)
+
+val reclaim_storm : t
+(** Fault-heavy bursts racing periodic page-out daemon pressure waves,
+    a quarter of the regions wired for their lifetime — evictions push
+    refaults into the fault/session tails; wired regions must survive
+    untouched. *)
 
 val all : t list
 val names : string list

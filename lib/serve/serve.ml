@@ -144,7 +144,7 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
       if d > 0 then Engine.tick d
     in
     let next_arrival = ref (Engine.now ()) in
-    for _ = 1 to quota cpu do
+    for sess = 1 to quota cpu do
       next_arrival := !next_arrival + exp_sample rng mix.Mix.interarrival;
       (* Open loop: if we are early, wait for the arrival; if the backlog
          already pushed us past it, start at once — the lateness is the
@@ -195,6 +195,21 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
           op_done ()
         done;
         think ();
+        (* The wire coin: only drawn for mixes that ask for it (so
+           pre-reclaim mixes keep their historical RNG streams), but
+           drawn before the capability check so the arrival/size stream
+           stays identical across backends with and without reclaim. *)
+        let wire =
+          mix.Mix.mlock_prob > 0.0 && Rng.float rng < mix.Mix.mlock_prob
+        in
+        let wired = wire && System.has_reclaim ssys in
+        if wired then begin
+          let t0 = Engine.now () in
+          (match System.mlock ssys ~addr ~len with Ok () | Error _ -> ());
+          Metrics.observe h_fault (Engine.now () - t0);
+          op_done ();
+          think ()
+        end;
         (* Draw the seal coin unconditionally so the arrival/size stream
            stays identical across backends with and without mprotect. *)
         let seal = Rng.float rng < mix.Mix.mprotect_prob in
@@ -205,11 +220,30 @@ let run ?isa ~backend ~mix ~policy_name ~policy ~ncpus ~sessions ~seed () =
           op_done ();
           think ()
         end;
+        if wired then begin
+          (* Unwire before unmap, like a real tenant would (munmap does
+             not implicitly unlock). *)
+          (match System.munlock ssys ~addr ~len with Ok () | Error _ -> ());
+          op_done ()
+        end;
         let t0 = Engine.now () in
         System.munmap_exn ssys ~addr ~len;
         Metrics.observe h_munmap (Engine.now () - t0);
         op_done ()
       done;
+      (* Pressure wave: every [pressure_every]-th session ends with a
+         synchronous page-out daemon pass on the serving CPU. The stall
+         (and the refaults it causes other sessions) lands inside the
+         session latencies — the tail the storm is meant to move. *)
+      if
+        mix.Mix.pressure_every > 0
+        && sess mod mix.Mix.pressure_every = 0
+        && System.has_reclaim sys
+      then begin
+        (match System.pressure sys ~target_pages:mix.Mix.pressure_pages with
+        | Ok _ | Error _ -> ());
+        op_done ()
+      end;
       if mix.Mix.fork then begin
         (* Drain the child's pending shootdown batch (deferred frame
            frees must land before teardown), bank its TLB accounting,

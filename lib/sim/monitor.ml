@@ -45,6 +45,21 @@ type event =
          chain. *)
   | Obj_destroyed of { obj : int }
       (* The object's last reference was dropped (refs = 0). *)
+  | Page_wired of { pfn : int }
+      (* mlock: the frame is pinned; reclaim must never take it. *)
+  | Page_unwired of { pfn : int }
+  | Page_dirtied of { file : int; page : int }
+      (* A shared file/shm page was modified; reclaim must write it back
+         before dropping the cache frame. *)
+  | Reclaim_waken of { free : int; target : int }
+      (* The page-out daemon started a pass: [free] data frames resident,
+         reclaiming down to [target]. *)
+  | Reclaim_page of { pfn : int }
+      (* A resident page was paged out (swapped or dropped) by reclaim. *)
+  | Reclaim_writeback of { file : int; page : int }
+      (* A dirty page's contents reached the backing store. *)
+  | Reclaim_drop of { file : int; page : int; pfn : int }
+      (* A page-cache frame was released after (any required) writeback. *)
 
 (* Domain-local: each domain of a parallel driver installs and clears
    its own checker (schedcheck shards seed campaigns across domains,

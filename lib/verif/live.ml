@@ -21,7 +21,14 @@
    - deferred frame frees (batched TLB shootdown): a frame whose free
      was deferred behind a pending shootdown must not be reallocated
      before that shootdown flushes — a reuse inside the window would be
-     reachable through a stale remote TLB entry.
+     reachable through a stale remote TLB entry;
+
+   - reclaim (the page-out daemon): a wired (mlock'd) page must never be
+     reclaimed, a page must not be reclaimed twice without an
+     intervening reallocation, a reclaimed frame must not still be
+     pending behind an unflushed shootdown, and a dirty file/shm page
+     must reach the backing store (writeback) before its cache frame is
+     dropped.
 
    Violations are *sticky* — recorded, never raised — so a schedule
    explorer can finish the run, collect every violation, and still
@@ -58,6 +65,11 @@ type t = {
   pending_frames : (int, int) Hashtbl.t;
       (* pfn -> pages: frames deferred behind an unflushed shootdown *)
   objs : (int, obj_state) Hashtbl.t; (* backing-object id -> mirror *)
+  wired : (int, unit) Hashtbl.t; (* pfns pinned by mlock *)
+  reclaimed : (int, unit) Hashtbl.t;
+      (* pfns paged out and not reallocated since *)
+  dirty_pages : (int * int, unit) Hashtbl.t;
+      (* (file id, page index) modified and not yet written back *)
   mutable txns : txn list;
   mutable violations : string list; (* newest first *)
   mutable events : int;
@@ -75,6 +87,9 @@ let create ~ncpus =
     rcu_defers = Hashtbl.create 64;
     pending_frames = Hashtbl.create 64;
     objs = Hashtbl.create 64;
+    wired = Hashtbl.create 64;
+    reclaimed = Hashtbl.create 64;
+    dirty_pages = Hashtbl.create 64;
     txns = [];
     violations = [];
     events = 0;
@@ -200,7 +215,12 @@ let observe t (ev : Mm_sim.Monitor.event) =
             "frame %#x: reused (allocated) before its pending shootdown \
              flushed (deferred as %#x+%d)"
             pfn p0 n0)
-      t.pending_frames
+      t.pending_frames;
+    (* A reallocation resets the frame's reclaim/wire history. *)
+    for i = 0 to pages - 1 do
+      Hashtbl.remove t.reclaimed (pfn + i);
+      Hashtbl.remove t.wired (pfn + i)
+    done
   | Obj_created { obj; parent } ->
     if Hashtbl.mem t.objs obj then
       violate t "obj#%d: created twice (id reuse within one world)" obj;
@@ -265,6 +285,34 @@ let observe t (ev : Mm_sim.Monitor.event) =
       if o.o_refs <> 0 then
         violate t "obj#%d: destroyed with %d live refs" obj o.o_refs;
       o.o_dead <- true)
+  | Page_wired { pfn } ->
+    if Hashtbl.mem t.wired pfn then
+      violate t "frame %#x: wired twice without an unwire" pfn;
+    Hashtbl.replace t.wired pfn ()
+  | Page_unwired { pfn } ->
+    if not (Hashtbl.mem t.wired pfn) then
+      violate t "frame %#x: unwired but never wired" pfn
+    else Hashtbl.remove t.wired pfn
+  | Page_dirtied { file; page } -> Hashtbl.replace t.dirty_pages (file, page) ()
+  | Reclaim_waken _ -> () (* informational: a daemon pass began *)
+  | Reclaim_page { pfn } ->
+    if Hashtbl.mem t.wired pfn then
+      violate t "frame %#x: reclaimed while wired by mlock" pfn;
+    if Hashtbl.mem t.pending_frames pfn then
+      violate t
+        "frame %#x: reclaimed while its free is still deferred behind an \
+         unflushed shootdown"
+        pfn;
+    if Hashtbl.mem t.reclaimed pfn then
+      violate t "frame %#x: reclaimed twice without a reallocation" pfn;
+    Hashtbl.replace t.reclaimed pfn ()
+  | Reclaim_writeback { file; page } -> Hashtbl.remove t.dirty_pages (file, page)
+  | Reclaim_drop { file; page; pfn = _ } ->
+    if Hashtbl.mem t.dirty_pages (file, page) then
+      violate t
+        "file#%d page %d: cache frame dropped while dirty (writeback must \
+         precede the drop)"
+        file page
 
 let violations t = List.rev t.violations
 let ok t = t.violations = []

@@ -32,6 +32,7 @@ let kind_name = function
 type caps = {
   demand_paging : bool; (* mmap is virtual; frames arrive at fault time *)
   has_mprotect : bool; (* mprotect implemented (RadixVM/NrOS: no) *)
+  has_reclaim : bool; (* mlock/munlock + page-out under pressure (CortenMM) *)
 }
 
 type mem_stats = {
@@ -100,6 +101,18 @@ module type S = sig
 
   val read_value : t -> vaddr:int -> (int, Errno.t) result
   (** A user load of the page's data token. *)
+
+  val mlock : t -> addr:int -> len:int -> (unit, Errno.t) result
+  (** Populate and wire the range against reclaim. [Error ENOSYS] when
+      [caps.has_reclaim] is false. *)
+
+  val munlock : t -> addr:int -> len:int -> (unit, Errno.t) result
+  (** Unwire the range (idempotent). [Error ENOSYS] without reclaim. *)
+
+  val pressure : t -> target_pages:int -> (int, Errno.t) result
+  (** Simulate memory pressure: wake the page-out daemon to reclaim up
+      to [target_pages] pages from this instance's machine; returns how
+      many it took. [Error ENOSYS] when [caps.has_reclaim] is false. *)
 
   val timer_tick : t -> unit
   val mem_stats : t -> mem_stats

@@ -9,6 +9,9 @@ module Perm = Mm_hal.Perm
 type state = {
   kernel : Cortenmm.Kernel.t;
   asp : Cortenmm.Addr_space.t;
+  daemon : Cortenmm.Pageoutd.t;
+      (* one per kernel (fork children inherit it); idle unless a driver
+         applies pressure, so default runs never see it *)
 }
 
 let make cfg : Backend.b =
@@ -17,12 +20,19 @@ let make cfg : Backend.b =
 
     let name = Cortenmm.Config.name cfg
     let kind = Backend.Corten cfg
-    let caps = { Backend.demand_paging = true; has_mprotect = true }
+    let caps =
+      { Backend.demand_paging = true; has_mprotect = true; has_reclaim = true }
 
     let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () =
       let kernel = Cortenmm.Kernel.create ~isa ~ncpus () in
       let asp = Cortenmm.Addr_space.create kernel cfg in
-      { kernel; asp }
+      let daemon =
+        Cortenmm.Pageoutd.create kernel
+          ~dev:(Cortenmm.Blockdev.create ~name:"swap0" ())
+          ()
+      in
+      Cortenmm.Pageoutd.register_space daemon asp;
+      { kernel; asp; daemon }
 
     let page_size t = Cortenmm.Addr_space.page_size t.asp
 
@@ -63,15 +73,25 @@ let make cfg : Backend.b =
 
     let fork t =
       match Cortenmm.Mm.fork t.asp with
-      | child -> Ok { kernel = t.kernel; asp = child }
+      | child ->
+        Cortenmm.Pageoutd.register_space t.daemon child;
+        Ok { t with asp = child }
       | exception Out_of_memory -> Error Errno.ENOMEM
 
-    let destroy t = Cortenmm.Mm.destroy t.asp
+    let destroy t =
+      Cortenmm.Pageoutd.unregister_space t.daemon t.asp;
+      Cortenmm.Mm.destroy t.asp
 
     let write_value t ~vaddr ~value =
       Cortenmm.Mm.write_value_r t.asp ~vaddr ~value
 
     let read_value t ~vaddr = Cortenmm.Mm.read_value_r t.asp ~vaddr
+
+    let mlock t ~addr ~len = Cortenmm.Mm.mlock_r t.asp ~addr ~len
+    let munlock t ~addr ~len = Cortenmm.Mm.munlock_r t.asp ~addr ~len
+
+    let pressure t ~target_pages =
+      Ok (Cortenmm.Pageoutd.pressure t.daemon ~target_pages)
 
     let timer_tick t = Cortenmm.Mm.timer_tick t.asp
 

@@ -12,7 +12,8 @@ let backend : Backend.b =
 
     let name = "linux"
     let kind = Backend.Linux
-    let caps = { Backend.demand_paging = true; has_mprotect = true }
+    let caps =
+      { Backend.demand_paging = true; has_mprotect = true; has_reclaim = false }
     let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () = L.create ~isa ~ncpus ()
     let page_size = L.page_size
 
@@ -62,6 +63,10 @@ let backend : Backend.b =
     let read_value t ~vaddr =
       try Ok (L.read_value t ~vaddr)
       with L.Fault v -> Error (Errno.SIGSEGV v)
+
+    let mlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let munlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let pressure _ ~target_pages:_ = Error Errno.ENOSYS
 
     let timer_tick t =
       if Mm_sim.Engine.in_fiber () then

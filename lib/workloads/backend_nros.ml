@@ -11,7 +11,7 @@ let backend : Backend.b =
 
     let name = "nros"
     let kind = Backend.Nros
-    let caps = { Backend.demand_paging = false; has_mprotect = false }
+    let caps = { Backend.demand_paging = false; has_mprotect = false; has_reclaim = false }
     let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () = N.create ~isa ~ncpus ()
     let page_size = N.page_size
 
@@ -58,6 +58,10 @@ let backend : Backend.b =
     let read_value t ~vaddr =
       try Ok (N.read_value t ~vaddr)
       with N.Fault v -> Error (Errno.SIGSEGV v)
+
+    let mlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let munlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let pressure _ ~target_pages:_ = Error Errno.ENOSYS
 
     let timer_tick t =
       if Mm_sim.Engine.in_fiber () then

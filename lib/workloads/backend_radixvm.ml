@@ -11,7 +11,7 @@ let backend : Backend.b =
 
     let name = "radixvm"
     let kind = Backend.Radixvm
-    let caps = { Backend.demand_paging = true; has_mprotect = false }
+    let caps = { Backend.demand_paging = true; has_mprotect = false; has_reclaim = false }
     let create ?(isa = Mm_hal.Isa.x86_64) ~ncpus () = R.create ~isa ~ncpus ()
     let page_size = R.page_size
 
@@ -58,6 +58,10 @@ let backend : Backend.b =
     let read_value t ~vaddr =
       try Ok (R.read_value t ~vaddr)
       with R.Fault v -> Error (Errno.SIGSEGV v)
+
+    let mlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let munlock _ ~addr:_ ~len:_ = Error Errno.ENOSYS
+    let pressure _ ~target_pages:_ = Error Errno.ENOSYS
 
     let timer_tick t =
       if Mm_sim.Engine.in_fiber () then

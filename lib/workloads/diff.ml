@@ -54,6 +54,7 @@ type run_log = {
   l_name : string;
   l_caps : System.caps;
   l_skipped_mprotect : bool; (* at least one trace mprotect not applied *)
+  l_skipped_reclaim : bool; (* at least one mlock/munlock/pressure skipped *)
   l_outcomes : outcome array;
   l_violations : (int * string) list; (* op index, broken invariant *)
   l_snapshots : (int * snapshot) list; (* taken after this op index *)
@@ -125,6 +126,7 @@ let replay_one ?isa ~check_every (b : System.backend) trace =
   let violations = ref [] in
   let snapshots = ref [] in
   let skipped_mprotect = ref false in
+  let skipped_reclaim = ref false in
   let violate i what = violations := (i, what) :: !violations in
   let probe_region sys (addr, len) =
     Array.init (len / ps) (fun i -> System.page_state sys ~vaddr:(addr + (i * ps)))
@@ -302,7 +304,47 @@ let replay_one ?isa ~check_every (b : System.backend) trace =
                    proc v p id expected)
             | Some _ | None -> ())
           | Error e -> outcomes.(i) <- O_err e)
-        | Some _ | None -> outcomes.(i) <- O_skip))
+        | Some _ | None -> outcomes.(i) <- O_skip)
+      | Trace.T_mlock { id } -> (
+        (* Reclaim ops are capability-masked like mprotect: a backend
+           without a page-out daemon has nothing to wire against, so it
+           skips — and residency is then only compared between backends
+           with reclaim parity. *)
+        match Hashtbl.find_opt regions (proc, id) with
+        | None -> outcomes.(i) <- O_skip
+        | Some (addr, len) ->
+          if not (System.has_reclaim sys) then begin
+            skipped_reclaim := true;
+            outcomes.(i) <- O_skip
+          end
+          else
+            outcomes.(i) <-
+              (match System.mlock sys ~addr ~len with
+              | Ok () -> O_ok
+              | Error e -> O_err e))
+      | Trace.T_munlock { id } -> (
+        match Hashtbl.find_opt regions (proc, id) with
+        | None -> outcomes.(i) <- O_skip
+        | Some (addr, len) ->
+          if not (System.has_reclaim sys) then begin
+            skipped_reclaim := true;
+            outcomes.(i) <- O_skip
+          end
+          else
+            outcomes.(i) <-
+              (match System.munlock sys ~addr ~len with
+              | Ok () -> O_ok
+              | Error e -> O_err e))
+      | Trace.T_pressure { pages } ->
+        if not (System.has_reclaim sys) then begin
+          skipped_reclaim := true;
+          outcomes.(i) <- O_skip
+        end
+        else
+          outcomes.(i) <-
+            (match System.pressure sys ~target_pages:pages with
+            | Ok _ -> O_ok
+            | Error e -> O_err e))
   in
   let w = Mm_sim.Engine.create ~ncpus:1 in
   Mm_sim.Engine.spawn w ~cpu:0 (fun () ->
@@ -316,6 +358,7 @@ let replay_one ?isa ~check_every (b : System.backend) trace =
     l_name = root.System.name;
     l_caps = root.System.caps;
     l_skipped_mprotect = !skipped_mprotect;
+    l_skipped_reclaim = !skipped_reclaim;
     l_outcomes = outcomes;
     l_violations = List.rev !violations;
     l_snapshots = List.rev !snapshots;
@@ -369,6 +412,9 @@ let compare_snapshots (a : run_log) (b : run_log) =
   let dp_eq =
     a.l_caps.System.demand_paging = b.l_caps.System.demand_paging
   in
+  (* A backend that applied the trace's reclaim ops legitimately holds
+     fewer resident pages than one that skipped them. *)
+  let reclaim_eq = a.l_skipped_reclaim = b.l_skipped_reclaim in
   let divs = ref [] in
   List.iter2
     (fun (i, sa) (j, sb) ->
@@ -397,7 +443,7 @@ let compare_snapshots (a : run_log) (b : run_log) =
           (fun ((proc, id), pa) (_, pb) ->
             List.iter mismatch
               (compare_page_states ~check_writable:parity
-                 ~check_resident:(parity && dp_eq)
+                 ~check_resident:(parity && dp_eq && reclaim_eq)
                  ~region:(Printf.sprintf "proc %d region %d" proc id)
                  pa pb))
           sa.s_regions sb.s_regions)
@@ -412,8 +458,8 @@ let default_backends () =
    [jobs > 1] they run on separate domains; the logs come back in
    backend order either way, and the comparison below is sequential, so
    the verdict is identical for any [jobs]. *)
-let run ?isa ?(check_every = 16) ?(jobs = 1) ?(cow_mutant = false) ?backends
-    trace =
+let run ?isa ?(check_every = 16) ?(jobs = 1) ?(cow_mutant = false)
+    ?(reclaim_mutant = false) ?backends trace =
   let backends =
     match backends with Some l -> l | None -> default_backends ()
   in
@@ -422,11 +468,16 @@ let run ?isa ?(check_every = 16) ?(jobs = 1) ?(cow_mutant = false) ?backends
     Mm_par.Par.map ~jobs
       (fun b ->
         Runner.reset_world_state ();
-        (* Arm the injected CortenMM fork mutant (skip the parent-side
-           write-protect) per task, after the world reset cleared it:
-           each replay domain sees its own copy of the flag. *)
+        (* Arm the injected mutants per task, after the world reset
+           cleared them: each replay domain sees its own copy of the
+           flags. [cow_mutant] makes CortenMM's clone_for_fork skip the
+           parent-side write-protect; [reclaim_mutant] makes the pagers'
+           put_pages skip the dirty writeback, so a page-out loses the
+           page's data token. *)
         if cow_mutant then
           Cortenmm.Addr_space.set_mutant_fork_skip_parent_wp true;
+        if reclaim_mutant then
+          Cortenmm.Pager.set_mutant_reclaim_skip_writeback true;
         replay_one ?isa ~check_every b trace)
       backends
   in

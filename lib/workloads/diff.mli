@@ -41,6 +41,7 @@ val run :
   ?check_every:int ->
   ?jobs:int ->
   ?cow_mutant:bool ->
+  ?reclaim_mutant:bool ->
   ?backends:System.backend list ->
   Trace.t ->
   (int, divergence) result
@@ -59,4 +60,12 @@ val run :
     [cow_mutant] (default [false]) arms an injected CortenMM fork bug —
     clone_for_fork skips the parent-side write-protect — which the
     value model must catch at the exact first child read observing a
-    leaked parent store. *)
+    leaked parent store.
+
+    Format-v3 reclaim ops ([mlock]/[munlock]/[pressure]) are
+    capability-masked: backends without a page-out daemon skip them,
+    and residency is then only compared between backends with reclaim
+    parity. [reclaim_mutant] (default [false]) arms an injected pager
+    bug — put_pages skips the dirty writeback, losing the page's data
+    token at page-out — which the value model must catch at the exact
+    first read observing the lost token. *)

@@ -21,6 +21,7 @@ let kind_name = Backend.kind_name
 type caps = Backend.caps = {
   demand_paging : bool;
   has_mprotect : bool;
+  has_reclaim : bool;
 }
 
 type mem_stats = Backend.mem_stats = {
@@ -107,6 +108,7 @@ let of_backend ?isa (b : backend) ~ncpus =
 let make ?isa kind ~ncpus = of_backend ?isa (backend_of_kind kind) ~ncpus
 let demand_paging t = t.caps.demand_paging
 let has_mprotect t = t.caps.has_mprotect
+let has_reclaim t = t.caps.has_reclaim
 
 (* -- The typed operation surface -- *)
 
@@ -151,6 +153,18 @@ let write_value t ~vaddr ~value =
 let read_value t ~vaddr =
   let (Instance ((module B), st)) = t.instance in
   B.read_value st ~vaddr
+
+let mlock t ~addr ~len =
+  let (Instance ((module B), st)) = t.instance in
+  B.mlock st ~addr ~len
+
+let munlock t ~addr ~len =
+  let (Instance ((module B), st)) = t.instance in
+  B.munlock st ~addr ~len
+
+let pressure t ~target_pages =
+  let (Instance ((module B), st)) = t.instance in
+  B.pressure st ~target_pages
 
 let timer_tick t =
   let (Instance ((module B), st)) = t.instance in

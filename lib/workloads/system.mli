@@ -14,6 +14,8 @@ val kind_name : kind -> string
 type caps = Backend.caps = {
   demand_paging : bool;  (** mmap is virtual; frames arrive at fault time *)
   has_mprotect : bool;  (** mprotect implemented (RadixVM/NrOS: no) *)
+  has_reclaim : bool;
+      (** mlock/munlock + page-out under pressure (CortenMM only) *)
 }
 
 type mem_stats = Backend.mem_stats = {
@@ -72,6 +74,7 @@ val make : ?isa:Mm_hal.Isa.t -> kind -> ncpus:int -> t
 val of_backend : ?isa:Mm_hal.Isa.t -> backend -> ncpus:int -> t
 val demand_paging : t -> bool
 val has_mprotect : t -> bool
+val has_reclaim : t -> bool
 
 (** {2 Typed operations}
 
@@ -118,6 +121,17 @@ val write_value : t -> vaddr:int -> value:int -> (unit, Mm_hal.Errno.t) result
 
 val read_value : t -> vaddr:int -> (int, Mm_hal.Errno.t) result
 (** A user load of the page's data token. *)
+
+val mlock : t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+(** Populate and wire the range against reclaim ([Error ENOSYS] when
+    {!has_reclaim} is false). *)
+
+val munlock : t -> addr:int -> len:int -> (unit, Mm_hal.Errno.t) result
+(** Unwire the range (idempotent; [Error ENOSYS] without reclaim). *)
+
+val pressure : t -> target_pages:int -> (int, Mm_hal.Errno.t) result
+(** Wake the instance's page-out daemon to reclaim up to [target_pages]
+    pages; returns how many it took ([Error ENOSYS] without reclaim). *)
 
 val timer_tick : t -> unit
 val mem_stats : t -> mem_stats

@@ -15,6 +15,12 @@
      <cpu> exit
      <cpu> write <id> <page-index> <value>
      <cpu> read <id> <page-index>
+     <cpu> mlock <id>
+     <cpu> munlock <id>
+     <cpu> pressure <pages>
+
+   (The last three are format v3; v2 and v1 traces contain none of the
+   new keywords and keep loading unchanged.)
 
    Every line takes an optional trailing "@<proc>" naming the process
    executing the operation; it is omitted for process 0 (the root), so
@@ -32,6 +38,9 @@ type op =
   | T_exit
   | T_write of { id : int; page : int; value : int }
   | T_read of { id : int; page : int }
+  | T_mlock of { id : int }
+  | T_munlock of { id : int }
+  | T_pressure of { pages : int }
 
 type entry = { cpu : int; proc : int; op : op }
 
@@ -55,6 +64,9 @@ let entry_to_string { cpu; proc; op } =
     | T_write { id; page; value } ->
       Printf.sprintf "%d write %d %d %d" cpu id page value
     | T_read { id; page } -> Printf.sprintf "%d read %d %d" cpu id page
+    | T_mlock { id } -> Printf.sprintf "%d mlock %d" cpu id
+    | T_munlock { id } -> Printf.sprintf "%d munlock %d" cpu id
+    | T_pressure { pages } -> Printf.sprintf "%d pressure %d" cpu pages
   in
   if proc = 0 then base else Printf.sprintf "%s @%d" base proc
 
@@ -143,6 +155,14 @@ let entry_of_string ~line s =
     }
   | [ cpu; "read"; id; page ] ->
     { cpu = cpu_of cpu; proc; op = T_read { id = int_of id; page = int_of page } }
+  | [ cpu; "mlock"; id ] ->
+    { cpu = cpu_of cpu; proc; op = T_mlock { id = int_of id } }
+  | [ cpu; "munlock"; id ] ->
+    { cpu = cpu_of cpu; proc; op = T_munlock { id = int_of id } }
+  | [ cpu; "pressure"; pages ] ->
+    let pages = int_of pages in
+    if pages <= 0 then fail (Printf.sprintf "pressure size %d out of range" pages);
+    { cpu = cpu_of cpu; proc; op = T_pressure { pages } }
   | _ -> fail ("unrecognized operation: " ^ s)
 
 let save t path =
@@ -179,18 +199,21 @@ type profile =
   | Faults (* fault-heavy: few large regions, many touches *)
   | Mixed (* a blend, with occasional mprotects *)
   | Forks (* process trees: fork, COW writes/reads, exits *)
+  | Reclaim (* value traffic under mlock/munlock and pressure storms *)
 
 let profile_name = function
   | Churn -> "churn"
   | Faults -> "faults"
   | Mixed -> "mixed"
   | Forks -> "forks"
+  | Reclaim -> "reclaim"
 
 let profile_of_name = function
   | "churn" -> Some Churn
   | "faults" -> Some Faults
   | "mixed" -> Some Mixed
   | "forks" -> Some Forks
+  | "reclaim" -> Some Reclaim
   | _ -> None
 
 let generate ~profile ~ncpus ~ops_per_cpu ~seed =
@@ -279,6 +302,59 @@ let generate ~profile ~ncpus ~ops_per_cpu ~seed =
                    write = Mm_util.Rng.bool rng;
                  });
             decr budget))
+      | Reclaim -> (
+        (* Value traffic interleaved with wiring and pressure storms:
+           writes seed data tokens, [pressure] forces the page-out
+           daemon to evict (write back / swap) what is not wired, reads
+           then prove the tokens survived the round trip. mlock'd
+           regions must come back untouched *without* a refault. *)
+        let pick () =
+          List.nth !live (Mm_util.Rng.int rng (List.length !live))
+        in
+        match Mm_util.Rng.int rng 16 with
+        | 0 | 1 when List.length !live < 6 ->
+          ignore (fresh_region ~pages:(2 + Mm_util.Rng.int rng 6) ~writable:true)
+        | 2 ->
+          if !live = [] then
+            ignore (fresh_region ~pages:4 ~writable:true)
+          else begin
+            let id, _ = pick () in
+            emit cpu (T_mlock { id });
+            decr budget
+          end
+        | 3 ->
+          if !live = [] then
+            ignore (fresh_region ~pages:4 ~writable:true)
+          else begin
+            let id, _ = pick () in
+            emit cpu (T_munlock { id });
+            decr budget
+          end
+        | 4 | 5 ->
+          emit cpu (T_pressure { pages = 8 + Mm_util.Rng.int rng 24 });
+          decr budget
+        | 6 | 7 | 8 | 9 | 10 ->
+          if !live = [] then
+            ignore (fresh_region ~pages:4 ~writable:true)
+          else begin
+            let id, pages = pick () in
+            emit cpu
+              (T_write
+                 {
+                   id;
+                   page = Mm_util.Rng.int rng pages;
+                   value = 1 + Mm_util.Rng.int rng 1_000_000;
+                 });
+            decr budget
+          end
+        | _ ->
+          if !live = [] then
+            ignore (fresh_region ~pages:4 ~writable:true)
+          else begin
+            let id, pages = pick () in
+            emit cpu (T_read { id; page = Mm_util.Rng.int rng pages });
+            decr budget
+          end)
       | Forks -> (
         let depth = List.length !pstack in
         (* Memory ops act on a *random* live process, not just the
@@ -476,7 +552,27 @@ let replay ?(isa = Mm_hal.Isa.x86_64) ~kind trace =
                   match System.read_value sys ~vaddr:(addr + (page * 4096)) with
                   | Ok _ -> ()
                   | Error _ -> incr denied)
-                | Some _ | None -> ())))
+                | Some _ | None -> ())
+              | T_mlock { id } -> (
+                (* Reclaim ops are capability-gated like mprotect: a
+                   backend without a page-out daemon replays them as
+                   no-ops (there is nothing to guard against). *)
+                match Hashtbl.find_opt regions (proc, id) with
+                | Some (addr, len) when System.has_reclaim sys -> (
+                  match System.mlock sys ~addr ~len with
+                  | Ok () -> ()
+                  | Error _ -> incr denied)
+                | Some _ | None -> ())
+              | T_munlock { id } -> (
+                match Hashtbl.find_opt regions (proc, id) with
+                | Some (addr, len) when System.has_reclaim sys -> (
+                  match System.munlock sys ~addr ~len with
+                  | Ok () -> ()
+                  | Error _ -> incr denied)
+                | Some _ | None -> ())
+              | T_pressure { pages } ->
+                if System.has_reclaim sys then
+                  ignore (System.pressure sys ~target_pages:pages)))
           per_cpu.(cpu))
   in
   {

@@ -13,6 +13,10 @@ type op =
   | T_write of { id : int; page : int; value : int }
       (** store a data token (touches for write first) *)
   | T_read of { id : int; page : int }  (** load the page's data token *)
+  | T_mlock of { id : int }  (** populate + wire the whole region *)
+  | T_munlock of { id : int }  (** unwire the whole region *)
+  | T_pressure of { pages : int }
+      (** wake the page-out daemon to reclaim [pages] pages *)
 
 type entry = { cpu : int; proc : int; op : op }
 (** [proc] is the process executing the operation; 0 is the root.
@@ -28,7 +32,7 @@ val entry_of_string : line:int -> string -> entry
 val save : t -> string -> unit
 val load : string -> t
 
-type profile = Churn | Faults | Mixed | Forks
+type profile = Churn | Faults | Mixed | Forks | Reclaim
 
 val profile_name : profile -> string
 val profile_of_name : string -> profile option
@@ -38,7 +42,9 @@ val generate : profile:profile -> ncpus:int -> ops_per_cpu:int -> seed:int -> t
     map/touch/unmap cycles; [Faults] = few large regions, many touches;
     [Mixed] = a blend with occasional mprotects; [Forks] = per-CPU
     process trees (depth <= 3) of fork / COW write / read / exit, every
-    forked process exiting before its CPU's stream ends. *)
+    forked process exiting before its CPU's stream ends; [Reclaim] =
+    value traffic under mlock/munlock and pressure storms (format v3
+    ops, capability-gated on backends without a page-out daemon). *)
 
 type replay_stats = {
   result : Runner.result;

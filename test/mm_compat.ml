@@ -1,8 +1,7 @@
 (* Exception-style convenience shims over the typed [Mm.*_r] API, shared
    by the test suite.  Tests here only issue requests they expect to
    succeed, so an [Error _] is a test bug and raising is the right
-   failure mode.  The deprecated exception wrappers in [Mm] itself are
-   exercised only by test_core's legacy-wrapper test. *)
+   failure mode. *)
 
 let ok = function Ok v -> v | Error e -> raise (Mm_hal.Errno.Error e)
 
@@ -13,3 +12,7 @@ let munmap asp ~addr ~len = ok (Cortenmm.Mm.munmap_r asp ~addr ~len)
 
 let mprotect asp ~addr ~len ~perm =
   ok (Cortenmm.Mm.mprotect_r asp ~addr ~len ~perm)
+
+let msync asp ~file = ok (Cortenmm.Mm.msync_r asp ~file)
+let mlock asp ~addr ~len = ok (Cortenmm.Mm.mlock_r asp ~addr ~len)
+let munlock asp ~addr ~len = ok (Cortenmm.Mm.munlock_r asp ~addr ~len)

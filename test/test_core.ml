@@ -414,8 +414,9 @@ let test_shared_file_write_and_msync cfg =
       (match File.lookup_page file ~page_index:0 with
       | Some f -> check Alcotest.int "cache sees write" 555 f.Mm_phys.Frame.contents
       | None -> Alcotest.fail "cache page missing");
-      check Alcotest.int "msync writes one page" 1 (Mm.msync asp ~file);
-      check Alcotest.int "second msync writes nothing" 0 (Mm.msync asp ~file))
+      check Alcotest.int "msync writes one page" 1 (Mm_compat.msync asp ~file);
+      check Alcotest.int "second msync writes nothing" 0
+        (Mm_compat.msync asp ~file))
 
 let test_file_rmap cfg =
   in_sim (fun () ->
@@ -798,22 +799,27 @@ let test_meta_accounting cfg =
         (Addr_space.meta_bytes_upper_bound asp >= stats.Addr_space.meta_bytes);
       Mm_compat.munmap asp ~addr ~len:(kib 16))
 
-(* The two remaining call sites of the deprecated exception wrappers,
-   kept deliberately: the wrappers must keep working (and keep raising on
-   bad input) until a major version removes them.  Everything else in the
-   tree goes through the typed [_r] API. *)
-let test_legacy_exception_wrappers cfg =
+(* The deprecated exception wrappers are gone: the typed [_r] surface is
+   the only entry point.  This test pins the migration — the same
+   mmap/touch/munmap flow through [_r], plus the error shapes the old
+   wrappers used to express as exceptions. *)
+let test_typed_surface_replaces_wrappers cfg =
   in_sim (fun () ->
       let _, asp = make_asp ~cfg () in
-      let addr =
-        (Mm.mmap [@alert "-deprecated"]) asp ~len:(kib 16) ~perm:Perm.rw ()
-      in
+      let addr = Mm_compat.mmap asp ~len:(kib 16) ~perm:Perm.rw () in
       Mm.touch asp ~vaddr:addr ~write:true;
-      (Mm.munmap [@alert "-deprecated"]) asp ~addr ~len:(kib 16);
+      Mm_compat.munmap asp ~addr ~len:(kib 16);
       Addr_space.with_lock asp ~lo:addr ~hi:(addr + page) (fun c ->
           match Addr_space.query c addr with
           | Status.Invalid -> ()
-          | s -> Alcotest.failf "expected Invalid, got %s" (Status.to_string s)))
+          | s -> Alcotest.failf "expected Invalid, got %s" (Status.to_string s));
+      (* Malformed requests come back as typed errors, not exceptions. *)
+      (match Mm.mmap_r asp ~len:0 ~perm:Perm.rw () with
+      | Error Mm_hal.Errno.EINVAL -> ()
+      | Ok _ | Error _ -> Alcotest.fail "empty mmap must be EINVAL");
+      match Mm.mlock_r asp ~addr:(page / 2) ~len:page with
+      | Error Mm_hal.Errno.EINVAL -> ()
+      | Ok _ | Error _ -> Alcotest.fail "unaligned mlock must be EINVAL")
 
 (* An exception escaping the [with_lock] callback must still release the
    range locks and leave the protocol state clean: a subsequent
@@ -910,5 +916,8 @@ let () =
           proto_case "meta accounting" test_meta_accounting;
         ] );
       ( "legacy",
-        [ proto_case "exception wrappers still work" test_legacy_exception_wrappers ] );
+        [
+          proto_case "typed surface replaces wrappers"
+            test_typed_surface_replaces_wrappers;
+        ] );
     ]

@@ -1,0 +1,224 @@
+(* Tests for the pager layer and reclaim under pressure: provider
+   round-trips through [Pager.ops], mlock wiring surviving forced
+   page-out storms, reclaim racing COW fork, and the RLIMIT_MEMLOCK
+   accounting — the wired/value-model guarantees behind [Pageoutd]. *)
+
+open Cortenmm
+module Engine = Mm_sim.Engine
+module Perm = Mm_hal.Perm
+module Errno = Mm_hal.Errno
+module Frame = Mm_phys.Frame
+module Phys = Mm_phys.Phys
+
+let check = Alcotest.check
+let page = 4096
+
+(* Run [f] on cpu 0 of a fresh simulation and return its result. *)
+let in_sim ?(ncpus = 1) f =
+  let w = Engine.create ~ncpus in
+  let result = ref None in
+  Engine.spawn w ~cpu:0 (fun () -> result := Some (f ()));
+  Engine.run w;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber died"
+
+let make_asp ?(ncpus = 1) ?(cfg = Config.adv) () =
+  let kernel = Kernel.create ~ncpus () in
+  (kernel, Addr_space.create kernel cfg)
+
+let both_protocols f () = List.iter (fun cfg -> f cfg) [ Config.adv; Config.rw ]
+
+let proto_case name f =
+  Alcotest.test_case name `Quick (both_protocols (fun cfg -> f cfg))
+
+let status_at asp vaddr =
+  Addr_space.with_lock asp ~lo:vaddr ~hi:(vaddr + page) (fun c ->
+      Addr_space.query c vaddr)
+
+(* -- Provider round-trips through the ops record -- *)
+
+let test_anon_pager_roundtrip () =
+  in_sim (fun () ->
+      let phys = Phys.create () in
+      let dev = Blockdev.create ~name:"swap-rt" () in
+      let p = Vm_object.pager ~dev ~phys in
+      check Alcotest.string "provider name" "anon" p.Pager.name;
+      match p.Pager.put_pages [ (0, 4242) ] with
+      | [ block ] ->
+        check Alcotest.bool "swap block present" true
+          (p.Pager.has_page ~page_index:block);
+        let frame = p.Pager.get_page ~page_index:block in
+        check Alcotest.int "contents survive the round-trip" 4242
+          frame.Frame.contents;
+        check Alcotest.bool "block freed after swap-in" false
+          (p.Pager.has_page ~page_index:block);
+        Phys.free phys frame
+      | blocks -> Alcotest.failf "expected one block, got %d" (List.length blocks))
+
+let test_file_pager_roundtrip () =
+  in_sim (fun () ->
+      List.iter
+        (fun (file, expect_name) ->
+          let phys = Phys.create () in
+          let p = File.pager file phys in
+          check Alcotest.string "provider name" expect_name p.Pager.name;
+          let f = p.Pager.get_page ~page_index:1 in
+          f.Frame.contents <- 777;
+          (match p.Pager.put_pages [ (1, 777) ] with
+          | [ 1 ] -> ()
+          | _ -> Alcotest.fail "file pager must keep its page index");
+          File.drop_page file phys ~page_index:1;
+          check Alcotest.bool "disk copy survives the drop" true
+            (p.Pager.has_page ~page_index:1);
+          let f' = p.Pager.get_page ~page_index:1 in
+          check Alcotest.int "refault reads the written-back token" 777
+            f'.Frame.contents;
+          p.Pager.dealloc ())
+        [
+          (File.regular ~name:"rt.dat" ~size:(16 * page), "file");
+          (File.shm ~size:(16 * page), "shm");
+        ])
+
+(* -- Wired pages survive a forced full-pressure storm -- *)
+
+let test_wired_survive_storm cfg =
+  in_sim (fun () ->
+      let kernel, asp = make_asp ~cfg () in
+      let dev = Blockdev.create ~name:"swap-storm" () in
+      let d = Pageoutd.create kernel ~dev () in
+      Pageoutd.register_space d asp;
+      let npages = 16 and wired = 8 in
+      let addr = Mm_compat.mmap asp ~len:(npages * page) ~perm:Perm.rw () in
+      for i = 0 to npages - 1 do
+        Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(100 + i)
+      done;
+      Mm_compat.mlock asp ~addr ~len:(wired * page);
+      let reclaimed = Pageoutd.pressure d ~target_pages:(4 * npages) in
+      check Alcotest.bool "storm reclaimed something" true (reclaimed > 0);
+      (* Wired pages must still be resident after the storm... *)
+      for i = 0 to wired - 1 do
+        match status_at asp (addr + (i * page)) with
+        | Status.Mapped _ -> ()
+        | s ->
+          Alcotest.failf "wired page %d lost residency: %s" i
+            (Status.to_string s)
+      done;
+      (* ...while at least one unwired page was pushed to swap. *)
+      let evicted = ref 0 in
+      for i = wired to npages - 1 do
+        match status_at asp (addr + (i * page)) with
+        | Status.Swapped _ -> incr evicted
+        | _ -> ()
+      done;
+      check Alcotest.bool "unwired pages evicted" true (!evicted > 0);
+      (* Every token survives: wired in place, evicted via refault. *)
+      for i = 0 to npages - 1 do
+        check Alcotest.int "token survives the storm" (100 + i)
+          (Mm.read_value asp ~vaddr:(addr + (i * page)))
+      done;
+      Mm_compat.munlock asp ~addr ~len:(wired * page);
+      check Alcotest.int "wired accounting drains" 0 (Kernel.wired_pages kernel);
+      Addr_space.check_well_formed asp)
+
+(* -- Reclaim racing COW fork on the shadow chain -- *)
+
+let test_reclaim_vs_cow_fork cfg =
+  in_sim (fun () ->
+      let kernel, asp = make_asp ~cfg () in
+      let dev = Blockdev.create ~name:"swap-cow" () in
+      let d = Pageoutd.create kernel ~dev () in
+      Pageoutd.register_space d asp;
+      let npages = 8 in
+      let addr = Mm_compat.mmap asp ~len:(npages * page) ~perm:Perm.rw () in
+      for i = 0 to npages - 1 do
+        Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(1000 + i)
+      done;
+      let child = Mm.fork asp in
+      Pageoutd.register_space d child;
+      let _ = Pageoutd.pressure d ~target_pages:(4 * npages) in
+      (* Parent COW-breaks every page with fresh tokens while the
+         pre-fork frames sit on swap... *)
+      for i = 0 to npages - 1 do
+        Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(2000 + i)
+      done;
+      (* ...the child must still observe the pre-fork values, and the
+         parent its overwrites — the (proc, id, page) value model. *)
+      for i = 0 to npages - 1 do
+        check Alcotest.int "child sees pre-fork token" (1000 + i)
+          (Mm.read_value child ~vaddr:(addr + (i * page)));
+        check Alcotest.int "parent sees its overwrite" (2000 + i)
+          (Mm.read_value asp ~vaddr:(addr + (i * page)))
+      done;
+      Pageoutd.unregister_space d child;
+      Mm.destroy child;
+      Addr_space.check_well_formed asp)
+
+(* -- RLIMIT_MEMLOCK: EPERM beyond the limit, balanced accounting -- *)
+
+let test_mlock_limit cfg =
+  in_sim (fun () ->
+      let kernel, asp = make_asp ~cfg () in
+      Kernel.set_wired_limit kernel ~pages:4;
+      let addr = Mm_compat.mmap asp ~len:(8 * page) ~perm:Perm.rw () in
+      (match Mm.mlock_r asp ~addr ~len:(8 * page) with
+      | Error Errno.EPERM -> ()
+      | Ok () -> Alcotest.fail "mlock beyond RLIMIT_MEMLOCK must fail"
+      | Error e -> Alcotest.failf "expected EPERM, got %s" (Errno.to_string e));
+      (match Mm.mlock_r asp ~addr:0x7000_0000 ~len:page with
+      | Error Errno.ENOMEM -> ()
+      | _ -> Alcotest.fail "mlock over an unmapped range must be ENOMEM");
+      (match Mm.mlock_r asp ~addr ~len:(4 * page) with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "mlock within the limit: %s" (Errno.to_string e));
+      check Alcotest.int "wired accounting" 4 (Kernel.wired_pages kernel);
+      Mm_compat.munlock asp ~addr ~len:(4 * page);
+      check Alcotest.int "unwired accounting" 0 (Kernel.wired_pages kernel))
+
+(* -- File page-out: writeback precedes the drop, refaults see data -- *)
+
+let test_file_reclaim_writeback cfg =
+  in_sim (fun () ->
+      let kernel, asp = make_asp ~cfg () in
+      let dev = Blockdev.create ~name:"swap-file" () in
+      let d = Pageoutd.create kernel ~dev () in
+      Pageoutd.register_space d asp;
+      let file = File.shm ~size:(4 * page) in
+      Pageoutd.register_file d file;
+      let addr =
+        Mm_compat.mmap asp ~len:(4 * page) ~perm:Perm.rw
+          ~backing:(Mm.Shared (file, 0)) ()
+      in
+      for i = 0 to 3 do
+        Mm.write_value asp ~vaddr:(addr + (i * page)) ~value:(300 + i)
+      done;
+      let reclaimed = Pageoutd.pressure d ~target_pages:16 in
+      check Alcotest.bool "cache pages reclaimed" true (reclaimed > 0);
+      let stats = Pageoutd.stats d in
+      check Alcotest.bool "dirty pages written back before the drop" true
+        (stats.Pageoutd.file_written_back > 0);
+      check Alcotest.bool "cache frames dropped" true
+        (stats.Pageoutd.file_dropped > 0);
+      (* Refault through the pager: the written-back tokens come back. *)
+      for i = 0 to 3 do
+        check Alcotest.int "token survives the page-out" (300 + i)
+          (Mm.read_value asp ~vaddr:(addr + (i * page)))
+      done;
+      Addr_space.check_well_formed asp)
+
+let () =
+  Alcotest.run "reclaim"
+    [
+      ( "pager",
+        [
+          Alcotest.test_case "anon round-trip" `Quick test_anon_pager_roundtrip;
+          Alcotest.test_case "file/shm round-trip" `Quick
+            test_file_pager_roundtrip;
+        ] );
+      ( "pressure",
+        [
+          proto_case "wired pages survive a storm" test_wired_survive_storm;
+          proto_case "reclaim racing COW fork" test_reclaim_vs_cow_fork;
+          proto_case "RLIMIT_MEMLOCK accounting" test_mlock_limit;
+          proto_case "file writeback before drop" test_file_reclaim_writeback;
+        ] );
+    ]
